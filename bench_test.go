@@ -1,0 +1,388 @@
+// Package colorfulxml's root benchmark suite regenerates every table and
+// figure of the paper's Section 7 as Go benchmarks:
+//
+//	BenchmarkTable1/*    storage requirement (Table 1): loading each
+//	                     representation, with element/structural-node counts
+//	                     and data/index bytes reported as metrics
+//	BenchmarkTable2/*    query and update processing time (Table 2), one
+//	                     sub-benchmark per query and representation,
+//	                     including the *D no-dedup deep variants
+//	BenchmarkFigure11/*  query complexity: path expressions per query text
+//	BenchmarkFigure12/*  query complexity: variable bindings per query text
+//	BenchmarkAblation*   the design-choice ablations called out in DESIGN.md
+//
+// Run with: go test -bench=. -benchmem
+package colorfulxml
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"colorfulxml/internal/core"
+	"colorfulxml/internal/datagen"
+	"colorfulxml/internal/engine"
+	"colorfulxml/internal/join"
+	"colorfulxml/internal/storage"
+	"colorfulxml/internal/workload"
+)
+
+const (
+	benchTPCWScale   = 2
+	benchSigmodScale = 2
+	benchSeed        = 1
+)
+
+var (
+	benchOnce sync.Once
+	benchTP   *workload.Stores
+	benchSG   *workload.Stores
+	benchDS   *datagen.Dataset
+	benchErr  error
+)
+
+func benchStores(b *testing.B) (*workload.Stores, *workload.Stores) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchDS, benchErr = datagen.TPCW(datagen.TPCWConfig{Scale: benchTPCWScale, Seed: benchSeed})
+		if benchErr != nil {
+			return
+		}
+		benchTP, benchErr = workload.LoadTPCW(benchTPCWScale, benchSeed, 0)
+		if benchErr != nil {
+			return
+		}
+		benchSG, benchErr = workload.LoadSigmod(benchSigmodScale, benchSeed, 0)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchTP, benchSG
+}
+
+// BenchmarkTable1 measures the bulk load of each representation and reports
+// the Table 1 storage numbers as benchmark metrics.
+func BenchmarkTable1(b *testing.B) {
+	benchStores(b)
+	for _, v := range workload.Variants {
+		b.Run(fmt.Sprintf("TPCW_%s", v), func(b *testing.B) {
+			var db *core.Database
+			switch v {
+			case workload.MCT:
+				db = benchDS.MCT
+			case workload.Shallow:
+				db = benchDS.Shallow
+			default:
+				db = benchDS.Deep
+			}
+			var st *storage.Store
+			for i := 0; i < b.N; i++ {
+				var err error
+				st, err = storage.Load(db, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			counts := st.Counts()
+			data, _ := st.DataBytes()
+			b.ReportMetric(float64(counts.Elements), "elements")
+			b.ReportMetric(float64(counts.Attributes), "attrs")
+			b.ReportMetric(float64(counts.ContentNodes), "contentNodes")
+			b.ReportMetric(float64(counts.StructNodes), "structNodes")
+			b.ReportMetric(float64(data)/(1<<20), "dataMB")
+			b.ReportMetric(float64(st.IndexBytes())/(1<<20), "indexMB")
+		})
+	}
+}
+
+// BenchmarkTable2Queries times every Table 2 query on every representation
+// (warm cache, like the paper's reported numbers).
+func BenchmarkTable2Queries(b *testing.B) {
+	tp, sg := benchStores(b)
+	bench := func(qs []*workload.Query, st *workload.Stores) {
+		for _, q := range qs {
+			q := q
+			for _, v := range workload.Variants {
+				v := v
+				b.Run(fmt.Sprintf("%s_%s", q.ID, v), func(b *testing.B) {
+					// Warm the buffer pool.
+					res, _, err := workload.RunQuery(q, st, v)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(len(res)), "results")
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, _, err := workload.RunQuery(q, st, v); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+			if q.DeepNoDedup != nil {
+				b.Run(fmt.Sprintf("%sD_Deep", q.ID), func(b *testing.B) {
+					res, _, err := workload.RunDeepNoDedup(q, st)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(len(res)), "results")
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, _, err := workload.RunDeepNoDedup(q, st); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+	bench(workload.TPCWQueries(), tp)
+	bench(workload.SigmodQueries(), sg)
+}
+
+// BenchmarkTable2Updates times every Table 2 update. One store is loaded per
+// sub-benchmark; the update is idempotent (a content rewrite), so repeated
+// applications measure the warm update path — target search plus in-place
+// record rewrite — without paying a store rebuild per iteration. The
+// nodesTouched metric is taken from the first application (the Table 2
+// "results" column).
+func BenchmarkTable2Updates(b *testing.B) {
+	bench := func(us []*workload.UpdateSpec, load func() (*workload.Stores, error)) {
+		for _, u := range us {
+			u := u
+			for _, v := range workload.Variants {
+				v := v
+				b.Run(fmt.Sprintf("%s_%s", u.ID, v), func(b *testing.B) {
+					st, err := load()
+					if err != nil {
+						b.Fatal(err)
+					}
+					touched, err := u.Run[v](st.Of(v), st.Params)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := u.Run[v](st.Of(v), st.Params); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(float64(touched), "nodesTouched")
+				})
+			}
+		}
+	}
+	bench(workload.TPCWUpdates(), func() (*workload.Stores, error) {
+		return workload.LoadTPCW(1, benchSeed, 0)
+	})
+	bench(workload.SigmodUpdates(), func() (*workload.Stores, error) {
+		return workload.LoadSigmod(1, benchSeed, 0)
+	})
+}
+
+// BenchmarkFigure11 reports the number of path expressions of every query
+// formulation (the figure's metric); BenchmarkFigure12 the variable
+// bindings. The timed work is the parse, the metrics are the figures.
+func BenchmarkFigure11(b *testing.B) { benchFigure(b, true) }
+
+// BenchmarkFigure12 reports variable-binding counts (see BenchmarkFigure11).
+func BenchmarkFigure12(b *testing.B) { benchFigure(b, false) }
+
+func benchFigure(b *testing.B, paths bool) {
+	for _, q := range append(workload.TPCWQueries(), workload.SigmodQueries()...) {
+		q := q
+		for _, v := range workload.Variants {
+			v := v
+			b.Run(fmt.Sprintf("%s_%s", q.ID, v), func(b *testing.B) {
+				var c workload.Complexity
+				var err error
+				for i := 0; i < b.N; i++ {
+					c, err = workload.QueryComplexity(q.Text[v])
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				if paths {
+					b.ReportMetric(float64(c.PathExprs), "pathExprs")
+				} else {
+					b.ReportMetric(float64(c.Bindings), "bindings")
+				}
+			})
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md Section 5) ---------------------------------------
+
+// BenchmarkAblationCrossTree compares the two implementations of the color
+// transition discussed in Section 6.2: following the element back-links
+// (what the store does) versus an attribute-value based join through the id
+// index (what the paper's prototype did; it notes "a more sophisticated
+// implementation could bring down the cost of a color crossing").
+func BenchmarkAblationCrossTree(b *testing.B) {
+	tp, _ := benchStores(b)
+	s := tp.MCT
+	lines, err := s.ScanTag(datagen.ColCustomer, "orderline")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("BackLink", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, l := range lines {
+				if _, ok, err := s.CrossTree(l.Elem, datagen.ColAuthor); err != nil || !ok {
+					b.Fatal(ok, err)
+				}
+			}
+		}
+	})
+	b.Run("AttrValueJoin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, l := range lines {
+				// The attribute-join route: fetch the element's id, probe the
+				// attribute index, then resolve the structural node.
+				e, err := s.Elem(l.Elem)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ids := s.EqAttr("id", e.Attr("id"))
+				if len(ids) == 0 {
+					b.Fatal("lost element")
+				}
+				if _, ok, err := s.StructOf(ids[0], datagen.ColAuthor); err != nil || !ok {
+					b.Fatal(ok, err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationJoinKind compares the primitives directly: the structural
+// join of orders with order lines versus the equivalent ID/IDREF value join
+// on the shallow store (the paper's central cost asymmetry).
+func BenchmarkAblationJoinKind(b *testing.B) {
+	tp, _ := benchStores(b)
+	b.Run("Structural", func(b *testing.B) {
+		s := tp.MCT
+		orders, _ := s.ScanTag(datagen.ColCustomer, "order")
+		lines, _ := s.ScanTag(datagen.ColCustomer, "orderline")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if got := join.Structural(orders, lines, join.ParentChild); len(got) == 0 {
+				b.Fatal("no pairs")
+			}
+		}
+	})
+	b.Run("Value", func(b *testing.B) {
+		s := tp.Shallow
+		orders, _ := s.ScanTag(datagen.ColDoc, "order")
+		lines, _ := s.ScanTag(datagen.ColDoc, "orderline")
+		key := func(name string) join.KeyFunc {
+			return func(sn storage.SNode) (string, error) {
+				e, err := s.Elem(sn.Elem)
+				if err != nil {
+					return "", err
+				}
+				return e.Attr(name), nil
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			got, err := join.HashValue(orders, lines, key("id"), key("orderIdRef"))
+			if err != nil || len(got) == 0 {
+				b.Fatal(len(got), err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationPlanOrder compares the two plan shapes of Section 6.2 for
+// a query with a color transition: evaluate the single-color query first and
+// cross late (small crossing input) versus crossing every candidate early.
+func BenchmarkAblationPlanOrder(b *testing.B) {
+	tp, _ := benchStores(b)
+	s := tp.MCT
+	late := func() engine.Op {
+		// Filter in billing first (selective), then cross the few survivors.
+		addrs := &engine.ExistsJoin{
+			Input:    &engine.ScanTag{Color: datagen.ColBilling, Tag: "address"},
+			Probe:    &engine.EqContent{Color: datagen.ColBilling, Tag: "country", Value: "Japan"},
+			Col:      0,
+			ProbeCol: 0,
+			Axis:     join.ParentChild,
+		}
+		orders := &engine.StructJoin{Anc: addrs, Desc: &engine.ScanTag{Color: datagen.ColBilling, Tag: "order"},
+			AncCol: 0, DescCol: 0, Axis: join.ParentChild}
+		return &engine.CrossColor{Input: orders, Col: 1, To: datagen.ColDate}
+	}
+	early := func() engine.Op {
+		// Cross EVERY order into the date tree, then filter by billing.
+		orders := &engine.ScanTag{Color: datagen.ColBilling, Tag: "order"}
+		crossed := &engine.CrossColor{Input: orders, Col: 0, To: datagen.ColDate}
+		addrs := &engine.ExistsJoin{
+			Input:    &engine.ScanTag{Color: datagen.ColBilling, Tag: "address"},
+			Probe:    &engine.EqContent{Color: datagen.ColBilling, Tag: "country", Value: "Japan"},
+			Col:      0,
+			ProbeCol: 0,
+			Axis:     join.ParentChild,
+		}
+		return &engine.ExistsJoin{Input: crossed, Probe: addrs, Col: 0, ProbeCol: 0,
+			Axis: join.ParentChild, InputIsDesc: true}
+	}
+	for name, mk := range map[string]func() engine.Op{"CrossLate": late, "CrossEarly": early} {
+		mk := mk
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := engine.Exec(s, mk()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEncoding compares interval-encoded ancestry (the stored
+// (start, end) containment test via a structural join) against chasing
+// parent pointers through the start index for the same ancestor check.
+func BenchmarkAblationEncoding(b *testing.B) {
+	tp, _ := benchStores(b)
+	s := tp.MCT
+	custs, _ := s.ScanTag(datagen.ColCustomer, "customer")
+	lines, _ := s.ScanTag(datagen.ColCustomer, "orderline")
+	b.Run("IntervalJoin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := join.Structural(custs, lines, join.AncestorDescendant); len(got) == 0 {
+				b.Fatal("no pairs")
+			}
+		}
+	})
+	b.Run("PointerChase", func(b *testing.B) {
+		isCust := make(map[int64]bool, len(custs))
+		for _, c := range custs {
+			isCust[c.Start] = true
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			matches := 0
+			for _, l := range lines {
+				cur := l
+				for {
+					p, ok, err := s.ParentOf(cur)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !ok {
+						break
+					}
+					if isCust[p.Start] {
+						matches++
+						break
+					}
+					cur = p
+				}
+			}
+			if matches == 0 {
+				b.Fatal("no matches")
+			}
+		}
+	})
+}

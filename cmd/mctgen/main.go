@@ -1,0 +1,66 @@
+// Command mctgen generates the experiment datasets as exchange XML files:
+// the TPC-W or SIGMOD-Record entity pool in the MCT, shallow and deep
+// representations.
+//
+// Usage:
+//
+//	mctgen -dataset tpcw|sigmod [-scale N] [-seed N] [-out DIR] [-variant mct|shallow|deep|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"colorfulxml/internal/core"
+	"colorfulxml/internal/datagen"
+	"colorfulxml/internal/serialize"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "tpcw", "dataset: tpcw or sigmod")
+		scale   = flag.Int("scale", 1, "scale factor")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("out", ".", "output directory")
+		variant = flag.String("variant", "all", "mct, shallow, deep or all")
+	)
+	flag.Parse()
+
+	var ds *datagen.Dataset
+	var err error
+	switch *dataset {
+	case "tpcw":
+		ds, err = datagen.TPCW(datagen.TPCWConfig{Scale: *scale, Seed: *seed})
+	case "sigmod":
+		ds, err = datagen.Sigmod(datagen.SigmodConfig{Scale: *scale, Seed: *seed})
+	default:
+		err = fmt.Errorf("unknown dataset %q", *dataset)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mctgen:", err)
+		os.Exit(1)
+	}
+
+	dbs := map[string]*core.Database{
+		"mct": ds.MCT, "shallow": ds.Shallow, "deep": ds.Deep,
+	}
+	for name, db := range dbs {
+		if *variant != "all" && *variant != name {
+			continue
+		}
+		xml, err := serialize.SerializeString(db, nil, true)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mctgen:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*out, fmt.Sprintf("%s-%s.xml", *dataset, name))
+		if err := os.WriteFile(path, []byte(xml), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "mctgen:", err)
+			os.Exit(1)
+		}
+		st := db.ComputeStats()
+		fmt.Printf("wrote %s (%d elements, %d structural nodes)\n", path, st.Elements, st.StructuralNodes)
+	}
+}

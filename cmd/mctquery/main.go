@@ -1,0 +1,75 @@
+// Command mctquery loads an MCT database from exchange XML and evaluates
+// MCXQuery expressions (or update expressions with -update) against it.
+//
+// Usage:
+//
+//	mctquery -db FILE [-update] 'query text'
+//	mctquery -db FILE            # reads the query from stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"colorfulxml/colorful"
+)
+
+func main() {
+	var (
+		dbPath = flag.String("db", "", "exchange-XML database file (from mctgen or MarshalXML)")
+		isUpd  = flag.Bool("update", false, "treat the input as an update expression")
+	)
+	flag.Parse()
+	if *dbPath == "" {
+		fmt.Fprintln(os.Stderr, "mctquery: -db is required")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*dbPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mctquery:", err)
+		os.Exit(1)
+	}
+	db, err := colorful.UnmarshalXML(string(data))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mctquery: parse database:", err)
+		os.Exit(1)
+	}
+
+	var src string
+	if flag.NArg() > 0 {
+		src = strings.Join(flag.Args(), " ")
+	} else {
+		in, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mctquery:", err)
+			os.Exit(1)
+		}
+		src = string(in)
+	}
+
+	if *isUpd {
+		res, err := db.Update(src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mctquery:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("updated %d node(s) across %d binding tuple(s)\n", res.NodesTouched, res.Tuples)
+		return
+	}
+	out, err := db.Query(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mctquery:", err)
+		os.Exit(1)
+	}
+	for i, it := range out {
+		if it.Node != nil {
+			fmt.Printf("%3d. %s [%s] %q\n", i+1, it.Node.Name(), colorful.Label(it.Node), it.Value)
+		} else {
+			fmt.Printf("%3d. %q\n", i+1, it.Value)
+		}
+	}
+	fmt.Printf("%d item(s)\n", len(out))
+}

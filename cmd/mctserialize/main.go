@@ -1,0 +1,40 @@
+// Command mctserialize runs the optSerialize algorithm (paper Section 5)
+// over the built-in Figure 8 movie schema — or prints the optimal plan for
+// a named built-in schema — showing, for every element type, the cost of
+// each primary-color choice and the chosen optimum.
+//
+// Usage:
+//
+//	mctserialize [-schema figure8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"colorfulxml/internal/schema"
+	"colorfulxml/internal/serialize"
+)
+
+func main() {
+	name := flag.String("schema", "figure8", "built-in schema name (figure8)")
+	flag.Parse()
+
+	var s *schema.Schema
+	switch *name {
+	case "figure8":
+		s = schema.Figure8()
+	default:
+		fmt.Fprintf(os.Stderr, "mctserialize: unknown schema %q\n", *name)
+		os.Exit(2)
+	}
+	plan, err := serialize.OptSerialize(s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mctserialize:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("optSerialize plan for schema %q\n", *name)
+	fmt.Printf("(per element type: chosen primary color, then each real color with its expected cost)\n\n")
+	fmt.Print(plan.String())
+}

@@ -1,0 +1,193 @@
+// Package colorful is the public API of the multi-colored trees (MCT)
+// system: an embeddable XML database in which nodes may participate in
+// several hierarchies ("colors") at once, queried with MCXQuery — XQuery
+// with color-annotated path steps — and exchanged as plain XML via the
+// optimal serialization of the SIGMOD 2004 paper "Colorful XML: One
+// Hierarchy Isn't Enough".
+//
+// Quick start:
+//
+//	db := colorful.New("red", "green")
+//	genres, _ := db.AddElement(db.Document(), "movie-genres", "red")
+//	comedy, _ := db.AddElementText(genres, "movie-genre", "red", "")
+//	...
+//	res, err := db.Query(`
+//	  for $m in document("db")/{red}descendant::movie[contains({red}child::name, "Eve")]
+//	  return createColor(black, <m-name>{ $m/{red}child::name }</m-name>)`)
+//
+// The facade wraps the internal packages: internal/core (data model),
+// internal/mcxquery (query language), internal/update (update language) and
+// internal/serialize (XML exchange).
+package colorful
+
+import (
+	"fmt"
+	"io"
+
+	"colorfulxml/internal/core"
+	"colorfulxml/internal/mcxquery"
+	"colorfulxml/internal/pathexpr"
+	"colorfulxml/internal/serialize"
+	"colorfulxml/internal/update"
+	"colorfulxml/internal/xmlenc"
+)
+
+// Re-exported model types. A Node belongs to one or more colored trees; its
+// content and attributes are stored once.
+type (
+	// Color names one hierarchy of the database.
+	Color = core.Color
+	// Node is an MCT node (element, text, attribute, ...).
+	Node = core.Node
+	// NodeID is a node's stable identity.
+	NodeID = core.NodeID
+)
+
+// DB is an MCT database with attached query and update processors.
+type DB struct {
+	*core.Database
+	ev *mcxquery.Evaluator
+	ex *update.Executor
+}
+
+// New creates an empty database with the given colors. Colors can also be
+// added later with AddDatabaseColor, and createColor registers result colors
+// automatically.
+func New(colors ...Color) *DB {
+	return wrap(core.NewDatabase(colors...))
+}
+
+func wrap(db *core.Database) *DB {
+	return &DB{
+		Database: db,
+		ev:       mcxquery.NewEvaluator(db),
+		ex:       update.NewExecutor(db),
+	}
+}
+
+// Item is one result item: either a node (with the color it was selected
+// under) or an atomic value.
+type Item struct {
+	Node  *Node
+	Color Color
+	Value string
+}
+
+// Query parses and evaluates an MCXQuery expression. Constructor results
+// mutate the database (new nodes, new colors), per the paper's semantics.
+func (d *DB) Query(src string) ([]Item, error) {
+	seq, err := d.ev.Query(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Item, len(seq))
+	for i, it := range seq {
+		out[i] = Item{Node: it.Node, Color: it.Color, Value: pathexpr.ItemString(it)}
+	}
+	return out, nil
+}
+
+// Path evaluates a single colored path expression with optional variable
+// bindings of nodes.
+func (d *DB) Path(src string, vars map[string]*Node) ([]Item, error) {
+	e, err := pathexpr.ParseString(src)
+	if err != nil {
+		return nil, err
+	}
+	env := &pathexpr.Env{DB: d.Database, Ext: d.ev.ExtEval()}
+	if len(vars) > 0 {
+		env.Vars = map[string]pathexpr.Sequence{}
+		for k, n := range vars {
+			colors := n.Colors()
+			var c Color
+			if len(colors) > 0 {
+				c = colors[0]
+			}
+			env.Vars[k] = pathexpr.Sequence{pathexpr.NodeItem(n, c)}
+		}
+	}
+	seq, err := pathexpr.Eval(env, e)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Item, len(seq))
+	for i, it := range seq {
+		out[i] = Item{Node: it.Node, Color: it.Color, Value: pathexpr.ItemString(it)}
+	}
+	return out, nil
+}
+
+// UpdateResult reports how many binding tuples matched and how many nodes an
+// update touched.
+type UpdateResult struct {
+	Tuples       int
+	NodesTouched int
+}
+
+// Update parses and applies an MCT update expression
+// (for/where/update{insert,delete,replace,rename}).
+func (d *DB) Update(src string) (UpdateResult, error) {
+	res, err := d.ex.Apply(src)
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	return UpdateResult{Tuples: res.Tuples, NodesTouched: res.NodesTouched}, nil
+}
+
+// WriteXML serializes the database as exchange XML (the paper's Section 5
+// format); every element nests in its first (sorted-lowest) color. For
+// cost-optimal nesting use internal/serialize.OptSerialize with a schema.
+func (d *DB) WriteXML(w io.Writer, indent bool) error {
+	doc, err := serialize.Serialize(d.Database, nil)
+	if err != nil {
+		return err
+	}
+	opt := xmlenc.WriteOptions{Declaration: true}
+	if indent {
+		opt.Indent = "  "
+	}
+	return xmlenc.Write(w, doc, opt)
+}
+
+// XMLString is WriteXML to a string.
+func (d *DB) XMLString(indent bool) (string, error) {
+	doc, err := serialize.Serialize(d.Database, nil)
+	if err != nil {
+		return "", err
+	}
+	opt := xmlenc.WriteOptions{Declaration: true}
+	if indent {
+		opt.Indent = "  "
+	}
+	return xmlenc.String(doc, opt), nil
+}
+
+// UnmarshalXML reconstructs a database from exchange XML produced by
+// WriteXML.
+func UnmarshalXML(src string) (*DB, error) {
+	db, err := serialize.DeserializeString(src)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(db), nil
+}
+
+// Isomorphic reports whether two databases are structurally identical per
+// color (ignoring node identities); the mismatch description is empty when
+// they are.
+func Isomorphic(a, b *DB) (bool, string) {
+	return serialize.Isomorphic(a.Database, b.Database)
+}
+
+// Label renders a node's paper-style identifier label (color initials plus
+// node number, e.g. "RG012").
+func Label(n *Node) string { return n.Label() }
+
+// MustQuery is Query for examples and tests; it panics on error.
+func (d *DB) MustQuery(src string) []Item {
+	out, err := d.Query(src)
+	if err != nil {
+		panic(fmt.Sprintf("colorful: query failed: %v", err))
+	}
+	return out
+}

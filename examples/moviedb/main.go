@@ -1,0 +1,142 @@
+// The moviedb example demonstrates the update language and the exchange
+// serialization on the movie database: it fixes the paper's motivating
+// update anomaly (adding a birthDate to an actor stored once, not per
+// movie), adopts a late-nominated movie into the award hierarchy through an
+// update, and round-trips the whole multi-colored database through plain
+// XML.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"colorfulxml/colorful"
+)
+
+func main() {
+	db := build()
+
+	// --- The update-anomaly fix (paper Section 1) -----------------------
+	// In a deep single-hierarchy design, actor data is replicated per movie
+	// and adding a birthDate means touching every copy. In MCT the actor is
+	// stored once:
+	res, err := db.Update(`
+for $a in document("mdb")/{blue}descendant::actor[{blue}child::name = "Bette Davis"]
+update $a { insert <birthDate>1908-04-05</birthDate> }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("insert birthDate: touched %d node(s) (one actor, stored once)\n", res.NodesTouched)
+
+	// --- Cross-hierarchy adoption through an update ----------------------
+	// Duck Soup gets a retrospective nomination: insert the EXISTING red
+	// movie node under the 1959 award year. Update operations implicitly
+	// apply the next-color constructor.
+	res, err = db.Update(`
+for $y in document("mdb")/{green}descendant::year[{green}child::name = "1959"],
+    $m in document("mdb")/{red}descendant::movie[{red}child::name = "Duck Soup"]
+update $y { insert $m }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	duck := db.MustQuery(`document("mdb")/{green}descendant::movie[{red}child::name = "Duck Soup"]`)
+	fmt.Printf("adopted Duck Soup into the award hierarchy: now %s (red+green)\n",
+		colorful.Label(duck[0].Node))
+
+	// --- Content update ---------------------------------------------------
+	res, err = db.Update(`
+for $m in document("mdb")/{green}descendant::movie,
+    $v in $m/{green}child::votes
+where $v < 12
+update $m { replace $v with "12" }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vote correction: %d node(s) updated\n", res.NodesTouched)
+
+	// --- Exchange round trip ----------------------------------------------
+	xml, err := db.XMLString(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nserialized database: %d bytes of plain XML; excerpt:\n", len(xml))
+	excerpt := xml
+	if len(excerpt) > 600 {
+		excerpt = excerpt[:600] + "\n  ..."
+	}
+	fmt.Println(excerpt)
+
+	back, err := colorful.UnmarshalXML(xml)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ok, why := colorful.Isomorphic(db, back); !ok {
+		log.Fatalf("round trip lost information: %s", why)
+	}
+	fmt.Println("\nreconstructed database is isomorphic to the original — all hierarchies intact")
+
+	// Prove it by querying the RECONSTRUCTED database across hierarchies.
+	out, err := back.Query(`
+for $a in document("mdb")/{green}descendant::movie[{green}child::votes >= 12]/
+        {red}child::movie-role/{blue}parent::actor
+return createColor(report, <actor> { createCopy($a/{blue}child::name) } </actor>)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("actors of well-voted movies (queried on the reconstruction):")
+	for _, it := range out {
+		fmt.Printf("  %s\n", it.Value)
+	}
+}
+
+func build() *colorful.DB {
+	db := colorful.New("red", "green", "blue")
+	doc := db.Document()
+	must := func(n *colorful.Node, err error) *colorful.Node {
+		if err != nil {
+			log.Fatal(err)
+		}
+		return n
+	}
+	check := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	genres := must(db.AddElement(doc, "movie-genres", "red"))
+	comedy := must(db.AddElement(genres, "movie-genre", "red"))
+	must(db.AddElementText(comedy, "name", "red", "Comedy"))
+	awards := must(db.AddElement(doc, "movie-awards", "green"))
+	oscar := must(db.AddElement(awards, "movie-award", "green"))
+	must(db.AddElementText(oscar, "name", "green", "Oscar Best Movie"))
+	y1950 := must(db.AddElement(oscar, "year", "green"))
+	must(db.AddElementText(y1950, "name", "green", "1950"))
+	y1959 := must(db.AddElement(oscar, "year", "green"))
+	must(db.AddElementText(y1959, "name", "green", "1959"))
+	actors := must(db.AddElement(doc, "actors", "blue"))
+	bette := must(db.AddElement(actors, "actor", "blue"))
+	must(db.AddElementText(bette, "name", "blue", "Bette Davis"))
+	marilyn := must(db.AddElement(actors, "actor", "blue"))
+	must(db.AddElementText(marilyn, "name", "blue", "Marilyn Monroe"))
+	groucho := must(db.AddElement(actors, "actor", "blue"))
+	must(db.AddElementText(groucho, "name", "blue", "Groucho Marx"))
+
+	add := func(title string, year *colorful.Node, votes string, actor *colorful.Node, role string) {
+		m := must(db.AddElement(comedy, "movie", "red"))
+		must(db.AddElementText(m, "name", "red", title))
+		if year != nil {
+			check(db.Adopt(year, m, "green"))
+			must(db.AddElementText(m, "votes", "green", votes))
+		}
+		r := must(db.AddElement(m, "movie-role", "red"))
+		must(db.AddElementText(r, "name", "red", role))
+		check(db.Adopt(actor, r, "blue"))
+	}
+	add("All About Eve", y1950, "14", bette, "Margo Channing")
+	add("Some Like It Hot", y1959, "11", marilyn, "Sugar")
+	add("Duck Soup", nil, "", groucho, "Rufus T. Firefly")
+	if err := db.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	return db
+}

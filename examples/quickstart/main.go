@@ -1,0 +1,160 @@
+// The quickstart example builds the paper's Figure 2 movie database through
+// the public API and runs the five example queries of Figure 1 (Q1–Q5),
+// printing their results. It is the "hello world" of multi-colored trees:
+// one set of movie nodes, three hierarchies (genres, awards, actors).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"colorfulxml/colorful"
+)
+
+func main() {
+	db := buildMovieDB()
+
+	run := func(label, desc, query string) {
+		fmt.Printf("\n%s — %s\n", label, desc)
+		out, err := db.Query(query)
+		if err != nil {
+			log.Fatalf("%s failed: %v", label, err)
+		}
+		for _, it := range out {
+			if it.Node != nil {
+				fmt.Printf("  %s [%s] = %q\n", it.Node.Name(), colorful.Label(it.Node), it.Value)
+			} else {
+				fmt.Printf("  %q\n", it.Value)
+			}
+		}
+	}
+
+	// Q1: Return names of comedy movies whose title contains the word Eve.
+	run("Q1", "comedy movies titled *Eve*", `
+for $m in document("mdb.xml")/{red}descendant::movie-genre[{red}child::name = "Comedy"]/
+        {red}descendant::movie[contains({red}child::name, "Eve")]
+return createColor(black, <m-name> { $m/{red}child::name } </m-name>)`)
+
+	// Q2: ... that were nominated for an Oscar. Two hierarchies, joined on
+	// node identity ($m = $n) rather than by values.
+	run("Q2", "Oscar-nominated comedies titled *Eve*", `
+for $m in document("mdb.xml")/{red}descendant::movie-genre[{red}child::name = "Comedy"]/
+        {red}descendant::movie[contains({red}child::name, "Eve")],
+    $n in document("mdb.xml")/{green}descendant::movie-award
+        [contains({green}child::name, "Oscar")]/{green}descendant::movie
+where $m = $n
+return createColor(black, <m-name2> { createCopy($m/{red}child::name) } </m-name2>)`)
+
+	// Q3: Oscar-nominated comedies in which Bette Davis acted: the shared
+	// movie-role node links the red (movie) and blue (actor) hierarchies.
+	run("Q3", "Oscar comedies with Bette Davis", `
+for $m in document("mdb.xml")/{green}descendant::movie-award
+        [contains({green}child::name, "Oscar")]/{green}descendant::movie,
+    $r in document("mdb.xml")/{red}descendant::movie-genre[{red}child::name = "Comedy"]/
+        {red}descendant::movie[. = $m]/{red}child::movie-role,
+    $s in document("mdb.xml")/{blue}descendant::actor
+        [{blue}child::name = "Bette Davis"]/{blue}child::movie-role
+where $r = $s
+return createColor(black, <m-name3> { createCopy($m/{red}child::name) } </m-name3>)`)
+
+	// Q4: actors in Oscar-nominated movies with more than 10 votes — a
+	// single path expression that changes color twice (green > red > blue).
+	run("Q4", "actors in Oscar movies with >10 votes", `
+for $a in document("mdb.xml")/{green}descendant::movie-award
+        [contains({green}child::name, "Oscar")]/{green}descendant::movie
+        [{green}child::votes > 10]/{red}child::movie-role/{blue}parent::actor
+return createColor(black, <a-name> { createCopy($a/{blue}child::name) } </a-name>)`)
+
+	// Q5: restructure — group Oscar-nominated movies by votes into a brand
+	// new (black) hierarchy over the existing movie nodes (paper Figure 7).
+	run("Q5", "movies grouped by votes (new colored tree)", `
+createColor(black, <byvotes> {
+  for $v in distinct-values(document("mdb.xml")/{green}descendant::votes)
+  order by $v
+  return
+    <award-byvotes>
+      { for $m in document("mdb.xml")/{green}descendant::movie[{green}child::votes = $v]
+        return $m }
+      <votes> { $v } </votes>
+    </award-byvotes>
+} </byvotes>)`)
+
+	// The movie nodes now carry a third color (paper: "movie nodes now have
+	// three colors").
+	movies := db.MustQuery(`document("mdb.xml")/{black}descendant::movie`)
+	fmt.Printf("\nAfter Q5, %d movie nodes are black too; the first is %s\n",
+		len(movies), colorful.Label(movies[0].Node))
+
+	if err := db.Validate(); err != nil {
+		log.Fatalf("database invariants violated: %v", err)
+	}
+	fmt.Println("\ndatabase validates: every node is in exactly one rooted tree per color")
+}
+
+// buildMovieDB constructs the Figure 2 database: red genres, green awards,
+// blue actors; movies red+green when nominated; movie-roles red+blue.
+func buildMovieDB() *colorful.DB {
+	db := colorful.New("red", "green", "blue")
+	doc := db.Document()
+	must := func(n *colorful.Node, err error) *colorful.Node {
+		if err != nil {
+			log.Fatal(err)
+		}
+		return n
+	}
+	check := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Red: the genre hierarchy.
+	genres := must(db.AddElement(doc, "movie-genres", "red"))
+	comedy := must(db.AddElement(genres, "movie-genre", "red"))
+	must(db.AddElementText(comedy, "name", "red", "Comedy"))
+	slapstick := must(db.AddElement(comedy, "movie-genre", "red"))
+	must(db.AddElementText(slapstick, "name", "red", "Slapstick"))
+
+	// Green: the Oscar temporal hierarchy.
+	awards := must(db.AddElement(doc, "movie-awards", "green"))
+	oscar := must(db.AddElement(awards, "movie-award", "green"))
+	must(db.AddElementText(oscar, "name", "green", "Oscar Best Movie"))
+	y1950 := must(db.AddElement(oscar, "year", "green"))
+	must(db.AddElementText(y1950, "name", "green", "1950"))
+	y1959 := must(db.AddElement(oscar, "year", "green"))
+	must(db.AddElementText(y1959, "name", "green", "1959"))
+
+	// Blue: actors.
+	actors := must(db.AddElement(doc, "actors", "blue"))
+	bette := must(db.AddElement(actors, "actor", "blue"))
+	must(db.AddElementText(bette, "name", "blue", "Bette Davis"))
+	marilyn := must(db.AddElement(actors, "actor", "blue"))
+	must(db.AddElementText(marilyn, "name", "blue", "Marilyn Monroe"))
+	groucho := must(db.AddElement(actors, "actor", "blue"))
+	must(db.AddElementText(groucho, "name", "blue", "Groucho Marx"))
+
+	// Movies. A nominated movie is adopted into the green hierarchy — the
+	// next-color constructor in action.
+	addMovie := func(genre *colorful.Node, title string, year *colorful.Node, votes string,
+		actor *colorful.Node, role string) {
+		m := must(db.AddElement(genre, "movie", "red"))
+		name := must(db.AddElementText(m, "name", "red", title))
+		if year != nil {
+			check(db.Adopt(year, m, "green"))
+			check(db.Adopt(m, name, "green")) // names carry their parents' colors
+			must(db.AddElementText(m, "votes", "green", votes))
+		}
+		r := must(db.AddElement(m, "movie-role", "red"))
+		rn := must(db.AddElementText(r, "name", "red", role))
+		check(db.Adopt(actor, r, "blue"))
+		check(db.Adopt(r, rn, "blue"))
+	}
+	addMovie(comedy, "All About Eve", y1950, "14", bette, "Margo Channing")
+	addMovie(comedy, "Some Like It Hot", y1959, "11", marilyn, "Sugar")
+	addMovie(slapstick, "Duck Soup", nil, "", groucho, "Rufus T. Firefly")
+
+	if err := db.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	return db
+}

@@ -1,0 +1,3 @@
+module colorfulxml
+
+go 1.22

@@ -1,0 +1,247 @@
+// Package btree implements an in-memory B+-tree keyed by strings, each key
+// holding a postings list of uint64 values. It backs the physical store's
+// indexes: the element tag-name index, the content index and the
+// attribute-value index (paper Section 7: "we constructed an index on
+// element tag name and attribute id ... and on element content and attribute
+// value, where needed").
+//
+// Leaves are linked for ordered and range iteration; keys are unique with
+// multi-value postings, matching the index usage where one tag or value maps
+// to many structural node references.
+package btree
+
+import "sort"
+
+// degree is the maximum number of keys per node.
+const degree = 64
+
+// Tree is a B+-tree from string keys to postings lists of uint64.
+type Tree struct {
+	root   node
+	height int
+	keys   int
+}
+
+type node interface {
+	// insert returns a new right sibling and its first key when the node
+	// splits.
+	insert(key string, val uint64) (node, string)
+	// find returns the postings for a key, or nil.
+	find(key string) []uint64
+	// firstLeafFrom descends to the leaf that may contain key.
+	firstLeafFrom(key string) *leaf
+	firstLeaf() *leaf
+}
+
+type leaf struct {
+	keys []string
+	vals [][]uint64
+	next *leaf
+}
+
+type inner struct {
+	keys     []string // separator keys: child[i] holds keys < keys[i]
+	children []node
+}
+
+// New creates an empty tree.
+func New() *Tree {
+	return &Tree{root: &leaf{}}
+}
+
+// Len returns the number of distinct keys.
+func (t *Tree) Len() int { return t.keys }
+
+// Insert appends val to key's postings (creating the key if absent).
+func (t *Tree) Insert(key string, val uint64) {
+	if t.root.find(key) == nil {
+		t.keys++
+	}
+	right, sep := t.root.insert(key, val)
+	if right != nil {
+		t.root = &inner{keys: []string{sep}, children: []node{t.root, right}}
+		t.height++
+	}
+}
+
+// Get returns the postings for key (shared storage; do not modify), or nil.
+func (t *Tree) Get(key string) []uint64 { return t.root.find(key) }
+
+// Delete removes one occurrence of val from key's postings. It returns true
+// when something was removed.
+func (t *Tree) Delete(key string, val uint64) bool {
+	lf := t.root.firstLeafFrom(key)
+	if lf == nil {
+		return false
+	}
+	i := sort.SearchStrings(lf.keys, key)
+	if i >= len(lf.keys) || lf.keys[i] != key {
+		return false
+	}
+	vals := lf.vals[i]
+	for j, v := range vals {
+		if v == val {
+			lf.vals[i] = append(vals[:j], vals[j+1:]...)
+			if len(lf.vals[i]) == 0 {
+				lf.keys = append(lf.keys[:i], lf.keys[i+1:]...)
+				lf.vals = append(lf.vals[:i], lf.vals[i+1:]...)
+				t.keys--
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// DeleteKey removes a key and all its postings. It returns true when the key
+// existed. (Underflow is tolerated: nodes may become sparse but remain
+// correct; this matches the append-mostly usage of the MCT store.)
+func (t *Tree) DeleteKey(key string) bool {
+	lf := t.root.firstLeafFrom(key)
+	if lf == nil {
+		return false
+	}
+	i := sort.SearchStrings(lf.keys, key)
+	if i >= len(lf.keys) || lf.keys[i] != key {
+		return false
+	}
+	lf.keys = append(lf.keys[:i], lf.keys[i+1:]...)
+	lf.vals = append(lf.vals[:i], lf.vals[i+1:]...)
+	t.keys--
+	return true
+}
+
+// Ascend iterates all (key, postings) pairs in key order; fn returning false
+// stops.
+func (t *Tree) Ascend(fn func(key string, vals []uint64) bool) {
+	for lf := t.root.firstLeaf(); lf != nil; lf = lf.next {
+		for i, k := range lf.keys {
+			if !fn(k, lf.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Range iterates keys in [lo, hi] inclusive; fn returning false stops.
+func (t *Tree) Range(lo, hi string, fn func(key string, vals []uint64) bool) {
+	lf := t.root.firstLeafFrom(lo)
+	for ; lf != nil; lf = lf.next {
+		for i, k := range lf.keys {
+			if k < lo {
+				continue
+			}
+			if k > hi {
+				return
+			}
+			if !fn(k, lf.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Prefix iterates keys with the given prefix in order.
+func (t *Tree) Prefix(prefix string, fn func(key string, vals []uint64) bool) {
+	lf := t.root.firstLeafFrom(prefix)
+	for ; lf != nil; lf = lf.next {
+		for i, k := range lf.keys {
+			if k < prefix {
+				continue
+			}
+			if len(k) < len(prefix) || k[:len(prefix)] != prefix {
+				if k > prefix {
+					return
+				}
+				continue
+			}
+			if !fn(k, lf.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// --- leaf ---------------------------------------------------------------
+
+func (l *leaf) find(key string) []uint64 {
+	i := sort.SearchStrings(l.keys, key)
+	if i < len(l.keys) && l.keys[i] == key {
+		return l.vals[i]
+	}
+	return nil
+}
+
+func (l *leaf) insert(key string, val uint64) (node, string) {
+	i := sort.SearchStrings(l.keys, key)
+	if i < len(l.keys) && l.keys[i] == key {
+		l.vals[i] = append(l.vals[i], val)
+		return nil, ""
+	}
+	l.keys = append(l.keys, "")
+	copy(l.keys[i+1:], l.keys[i:])
+	l.keys[i] = key
+	l.vals = append(l.vals, nil)
+	copy(l.vals[i+1:], l.vals[i:])
+	l.vals[i] = []uint64{val}
+	if len(l.keys) <= degree {
+		return nil, ""
+	}
+	// Split.
+	mid := len(l.keys) / 2
+	right := &leaf{
+		keys: append([]string(nil), l.keys[mid:]...),
+		vals: append([][]uint64(nil), l.vals[mid:]...),
+		next: l.next,
+	}
+	l.keys = l.keys[:mid]
+	l.vals = l.vals[:mid]
+	l.next = right
+	return right, right.keys[0]
+}
+
+func (l *leaf) firstLeafFrom(string) *leaf { return l }
+
+func (l *leaf) firstLeaf() *leaf { return l }
+
+// --- inner ---------------------------------------------------------------
+
+func (in *inner) childFor(key string) int {
+	return sort.SearchStrings(in.keys, key+"\x00")
+}
+
+func (in *inner) find(key string) []uint64 {
+	return in.children[in.childFor(key)].find(key)
+}
+
+func (in *inner) insert(key string, val uint64) (node, string) {
+	i := in.childFor(key)
+	right, sep := in.children[i].insert(key, val)
+	if right == nil {
+		return nil, ""
+	}
+	in.keys = append(in.keys, "")
+	copy(in.keys[i+1:], in.keys[i:])
+	in.keys[i] = sep
+	in.children = append(in.children, nil)
+	copy(in.children[i+2:], in.children[i+1:])
+	in.children[i+1] = right
+	if len(in.keys) <= degree {
+		return nil, ""
+	}
+	mid := len(in.keys) / 2
+	sepUp := in.keys[mid]
+	r := &inner{
+		keys:     append([]string(nil), in.keys[mid+1:]...),
+		children: append([]node(nil), in.children[mid+1:]...),
+	}
+	in.keys = in.keys[:mid]
+	in.children = in.children[:mid+1]
+	return r, sepUp
+}
+
+func (in *inner) firstLeafFrom(key string) *leaf {
+	return in.children[in.childFor(key)].firstLeafFrom(key)
+}
+
+func (in *inner) firstLeaf() *leaf { return in.children[0].firstLeaf() }

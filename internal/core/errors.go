@@ -1,0 +1,32 @@
+package core
+
+import "errors"
+
+// Sentinel errors returned (wrapped) by Database operations. Use errors.Is to
+// test for them.
+var (
+	// ErrUnknownColor: the color is empty or not registered in the database.
+	ErrUnknownColor = errors.New("unknown color")
+	// ErrColorIncompatible: the node does not carry the requested color
+	// (Section 3.2: accessors return the empty sequence in this case; mutators
+	// return this error).
+	ErrColorIncompatible = errors.New("node and color are not compatible")
+	// ErrAlreadyColored: next-color constructor applied to a node that
+	// already has that color.
+	ErrAlreadyColored = errors.New("node already has color")
+	// ErrAlreadyAttached: the node already has a parent in that colored tree;
+	// a node belongs to at most one rooted tree per color (Definition 3.2).
+	ErrAlreadyAttached = errors.New("node already attached in color")
+	// ErrNotAttached: the node has no parent in that colored tree.
+	ErrNotAttached = errors.New("node not attached in color")
+	// ErrCycle: the attachment would create a cycle in a colored tree.
+	ErrCycle = errors.New("attachment would create a cycle")
+	// ErrNotElement: an element-only operation was applied to another kind.
+	ErrNotElement = errors.New("node is not an element")
+	// ErrOwnedNode: the operation is invalid on owned (attribute, namespace,
+	// text) nodes, whose colors mirror their owner element.
+	ErrOwnedNode = errors.New("operation invalid on owned node")
+	// ErrDuplicateInTree: a constructed colored tree would contain the same
+	// node identity at more than one position (Section 4.2 dynamic error).
+	ErrDuplicateInTree = errors.New("node occurs more than once in colored tree")
+)

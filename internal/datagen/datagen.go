@@ -1,0 +1,269 @@
+// Package datagen generates the experiment datasets of the paper's Section
+// 7. The paper used ToXgene to generate TPC-W data in a multi-colored schema
+// of its own design, plus equivalent shallow and deep tree schemas, and a
+// scaled-up SIGMOD-Record dataset treated the same way. This package is the
+// ToXgene substitute: deterministic generators that produce the same entity
+// pool in all three representations, at a configurable scale:
+//
+//	MCT      one multi-colored database (TPC-W: the paper's five single-
+//	         colored hierarchies; SIGMOD-Record: two).
+//	Shallow  a single-colored database in XNF: entities as flat top-level
+//	         collections related by id/idref attributes.
+//	Deep     a single-colored database with one big hierarchy and the
+//	         attendant replication of shared entities (addresses, countries,
+//	         items, authors / editors, topics), which is exactly what causes
+//	         the deep representation's duplicate problems.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"colorfulxml/internal/core"
+)
+
+// Colors of the TPC-W MCT schema (paper Section 7): five hierarchies.
+const (
+	ColCustomer = core.Color("customer")
+	ColBilling  = core.Color("billing")
+	ColShipping = core.Color("shipping")
+	ColDate     = core.Color("date")
+	ColAuthor   = core.Color("author")
+)
+
+// Colors of the SIGMOD-Record MCT schema: two hierarchies.
+const (
+	ColIssueDate = core.Color("date")
+	ColTopic     = core.Color("topic")
+)
+
+// Shallow and deep variants are single-colored.
+const ColDoc = core.Color("doc")
+
+// Dataset bundles the three representations of one generated entity pool.
+type Dataset struct {
+	MCT     *core.Database
+	Shallow *core.Database
+	Deep    *core.Database
+	// Entities retains the generated pool for ground-truth checks in tests.
+	Entities *TPCWEntities
+	Sigmod   *SigmodEntities
+}
+
+// --- TPC-W entity pool -----------------------------------------------------
+
+// Country is a shipping country.
+type Country struct {
+	ID   int
+	Name string
+}
+
+// Address is a postal address; a customer's billing address and an order's
+// shipping address both draw from this pool.
+type Address struct {
+	ID      int
+	Street  string
+	City    string
+	Zip     string
+	Country int // Country.ID
+}
+
+// Customer is a registered shopper.
+type Customer struct {
+	ID       int
+	Uname    string
+	Name     string
+	Email    string
+	Discount int // percent
+	Billing  int // Address.ID
+}
+
+// Author writes items.
+type Author struct {
+	ID   int
+	Name string
+	Bio  string
+}
+
+// Item is a catalogue entry (a book).
+type Item struct {
+	ID      int
+	Title   string
+	Subject string
+	Cost    int // cents
+	Author  int // Author.ID
+}
+
+// Order is a purchase.
+type Order struct {
+	ID       int
+	Customer int // Customer.ID
+	Billing  int // Address.ID
+	Shipping int // Address.ID
+	Date     int // OrderDate.ID
+	Status   string
+	Total    int // cents
+}
+
+// OrderLine is one item position of an order.
+type OrderLine struct {
+	ID       int
+	Order    int // Order.ID
+	Item     int // Item.ID
+	Qty      int
+	Discount int
+}
+
+// OrderDate is one calendar day carrying orders.
+type OrderDate struct {
+	ID    int
+	Year  int
+	Month int
+	Day   int
+}
+
+// TPCWEntities is the full generated pool.
+type TPCWEntities struct {
+	Countries  []Country
+	Addresses  []Address
+	Customers  []Customer
+	Authors    []Author
+	Items      []Item
+	Orders     []Order
+	OrderLines []OrderLine
+	Dates      []OrderDate
+}
+
+// TPCWConfig controls generation.
+type TPCWConfig struct {
+	// Scale multiplies entity cardinalities; Scale 1 yields roughly 15k
+	// elements per representation (the paper's full dataset corresponds to
+	// roughly Scale 100).
+	Scale int
+	Seed  int64
+}
+
+var subjects = []string{
+	"ARTS", "BIOGRAPHIES", "BUSINESS", "CHILDREN", "COMPUTERS", "COOKING",
+	"HEALTH", "HISTORY", "HOME", "HUMOR", "LITERATURE", "MYSTERY",
+	"NON-FICTION", "PARENTING", "POLITICS", "REFERENCE", "RELIGION",
+	"ROMANCE", "SCIENCE", "SELF-HELP", "SPORTS", "TRAVEL", "YOUTH",
+}
+
+var statuses = []string{"PENDING", "PROCESSING", "SHIPPED", "DENIED"}
+
+var countryNames = []string{
+	"United States", "United Kingdom", "Canada", "Germany", "France",
+	"Japan", "Netherlands", "Switzerland", "Australia", "Italy", "Spain",
+	"Brazil", "India", "China", "South Africa", "Mexico", "Ireland",
+	"Sweden", "Norway", "Denmark",
+}
+
+// GenTPCWEntities generates the entity pool.
+func GenTPCWEntities(cfg TPCWConfig) *TPCWEntities {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	e := &TPCWEntities{}
+
+	for i, n := range countryNames {
+		e.Countries = append(e.Countries, Country{ID: i + 1, Name: n})
+	}
+
+	nCust := 200 * cfg.Scale
+	nAddr := 2 * nCust
+	nAuth := 40 * cfg.Scale
+	nItem := 100 * cfg.Scale
+
+	for i := 1; i <= nAddr; i++ {
+		e.Addresses = append(e.Addresses, Address{
+			ID:      i,
+			Street:  fmt.Sprintf("%d %s St", 1+rng.Intn(999), wordAt(rng, streetWords)),
+			City:    wordAt(rng, cityWords),
+			Zip:     fmt.Sprintf("%05d", rng.Intn(100000)),
+			Country: 1 + rng.Intn(len(e.Countries)),
+		})
+	}
+	for i := 1; i <= nCust; i++ {
+		e.Customers = append(e.Customers, Customer{
+			ID:       i,
+			Uname:    fmt.Sprintf("user%06d", i),
+			Name:     fmt.Sprintf("%s %s", wordAt(rng, firstNames), wordAt(rng, lastNames)),
+			Email:    fmt.Sprintf("user%06d@example.com", i),
+			Discount: rng.Intn(30),
+			Billing:  1 + rng.Intn(nAddr),
+		})
+	}
+	for i := 1; i <= nAuth; i++ {
+		e.Authors = append(e.Authors, Author{
+			ID:   i,
+			Name: fmt.Sprintf("%s %s", wordAt(rng, firstNames), wordAt(rng, lastNames)),
+			Bio:  fmt.Sprintf("Author of %d acclaimed works.", 1+rng.Intn(20)),
+		})
+	}
+	for i := 1; i <= nItem; i++ {
+		e.Items = append(e.Items, Item{
+			ID:      i,
+			Title:   fmt.Sprintf("The %s %s", wordAt(rng, titleAdjs), wordAt(rng, titleNouns)),
+			Subject: subjects[rng.Intn(len(subjects))],
+			Cost:    500 + rng.Intn(9500),
+			Author:  1 + rng.Intn(nAuth),
+		})
+	}
+	// Dates: two years of days, sparse.
+	dateID := 0
+	for y := 2003; y <= 2004; y++ {
+		for m := 1; m <= 12; m++ {
+			for d := 1; d <= 28; d += 3 {
+				dateID++
+				e.Dates = append(e.Dates, OrderDate{ID: dateID, Year: y, Month: m, Day: d})
+			}
+		}
+	}
+	// Orders: ~2.5 per customer; order lines: 1-5 per order.
+	oid, olid := 0, 0
+	for _, c := range e.Customers {
+		n := 1 + rng.Intn(4)
+		for k := 0; k < n; k++ {
+			oid++
+			// The first nAddr orders ship round-robin so that every address
+			// is used by some order (the MCT representation only contains
+			// addresses that participate in a hierarchy).
+			shipping := 1 + rng.Intn(nAddr)
+			if oid <= nAddr {
+				shipping = oid
+			}
+			o := Order{
+				ID:       oid,
+				Customer: c.ID,
+				Billing:  c.Billing,
+				Shipping: shipping,
+				Date:     1 + rng.Intn(len(e.Dates)),
+				Status:   statuses[rng.Intn(len(statuses))],
+			}
+			lines := 1 + rng.Intn(5)
+			for l := 0; l < lines; l++ {
+				olid++
+				item := &e.Items[rng.Intn(nItem)]
+				qty := 1 + rng.Intn(9)
+				e.OrderLines = append(e.OrderLines, OrderLine{
+					ID: olid, Order: oid, Item: item.ID, Qty: qty,
+					Discount: rng.Intn(10),
+				})
+				o.Total += item.Cost * qty
+			}
+			e.Orders = append(e.Orders, o)
+		}
+	}
+	return e
+}
+
+func wordAt(rng *rand.Rand, words []string) string { return words[rng.Intn(len(words))] }
+
+var streetWords = []string{"Oak", "Maple", "Cedar", "Elm", "Pine", "Birch", "Walnut", "Chestnut"}
+var cityWords = []string{"Springfield", "Riverton", "Lakewood", "Fairview", "Georgetown", "Arlington", "Ashland", "Dover"}
+var firstNames = []string{"Alice", "Robert", "Carol", "David", "Erin", "Frank", "Grace", "Henry", "Irene", "Jack", "Karen", "Louis", "Maria", "Nathan", "Olivia", "Peter"}
+var lastNames = []string{"Smith", "Johnson", "Lee", "Brown", "Garcia", "Miller", "Davis", "Wilson", "Moore", "Taylor", "Anderson", "Thomas", "Jackson", "White", "Harris", "Martin"}
+var titleAdjs = []string{"Silent", "Hidden", "Last", "First", "Golden", "Broken", "Secret", "Lost", "Final", "Distant", "Burning", "Frozen"}
+var titleNouns = []string{"Garden", "River", "Mountain", "City", "Voyage", "Letter", "Promise", "Shadow", "Harbor", "Bridge", "Forest", "Island"}

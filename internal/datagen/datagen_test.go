@@ -1,0 +1,206 @@
+package datagen_test
+
+import (
+	"sync"
+	"testing"
+
+	"colorfulxml/internal/core"
+	"colorfulxml/internal/datagen"
+	"colorfulxml/internal/storage"
+)
+
+var (
+	dsOnce sync.Once
+	dsTPCW *datagen.Dataset
+	dsErr  error
+)
+
+// getTPCW builds the scale-1 dataset once for the whole test package.
+func getTPCW(t *testing.T) *datagen.Dataset {
+	t.Helper()
+	dsOnce.Do(func() {
+		dsTPCW, dsErr = datagen.TPCW(datagen.TPCWConfig{Scale: 1, Seed: 1})
+	})
+	if dsErr != nil {
+		t.Fatal(dsErr)
+	}
+	return dsTPCW
+}
+
+func TestTPCWDeterministic(t *testing.T) {
+	a := datagen.GenTPCWEntities(datagen.TPCWConfig{Scale: 1, Seed: 42})
+	b := datagen.GenTPCWEntities(datagen.TPCWConfig{Scale: 1, Seed: 42})
+	if len(a.Orders) != len(b.Orders) || len(a.OrderLines) != len(b.OrderLines) {
+		t.Fatal("same seed must give same cardinalities")
+	}
+	for i := range a.Orders {
+		if a.Orders[i] != b.Orders[i] {
+			t.Fatal("orders differ")
+		}
+	}
+	c := datagen.GenTPCWEntities(datagen.TPCWConfig{Scale: 1, Seed: 43})
+	if len(c.Orders) == len(a.Orders) && c.Orders[0] == a.Orders[0] && c.Orders[1] == a.Orders[1] {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestTPCWAllVariantsValidate(t *testing.T) {
+	ds := getTPCW(t)
+	for name, db := range map[string]*core.Database{
+		"mct": ds.MCT, "shallow": ds.Shallow, "deep": ds.Deep,
+	} {
+		if err := db.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", name, err)
+		}
+	}
+}
+
+func TestTPCWShapeMatchesPaper(t *testing.T) {
+	ds := getTPCW(t)
+	mct := ds.MCT.ComputeStats()
+	sh := ds.Shallow.ComputeStats()
+	dp := ds.Deep.ComputeStats()
+	// Paper Table 1: MCT and shallow have the SAME element count; ours
+	// differ only in a handful of section-wrapper elements. Deep has roughly
+	// 2.6x as many elements due to replication.
+	if diff := sh.Elements - mct.Elements; diff < 0 || diff > 8 {
+		t.Fatalf("MCT elements %d vs shallow %d (diff %d beyond wrappers)", mct.Elements, sh.Elements, diff)
+	}
+	ratio := float64(dp.Elements) / float64(sh.Elements)
+	if ratio < 1.5 || ratio > 4.5 {
+		t.Fatalf("deep/shallow element ratio = %.2f, want replication blow-up (paper: ~2.6)", ratio)
+	}
+	// MCT structural nodes exceed its elements (multi-colored nodes).
+	if mct.StructuralNodes <= mct.Elements {
+		t.Fatalf("MCT struct nodes %d should exceed elements %d", mct.StructuralNodes, mct.Elements)
+	}
+	// Orders are 4-colored, orderlines 5-colored.
+	if mct.MultiColored == 0 {
+		t.Fatal("MCT should have multi-colored nodes")
+	}
+}
+
+func TestTPCWMCTHierarchies(t *testing.T) {
+	ds := getTPCW(t)
+	s, err := storage.Load(ds.MCT, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := ds.Entities
+	// Every hierarchy holds every order / orderline.
+	for _, c := range []core.Color{datagen.ColCustomer, datagen.ColBilling, datagen.ColShipping, datagen.ColDate} {
+		if got := s.CountTag(c, "order"); got != len(e.Orders) {
+			t.Fatalf("orders in %s = %d, want %d", c, got, len(e.Orders))
+		}
+		if got := s.CountTag(c, "orderline"); got != len(e.OrderLines) {
+			t.Fatalf("orderlines in %s = %d, want %d", c, got, len(e.OrderLines))
+		}
+	}
+	if got := s.CountTag(datagen.ColAuthor, "orderline"); got != len(e.OrderLines) {
+		t.Fatalf("orderlines in author = %d, want %d", got, len(e.OrderLines))
+	}
+	if got := s.CountTag(datagen.ColAuthor, "item"); got != len(e.Items) {
+		t.Fatalf("items = %d, want %d", got, len(e.Items))
+	}
+	if got := s.CountTag(datagen.ColCustomer, "customer"); got != len(e.Customers) {
+		t.Fatalf("customers = %d, want %d", got, len(e.Customers))
+	}
+}
+
+func TestTPCWDeepReplication(t *testing.T) {
+	ds := getTPCW(t)
+	s, err := storage.Load(ds.Deep, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := ds.Entities
+	// In deep, item elements are replicated once per orderline.
+	if got := s.CountTag(datagen.ColDoc, "item"); got != len(e.OrderLines) {
+		t.Fatalf("deep item copies = %d, want one per orderline %d", got, len(e.OrderLines))
+	}
+	if got := s.CountTag(datagen.ColDoc, "author"); got != len(e.OrderLines) {
+		t.Fatalf("deep author copies = %d, want %d", got, len(e.OrderLines))
+	}
+	// Shipping addresses replicated once per order (plus billing per customer).
+	if got := s.CountTag(datagen.ColDoc, "shippingAddress"); got != len(e.Orders) {
+		t.Fatalf("deep shipping addresses = %d, want %d", got, len(e.Orders))
+	}
+}
+
+func TestSigmodAllVariants(t *testing.T) {
+	ds, err := datagen.Sigmod(datagen.SigmodConfig{Scale: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, db := range map[string]*core.Database{
+		"mct": ds.MCT, "shallow": ds.Shallow, "deep": ds.Deep,
+	} {
+		if err := db.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", name, err)
+		}
+	}
+	e := ds.Sigmod
+	s, err := storage.Load(ds.MCT, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Articles appear in both hierarchies.
+	if got := s.CountTag(datagen.ColIssueDate, "article"); got != len(e.Articles) {
+		t.Fatalf("date-tree articles = %d, want %d", got, len(e.Articles))
+	}
+	if got := s.CountTag(datagen.ColTopic, "article"); got != len(e.Articles) {
+		t.Fatalf("topic-tree articles = %d, want %d", got, len(e.Articles))
+	}
+	// Deep replicates topics and editors per article.
+	sd, err := storage.Load(ds.Deep, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sd.CountTag(datagen.ColDoc, "topic"); got != len(e.Articles) {
+		t.Fatalf("deep topic copies = %d, want %d", got, len(e.Articles))
+	}
+	if got := sd.CountTag(datagen.ColDoc, "editor"); got != len(e.Articles) {
+		t.Fatalf("deep editor copies = %d, want %d", got, len(e.Articles))
+	}
+	// MCT and shallow element counts are close (shallow has no extra copies;
+	// both store each entity once). They differ only by section wrappers.
+	mct := ds.MCT.ComputeStats()
+	sh := ds.Shallow.ComputeStats()
+	if diff := sh.Elements - mct.Elements; diff < 0 || diff > 5 {
+		t.Fatalf("mct %d vs shallow %d elements", mct.Elements, sh.Elements)
+	}
+}
+
+func TestSigmodScaling(t *testing.T) {
+	small := datagen.GenSigmodEntities(datagen.SigmodConfig{Scale: 1, Seed: 5})
+	big := datagen.GenSigmodEntities(datagen.SigmodConfig{Scale: 3, Seed: 5})
+	if len(big.Issues) != 3*len(small.Issues) {
+		t.Fatalf("issues: %d vs %d", len(big.Issues), len(small.Issues))
+	}
+	if len(big.Articles) <= 2*len(small.Articles) {
+		t.Fatalf("articles did not scale: %d vs %d", len(big.Articles), len(small.Articles))
+	}
+}
+
+func TestTPCWOrderColors(t *testing.T) {
+	ds := getTPCW(t)
+	s, err := storage.Load(ds.MCT, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orders, err := s.ScanTag(datagen.ColCustomer, "order")
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors := s.ColorsOf(orders[0].Elem)
+	if len(colors) != 4 {
+		t.Fatalf("order colors = %v, want 4", colors)
+	}
+	lines, err := s.ScanTag(datagen.ColCustomer, "orderline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ColorsOf(lines[0].Elem); len(got) != 5 {
+		t.Fatalf("orderline colors = %v, want 5", got)
+	}
+}

@@ -1,0 +1,395 @@
+package datagen
+
+import (
+	"fmt"
+	"strconv"
+
+	"colorfulxml/internal/core"
+)
+
+// TPCW generates the TPC-W entity pool and materializes it in all three
+// representations.
+func TPCW(cfg TPCWConfig) (*Dataset, error) {
+	e := GenTPCWEntities(cfg)
+	mct, err := BuildTPCWMCT(e)
+	if err != nil {
+		return nil, fmt.Errorf("datagen: mct: %w", err)
+	}
+	shallow, err := BuildTPCWShallow(e)
+	if err != nil {
+		return nil, fmt.Errorf("datagen: shallow: %w", err)
+	}
+	deep, err := BuildTPCWDeep(e)
+	if err != nil {
+		return nil, fmt.Errorf("datagen: deep: %w", err)
+	}
+	return &Dataset{MCT: mct, Shallow: shallow, Deep: deep, Entities: e}, nil
+}
+
+// builder wraps error-threaded construction.
+type builder struct {
+	db  *core.Database
+	err error
+}
+
+func (b *builder) el(parent *core.Node, name string, c core.Color) *core.Node {
+	if b.err != nil {
+		return nil
+	}
+	n, err := b.db.AddElement(parent, name, c)
+	if err != nil {
+		b.err = err
+		return nil
+	}
+	return n
+}
+
+func (b *builder) field(parent *core.Node, name string, c core.Color, text string) *core.Node {
+	if b.err != nil {
+		return nil
+	}
+	n, err := b.db.AddElementText(parent, name, c, text)
+	if err != nil {
+		b.err = err
+	}
+	return n
+}
+
+func (b *builder) attr(n *core.Node, name, value string) {
+	if b.err != nil {
+		return
+	}
+	if _, err := b.db.SetAttribute(n, name, value); err != nil {
+		b.err = err
+	}
+}
+
+// adopt applies the next-color constructor and attaches.
+func (b *builder) adopt(parent, n *core.Node, c core.Color) {
+	if b.err != nil {
+		return
+	}
+	if err := b.db.Adopt(parent, n, c); err != nil {
+		b.err = err
+	}
+}
+
+// adoptFields gives every element-with-text child (a field) the new color
+// too, mirroring the paper's "name children have all the colors of their
+// parents".
+func (b *builder) adoptFields(n *core.Node, fields []*core.Node, c core.Color) {
+	for _, f := range fields {
+		b.adopt(n, f, c)
+	}
+}
+
+// BuildTPCWMCT materializes the five-hierarchy multi-colored representation:
+//
+//	customer--order--orderline        (color "customer")
+//	billing address--order--orderline (color "billing")
+//	shipping address--order--orderline(color "shipping")
+//	date--order--orderline            (color "date")
+//	author--item--orderline           (color "author")
+func BuildTPCWMCT(e *TPCWEntities) (*core.Database, error) {
+	db := core.NewDatabase(ColCustomer, ColBilling, ColShipping, ColDate, ColAuthor)
+	b := &builder{db: db}
+	doc := db.Document()
+
+	// Customer hierarchy.
+	custRoot := b.el(doc, "customers", ColCustomer)
+	custNode := map[int]*core.Node{}
+	for _, c := range e.Customers {
+		n := b.el(custRoot, "customer", ColCustomer)
+		b.attr(n, "id", fmt.Sprintf("C%d", c.ID))
+		b.field(n, "uname", ColCustomer, c.Uname)
+		b.field(n, "name", ColCustomer, c.Name)
+		b.field(n, "email", ColCustomer, c.Email)
+		b.field(n, "discount", ColCustomer, strconv.Itoa(c.Discount))
+		custNode[c.ID] = n
+	}
+
+	// Billing and shipping hierarchies share address nodes: an address gets
+	// the billing color when some order bills to it, the shipping color when
+	// some order ships to it.
+	billRoot := b.el(doc, "billing-addresses", ColBilling)
+	shipRoot := b.el(doc, "shipping-addresses", ColShipping)
+	addrNode := map[int]*core.Node{}
+	addrFields := map[int][]*core.Node{}
+	addrHas := map[int]map[core.Color]bool{}
+	ensureAddr := func(id int, c core.Color, root *core.Node) *core.Node {
+		n, ok := addrNode[id]
+		if !ok {
+			a := e.Addresses[id-1]
+			n = b.el(root, "address", c)
+			b.attr(n, "id", fmt.Sprintf("A%d", a.ID))
+			f1 := b.field(n, "street", c, a.Street)
+			f2 := b.field(n, "city", c, a.City)
+			f3 := b.field(n, "zip", c, a.Zip)
+			f4 := b.field(n, "country", c, e.Countries[a.Country-1].Name)
+			addrNode[id] = n
+			addrFields[id] = []*core.Node{f1, f2, f3, f4}
+			addrHas[id] = map[core.Color]bool{c: true}
+			return n
+		}
+		if !addrHas[id][c] {
+			b.adopt(root, n, c)
+			b.adoptFields(n, addrFields[id], c)
+			addrHas[id][c] = true
+		}
+		return n
+	}
+
+	// Date hierarchy: dates > year > month > day.
+	dateRoot := b.el(doc, "dates", ColDate)
+	yearNode := map[int]*core.Node{}
+	monthNode := map[[2]int]*core.Node{}
+	dayNode := map[int]*core.Node{}
+	for _, d := range e.Dates {
+		y, ok := yearNode[d.Year]
+		if !ok {
+			y = b.el(dateRoot, "year", ColDate)
+			b.field(y, "value", ColDate, strconv.Itoa(d.Year))
+			yearNode[d.Year] = y
+		}
+		mKey := [2]int{d.Year, d.Month}
+		m, ok := monthNode[mKey]
+		if !ok {
+			m = b.el(y, "month", ColDate)
+			b.field(m, "value", ColDate, strconv.Itoa(d.Month))
+			monthNode[mKey] = m
+		}
+		day := b.el(m, "day", ColDate)
+		b.attr(day, "id", fmt.Sprintf("D%d", d.ID))
+		b.field(day, "value", ColDate, strconv.Itoa(d.Day))
+		dayNode[d.ID] = day
+	}
+
+	// Author hierarchy: authors > author > item.
+	authRoot := b.el(doc, "authors", ColAuthor)
+	itemNode := map[int]*core.Node{}
+	authNode := map[int]*core.Node{}
+	for _, a := range e.Authors {
+		n := b.el(authRoot, "author", ColAuthor)
+		b.attr(n, "id", fmt.Sprintf("U%d", a.ID))
+		b.field(n, "name", ColAuthor, a.Name)
+		b.field(n, "bio", ColAuthor, a.Bio)
+		authNode[a.ID] = n
+	}
+	for _, it := range e.Items {
+		n := b.el(authNode[it.Author], "item", ColAuthor)
+		b.attr(n, "id", fmt.Sprintf("I%d", it.ID))
+		b.field(n, "title", ColAuthor, it.Title)
+		b.field(n, "subject", ColAuthor, it.Subject)
+		b.field(n, "cost", ColAuthor, strconv.Itoa(it.Cost))
+		itemNode[it.ID] = n
+	}
+
+	// Orders: first-color customer, then adopted into billing, shipping and
+	// date hierarchies; fields carry all four colors.
+	orderNode := map[int]*core.Node{}
+	for _, o := range e.Orders {
+		n := b.el(custNode[o.Customer], "order", ColCustomer)
+		b.attr(n, "id", fmt.Sprintf("O%d", o.ID))
+		f1 := b.field(n, "status", ColCustomer, o.Status)
+		f2 := b.field(n, "total", ColCustomer, strconv.Itoa(o.Total))
+		fields := []*core.Node{f1, f2}
+		b.adopt(ensureAddr(o.Billing, ColBilling, billRoot), n, ColBilling)
+		b.adoptFields(n, fields, ColBilling)
+		b.adopt(ensureAddr(o.Shipping, ColShipping, shipRoot), n, ColShipping)
+		b.adoptFields(n, fields, ColShipping)
+		b.adopt(dayNode[o.Date], n, ColDate)
+		b.adoptFields(n, fields, ColDate)
+		orderNode[o.ID] = n
+	}
+
+	// Order lines: first-color customer (under their order), adopted into
+	// the other three order hierarchies and under their item in the author
+	// hierarchy; fields carry all five colors.
+	for _, ol := range e.OrderLines {
+		n := b.el(orderNode[ol.Order], "orderline", ColCustomer)
+		b.attr(n, "id", fmt.Sprintf("L%d", ol.ID))
+		f1 := b.field(n, "qty", ColCustomer, strconv.Itoa(ol.Qty))
+		f2 := b.field(n, "olDiscount", ColCustomer, strconv.Itoa(ol.Discount))
+		fields := []*core.Node{f1, f2}
+		for _, c := range []core.Color{ColBilling, ColShipping, ColDate} {
+			b.adopt(orderNode[ol.Order], n, c)
+			b.adoptFields(n, fields, c)
+		}
+		b.adopt(itemNode[ol.Item], n, ColAuthor)
+		b.adoptFields(n, fields, ColAuthor)
+	}
+
+	if b.err != nil {
+		return nil, b.err
+	}
+	return db, nil
+}
+
+// BuildTPCWShallow materializes the single-colored XNF representation: flat
+// entity collections related by id/idref attributes.
+func BuildTPCWShallow(e *TPCWEntities) (*core.Database, error) {
+	db := core.NewDatabase(ColDoc)
+	b := &builder{db: db}
+	doc := db.Document()
+	root := b.el(doc, "tpcw", ColDoc)
+
+	customers := b.el(root, "customers", ColDoc)
+	for _, c := range e.Customers {
+		n := b.el(customers, "customer", ColDoc)
+		b.attr(n, "id", fmt.Sprintf("C%d", c.ID))
+		b.attr(n, "billingIdRef", fmt.Sprintf("A%d", c.Billing))
+		b.field(n, "uname", ColDoc, c.Uname)
+		b.field(n, "name", ColDoc, c.Name)
+		b.field(n, "email", ColDoc, c.Email)
+		b.field(n, "discount", ColDoc, strconv.Itoa(c.Discount))
+	}
+	addresses := b.el(root, "addresses", ColDoc)
+	for _, a := range e.Addresses {
+		n := b.el(addresses, "address", ColDoc)
+		b.attr(n, "id", fmt.Sprintf("A%d", a.ID))
+		b.field(n, "street", ColDoc, a.Street)
+		b.field(n, "city", ColDoc, a.City)
+		b.field(n, "zip", ColDoc, a.Zip)
+		b.field(n, "country", ColDoc, e.Countries[a.Country-1].Name)
+	}
+	authors := b.el(root, "authors", ColDoc)
+	for _, a := range e.Authors {
+		n := b.el(authors, "author", ColDoc)
+		b.attr(n, "id", fmt.Sprintf("U%d", a.ID))
+		b.field(n, "name", ColDoc, a.Name)
+		b.field(n, "bio", ColDoc, a.Bio)
+	}
+	items := b.el(root, "items", ColDoc)
+	for _, it := range e.Items {
+		n := b.el(items, "item", ColDoc)
+		b.attr(n, "id", fmt.Sprintf("I%d", it.ID))
+		b.attr(n, "authorIdRef", fmt.Sprintf("U%d", it.Author))
+		b.field(n, "title", ColDoc, it.Title)
+		b.field(n, "subject", ColDoc, it.Subject)
+		b.field(n, "cost", ColDoc, strconv.Itoa(it.Cost))
+	}
+	// Dates stay a (single-colored) nested dimension, like the MCT date
+	// hierarchy: year > month > day, with day ids referenced by orders. This
+	// is still XNF — a nested hierarchy can be shallow (Definition 3.3).
+	dates := b.el(root, "dates", ColDoc)
+	yearNode := map[int]*core.Node{}
+	monthNode := map[[2]int]*core.Node{}
+	for _, d := range e.Dates {
+		y, ok := yearNode[d.Year]
+		if !ok {
+			y = b.el(dates, "year", ColDoc)
+			b.field(y, "value", ColDoc, strconv.Itoa(d.Year))
+			yearNode[d.Year] = y
+		}
+		mKey := [2]int{d.Year, d.Month}
+		m, ok := monthNode[mKey]
+		if !ok {
+			m = b.el(y, "month", ColDoc)
+			b.field(m, "value", ColDoc, strconv.Itoa(d.Month))
+			monthNode[mKey] = m
+		}
+		day := b.el(m, "day", ColDoc)
+		b.attr(day, "id", fmt.Sprintf("D%d", d.ID))
+		b.field(day, "value", ColDoc, strconv.Itoa(d.Day))
+	}
+	orders := b.el(root, "orders", ColDoc)
+	for _, o := range e.Orders {
+		n := b.el(orders, "order", ColDoc)
+		b.attr(n, "id", fmt.Sprintf("O%d", o.ID))
+		b.attr(n, "customerIdRef", fmt.Sprintf("C%d", o.Customer))
+		b.attr(n, "billingIdRef", fmt.Sprintf("A%d", o.Billing))
+		b.attr(n, "shippingIdRef", fmt.Sprintf("A%d", o.Shipping))
+		b.attr(n, "dateIdRef", fmt.Sprintf("D%d", o.Date))
+		b.field(n, "status", ColDoc, o.Status)
+		b.field(n, "total", ColDoc, strconv.Itoa(o.Total))
+	}
+	orderlines := b.el(root, "orderlines", ColDoc)
+	for _, ol := range e.OrderLines {
+		n := b.el(orderlines, "orderline", ColDoc)
+		b.attr(n, "id", fmt.Sprintf("L%d", ol.ID))
+		b.attr(n, "orderIdRef", fmt.Sprintf("O%d", ol.Order))
+		b.attr(n, "itemIdRef", fmt.Sprintf("I%d", ol.Item))
+		b.field(n, "qty", ColDoc, strconv.Itoa(ol.Qty))
+		b.field(n, "olDiscount", ColDoc, strconv.Itoa(ol.Discount))
+	}
+
+	if b.err != nil {
+		return nil, b.err
+	}
+	return db, nil
+}
+
+// BuildTPCWDeep materializes the deep representation of the paper: customer
+// at the top of the hierarchy, then order, address, country, item, and
+// finally author — with addresses, dates, items and authors REPLICATED under
+// every order/orderline that references them.
+func BuildTPCWDeep(e *TPCWEntities) (*core.Database, error) {
+	db := core.NewDatabase(ColDoc)
+	b := &builder{db: db}
+	doc := db.Document()
+	root := b.el(doc, "tpcw", ColDoc)
+
+	// Pre-group orders and lines.
+	ordersOf := map[int][]Order{}
+	for _, o := range e.Orders {
+		ordersOf[o.Customer] = append(ordersOf[o.Customer], o)
+	}
+	linesOf := map[int][]OrderLine{}
+	for _, ol := range e.OrderLines {
+		linesOf[ol.Order] = append(linesOf[ol.Order], ol)
+	}
+
+	emitAddress := func(parent *core.Node, role string, id int) {
+		a := e.Addresses[id-1]
+		n := b.el(parent, role, ColDoc)
+		b.field(n, "street", ColDoc, a.Street)
+		b.field(n, "city", ColDoc, a.City)
+		b.field(n, "zip", ColDoc, a.Zip)
+		cn := b.el(n, "countryNode", ColDoc)
+		b.field(cn, "country", ColDoc, e.Countries[a.Country-1].Name)
+	}
+
+	for _, c := range e.Customers {
+		cn := b.el(root, "customer", ColDoc)
+		b.attr(cn, "id", fmt.Sprintf("C%d", c.ID))
+		b.field(cn, "uname", ColDoc, c.Uname)
+		b.field(cn, "name", ColDoc, c.Name)
+		b.field(cn, "email", ColDoc, c.Email)
+		b.field(cn, "discount", ColDoc, strconv.Itoa(c.Discount))
+		emitAddress(cn, "billingAddress", c.Billing) // replicated per customer
+		for _, o := range ordersOf[c.ID] {
+			on := b.el(cn, "order", ColDoc)
+			b.attr(on, "id", fmt.Sprintf("O%d", o.ID))
+			b.field(on, "status", ColDoc, o.Status)
+			b.field(on, "total", ColDoc, strconv.Itoa(o.Total))
+			emitAddress(on, "shippingAddress", o.Shipping) // replicated per order
+			d := e.Dates[o.Date-1]
+			dn := b.el(on, "orderDate", ColDoc)
+			b.field(dn, "year", ColDoc, strconv.Itoa(d.Year))
+			b.field(dn, "month", ColDoc, strconv.Itoa(d.Month))
+			b.field(dn, "day", ColDoc, strconv.Itoa(d.Day))
+			for _, ol := range linesOf[o.ID] {
+				ln := b.el(on, "orderline", ColDoc)
+				b.attr(ln, "id", fmt.Sprintf("L%d", ol.ID))
+				b.field(ln, "qty", ColDoc, strconv.Itoa(ol.Qty))
+				b.field(ln, "olDiscount", ColDoc, strconv.Itoa(ol.Discount))
+				it := e.Items[ol.Item-1]
+				in := b.el(ln, "item", ColDoc) // replicated per orderline
+				b.attr(in, "ref", fmt.Sprintf("I%d", it.ID))
+				b.field(in, "title", ColDoc, it.Title)
+				b.field(in, "subject", ColDoc, it.Subject)
+				b.field(in, "cost", ColDoc, strconv.Itoa(it.Cost))
+				au := e.Authors[it.Author-1]
+				an := b.el(in, "author", ColDoc) // replicated per item copy
+				b.attr(an, "ref", fmt.Sprintf("U%d", au.ID))
+				b.field(an, "name", ColDoc, au.Name)
+				b.field(an, "bio", ColDoc, au.Bio)
+			}
+		}
+	}
+
+	if b.err != nil {
+		return nil, b.err
+	}
+	return db, nil
+}

@@ -1,0 +1,199 @@
+// Package engine is the physical query engine over the Timber-style MCT
+// store: a small algebra of composable operators (index scans, content and
+// attribute filters, structural joins, cross-tree color transitions, value
+// joins, duplicate elimination), an executor with per-query operator
+// metrics, and plan rendering.
+//
+// Plans are hand-specified per query and representation, exactly as in the
+// paper's Section 6.2: "For all the experimentation described next, we
+// manually specified the query plan, always choosing the one expected to be
+// the best."
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"colorfulxml/internal/core"
+	"colorfulxml/internal/storage"
+)
+
+// Row is one binding tuple: a fixed number of structural-node columns.
+type Row []storage.SNode
+
+// Metrics counts operator activity during one execution.
+type Metrics struct {
+	StructJoins  int // structural join node comparisons emitted
+	ValueJoins   int // value join probes
+	CrossJoins   int // cross-tree (color transition) link traversals
+	RowsOut      int
+	ContentReads int
+}
+
+// Ctx carries the store and metrics through an execution.
+type Ctx struct {
+	S *storage.Store
+	M Metrics
+}
+
+// Op is a physical operator producing rows.
+type Op interface {
+	Run(ctx *Ctx) ([]Row, error)
+	String() string
+}
+
+// Exec runs a plan and returns its rows plus metrics.
+func Exec(s *storage.Store, plan Op) ([]Row, Metrics, error) {
+	ctx := &Ctx{S: s}
+	rows, err := plan.Run(ctx)
+	if err != nil {
+		return nil, ctx.M, err
+	}
+	ctx.M.RowsOut = len(rows)
+	return rows, ctx.M, nil
+}
+
+// Explain renders a plan tree, one operator per line.
+func Explain(plan Op) string {
+	var b strings.Builder
+	var walk func(op Op, depth int)
+	walk = func(op Op, depth int) {
+		fmt.Fprintf(&b, "%s%s\n", strings.Repeat("  ", depth), op.String())
+		for _, ch := range children(op) {
+			walk(ch, depth+1)
+		}
+	}
+	walk(plan, 0)
+	return b.String()
+}
+
+func children(op Op) []Op {
+	switch x := op.(type) {
+	case *StructJoin:
+		return []Op{x.Anc, x.Desc}
+	case *ValueJoin:
+		return []Op{x.Left, x.Right}
+	case *NLJoin:
+		return []Op{x.Left, x.Right}
+	case *Filter:
+		return []Op{x.Input}
+	case *AttrFilter:
+		return []Op{x.Input}
+	case *CrossColor:
+		return []Op{x.Input}
+	case *Dedup:
+		return []Op{x.Input}
+	case *DedupContent:
+		return []Op{x.Input}
+	case *DedupAttr:
+		return []Op{x.Input}
+	case *Project:
+		return []Op{x.Input}
+	case *SortStart:
+		return []Op{x.Input}
+	case *ExistsJoin:
+		return []Op{x.Input, x.Probe}
+	default:
+		return nil
+	}
+}
+
+// ContentOf fetches the content of one row column, charging a content read.
+func ContentOf(ctx *Ctx, row Row, col int) (string, error) {
+	ctx.M.ContentReads++
+	return ctx.S.ContentOf(row[col].Elem)
+}
+
+// FetchContents materializes the content of a column across rows (the
+// "return" phase of a query).
+func FetchContents(ctx *Ctx, rows []Row, col int) ([]string, error) {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		c, err := ContentOf(ctx, r, col)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// Pred is a content predicate for Filter operators.
+type Pred struct {
+	// Kind: "eq", "ne", "contains", "prefix", "lt", "le", "gt", "ge".
+	Kind string
+	// Value to compare with; numeric kinds atomize both sides.
+	Value string
+	// Numeric forces numeric comparison for lt/le/gt/ge.
+	Numeric bool
+}
+
+func (p Pred) String() string { return fmt.Sprintf("%s %q", p.Kind, p.Value) }
+
+// Eval applies the predicate to a content string.
+func (p Pred) Eval(content string) (bool, error) {
+	switch p.Kind {
+	case "eq":
+		return content == p.Value, nil
+	case "ne":
+		return content != p.Value, nil
+	case "contains":
+		return strings.Contains(content, p.Value), nil
+	case "prefix":
+		return strings.HasPrefix(content, p.Value), nil
+	case "lt", "le", "gt", "ge":
+		if p.Numeric {
+			a, aok := core.Atomize(content).(int64)
+			b, bok := core.Atomize(p.Value).(int64)
+			if !aok || !bok {
+				af, aok2 := toFloat(core.Atomize(content))
+				bf, bok2 := toFloat(core.Atomize(p.Value))
+				if !aok2 || !bok2 {
+					return false, nil
+				}
+				return cmpFloat(p.Kind, af, bf), nil
+			}
+			return cmpFloat(p.Kind, float64(a), float64(b)), nil
+		}
+		return cmpStr(p.Kind, content, p.Value), nil
+	default:
+		return false, fmt.Errorf("engine: unknown predicate kind %q", p.Kind)
+	}
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	default:
+		return 0, false
+	}
+}
+
+func cmpFloat(kind string, a, b float64) bool {
+	switch kind {
+	case "lt":
+		return a < b
+	case "le":
+		return a <= b
+	case "gt":
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+func cmpStr(kind, a, b string) bool {
+	switch kind {
+	case "lt":
+		return a < b
+	case "le":
+		return a <= b
+	case "gt":
+		return a > b
+	default:
+		return a >= b
+	}
+}

@@ -1,0 +1,628 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"colorfulxml/internal/core"
+	"colorfulxml/internal/join"
+	"colorfulxml/internal/storage"
+)
+
+// ScanTag is an index scan: all structural nodes with a tag in one color, as
+// single-column rows in start order.
+type ScanTag struct {
+	Color core.Color
+	Tag   string
+}
+
+// Run implements Op.
+func (o *ScanTag) Run(ctx *Ctx) ([]Row, error) {
+	ns, err := ctx.S.ScanTag(o.Color, o.Tag)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(ns), nil
+}
+
+func (o *ScanTag) String() string { return fmt.Sprintf("ScanTag{%s}%s", o.Color, o.Tag) }
+
+// EqContent is a content-index lookup: nodes of a tag whose content equals a
+// value.
+type EqContent struct {
+	Color core.Color
+	Tag   string
+	Value string
+}
+
+// Run implements Op.
+func (o *EqContent) Run(ctx *Ctx) ([]Row, error) {
+	ns, err := ctx.S.EqContent(o.Color, o.Tag, o.Value)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(ns), nil
+}
+
+func (o *EqContent) String() string {
+	return fmt.Sprintf("EqContent{%s}%s=%q", o.Color, o.Tag, o.Value)
+}
+
+// ContainsScan scans a tag and keeps nodes whose content satisfies the
+// predicate; each candidate costs a content read (no index can serve
+// contains()).
+type ContainsScan struct {
+	Color core.Color
+	Tag   string
+	Pred  Pred
+}
+
+// Run implements Op.
+func (o *ContainsScan) Run(ctx *Ctx) ([]Row, error) {
+	ns, err := ctx.S.ScanTag(o.Color, o.Tag)
+	if err != nil {
+		return nil, err
+	}
+	var out []Row
+	for _, sn := range ns {
+		ctx.M.ContentReads++
+		content, err := ctx.S.ContentOf(sn.Elem)
+		if err != nil {
+			return nil, err
+		}
+		ok, err := o.Pred.Eval(content)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, Row{sn})
+		}
+	}
+	return out, nil
+}
+
+func (o *ContainsScan) String() string {
+	return fmt.Sprintf("ContainsScan{%s}%s[%s]", o.Color, o.Tag, o.Pred)
+}
+
+// AttrEq is an attribute-index lookup producing the matching elements'
+// structural nodes in one color.
+type AttrEq struct {
+	Color core.Color
+	Name  string
+	Value string
+}
+
+// Run implements Op.
+func (o *AttrEq) Run(ctx *Ctx) ([]Row, error) {
+	ids := ctx.S.EqAttr(o.Name, o.Value)
+	var out []Row
+	for _, id := range ids {
+		sn, ok, err := ctx.S.StructOf(id, o.Color)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, Row{sn})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0].Start < out[j][0].Start })
+	return out, nil
+}
+
+func (o *AttrEq) String() string {
+	return fmt.Sprintf("AttrEq{%s}@%s=%q", o.Color, o.Name, o.Value)
+}
+
+// Filter keeps rows whose column's content satisfies the predicate.
+type Filter struct {
+	Input Op
+	Col   int
+	Pred  Pred
+}
+
+// Run implements Op.
+func (o *Filter) Run(ctx *Ctx) ([]Row, error) {
+	rows, err := o.Input.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := rows[:0:0]
+	for _, r := range rows {
+		content, err := ContentOf(ctx, r, o.Col)
+		if err != nil {
+			return nil, err
+		}
+		ok, err := o.Pred.Eval(content)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+func (o *Filter) String() string { return fmt.Sprintf("Filter[col %d %s]", o.Col, o.Pred) }
+
+// AttrFilter keeps rows whose column's attribute satisfies the predicate.
+type AttrFilter struct {
+	Input Op
+	Col   int
+	Name  string
+	Pred  Pred
+}
+
+// Run implements Op.
+func (o *AttrFilter) Run(ctx *Ctx) ([]Row, error) {
+	rows, err := o.Input.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := rows[:0:0]
+	for _, r := range rows {
+		ctx.M.ContentReads++
+		e, err := ctx.S.Elem(r[o.Col].Elem)
+		if err != nil {
+			return nil, err
+		}
+		ok, err := o.Pred.Eval(e.Attr(o.Name))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+func (o *AttrFilter) String() string {
+	return fmt.Sprintf("AttrFilter[col %d @%s %s]", o.Col, o.Name, o.Pred)
+}
+
+// StructJoin joins two subplans with the stack-tree structural join: the
+// AncCol column of Anc rows must be an ancestor (or parent) of the DescCol
+// column of Desc rows. Output rows are anc-row ++ desc-row.
+type StructJoin struct {
+	Anc     Op
+	Desc    Op
+	AncCol  int
+	DescCol int
+	Axis    join.Axis
+}
+
+// Run implements Op.
+func (o *StructJoin) Run(ctx *Ctx) ([]Row, error) {
+	ancRows, err := o.Anc.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	descRows, err := o.Desc.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ancNodes, ancByStart := column(ancRows, o.AncCol)
+	descNodes, descByStart := column(descRows, o.DescCol)
+	pairs := join.Structural(ancNodes, descNodes, o.Axis)
+	ctx.M.StructJoins += len(pairs)
+	out := make([]Row, 0, len(pairs))
+	for _, p := range pairs {
+		for _, ar := range ancByStart[p.Anc.Start] {
+			for _, dr := range descByStart[p.Desc.Start] {
+				out = append(out, concat(ar, dr))
+			}
+		}
+	}
+	return out, nil
+}
+
+func (o *StructJoin) String() string {
+	axis := "ancestor-descendant"
+	if o.Axis == join.ParentChild {
+		axis = "parent-child"
+	}
+	return fmt.Sprintf("StructJoin[%s, anc col %d, desc col %d]", axis, o.AncCol, o.DescCol)
+}
+
+// ExistsJoin is a structural semi-join: keep Input rows whose column has a
+// descendant (or child/ancestor/parent, per Axis and Dir) in Probe's column.
+type ExistsJoin struct {
+	Input    Op
+	Probe    Op
+	Col      int
+	ProbeCol int
+	Axis     join.Axis
+	// InputIsDesc inverts the direction: keep Input rows whose column HAS AN
+	// ANCESTOR in Probe.
+	InputIsDesc bool
+}
+
+// Run implements Op.
+func (o *ExistsJoin) Run(ctx *Ctx) ([]Row, error) {
+	rows, err := o.Input.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	probe, err := o.Probe.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	in, _ := column(rows, o.Col)
+	pr, _ := column(probe, o.ProbeCol)
+	var keep []storage.SNode
+	if o.InputIsDesc {
+		keep = join.SemiDesc(pr, in, o.Axis)
+	} else {
+		keep = join.SemiAnc(in, pr, o.Axis)
+	}
+	ctx.M.StructJoins += len(keep)
+	ok := make(map[int64]bool, len(keep))
+	for _, k := range keep {
+		ok[k.Start] = true
+	}
+	out := rows[:0:0]
+	for _, r := range rows {
+		if ok[r[o.Col].Start] {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+func (o *ExistsJoin) String() string {
+	return fmt.Sprintf("ExistsJoin[col %d, desc=%v]", o.Col, o.InputIsDesc)
+}
+
+// CrossColor is the cross-tree join access method (Section 6.2): for each
+// row, follow the element back-link of column Col to its structural node in
+// color To, appending it as a new column; rows without that color are
+// dropped.
+type CrossColor struct {
+	Input Op
+	Col   int
+	To    core.Color
+}
+
+// Run implements Op.
+func (o *CrossColor) Run(ctx *Ctx) ([]Row, error) {
+	rows, err := o.Input.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := rows[:0:0]
+	for _, r := range rows {
+		ctx.M.CrossJoins++
+		sn, ok, err := ctx.S.CrossTree(r[o.Col].Elem, o.To)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, concat(r, Row{sn}))
+		}
+	}
+	return out, nil
+}
+
+func (o *CrossColor) String() string {
+	return fmt.Sprintf("CrossColor[col %d -> %s]", o.Col, o.To)
+}
+
+// Key identifies the value-join key of a column: an attribute value, a
+// space-separated IDREFS attribute, or element content.
+type Key struct {
+	Attr    string // attribute name; empty means content
+	Content bool
+	Multi   bool // split the value on spaces (IDREFS)
+}
+
+func (k Key) String() string {
+	switch {
+	case k.Content:
+		return "content()"
+	case k.Multi:
+		return "@" + k.Attr + " (idrefs)"
+	default:
+		return "@" + k.Attr
+	}
+}
+
+func (k Key) extract(ctx *Ctx, sn storage.SNode) ([]string, error) {
+	ctx.M.ContentReads++
+	e, err := ctx.S.Elem(sn.Elem)
+	if err != nil {
+		return nil, err
+	}
+	var raw string
+	if k.Content {
+		raw = e.Content
+	} else {
+		raw = e.Attr(k.Attr)
+	}
+	if !k.Multi {
+		if raw == "" {
+			return nil, nil
+		}
+		return []string{raw}, nil
+	}
+	return strings.Fields(raw), nil
+}
+
+// ValueJoin hash-joins two subplans on extracted string keys — the shallow
+// representation's ID/IDREF join. Output rows are left-row ++ right-row.
+type ValueJoin struct {
+	Left     Op
+	Right    Op
+	LeftCol  int
+	RightCol int
+	LeftKey  Key
+	RightKey Key
+}
+
+// Run implements Op.
+func (o *ValueJoin) Run(ctx *Ctx) ([]Row, error) {
+	left, err := o.Left.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	right, err := o.Right.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ht := make(map[string][]Row, len(right))
+	for _, r := range right {
+		keys, err := o.RightKey.extract(ctx, r[o.RightCol])
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range keys {
+			ht[k] = append(ht[k], r)
+		}
+	}
+	var out []Row
+	for _, l := range left {
+		keys, err := o.LeftKey.extract(ctx, l[o.LeftCol])
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range keys {
+			ctx.M.ValueJoins++
+			for _, r := range ht[k] {
+				out = append(out, concat(l, r))
+			}
+		}
+	}
+	return out, nil
+}
+
+func (o *ValueJoin) String() string {
+	return fmt.Sprintf("ValueJoin[%s = %s]", o.LeftKey, o.RightKey)
+}
+
+// NLJoin is the nested-loop join used for inequality predicates on content.
+type NLJoin struct {
+	Left     Op
+	Right    Op
+	LeftCol  int
+	RightCol int
+	// Kind is an inequality predicate kind ("lt", "le", "gt", "ge", "ne").
+	Kind    string
+	Numeric bool
+}
+
+// Run implements Op.
+func (o *NLJoin) Run(ctx *Ctx) ([]Row, error) {
+	left, err := o.Left.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	right, err := o.Right.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Pre-fetch contents once per side (the quadratic part is comparisons).
+	lc := make([]string, len(left))
+	for i, r := range left {
+		lc[i], err = ContentOf(ctx, r, o.LeftCol)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rc := make([]string, len(right))
+	for i, r := range right {
+		rc[i], err = ContentOf(ctx, r, o.RightCol)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out []Row
+	for i, l := range left {
+		p := Pred{Kind: o.Kind, Numeric: o.Numeric}
+		for j, r := range right {
+			ctx.M.ValueJoins++
+			p.Value = rc[j]
+			ok, err := p.Eval(lc[i])
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, concat(l, r))
+			}
+		}
+	}
+	return out, nil
+}
+
+func (o *NLJoin) String() string { return fmt.Sprintf("NLJoin[%s numeric=%v]", o.Kind, o.Numeric) }
+
+// Dedup removes duplicate rows by the element identity of one column — the
+// duplicate elimination the deep representation pays after traversing
+// replicated data.
+type Dedup struct {
+	Input Op
+	Col   int
+}
+
+// Run implements Op.
+func (o *Dedup) Run(ctx *Ctx) ([]Row, error) {
+	rows, err := o.Input.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[storage.ElemID]bool, len(rows))
+	out := rows[:0:0]
+	for _, r := range rows {
+		id := r[o.Col].Elem
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+func (o *Dedup) String() string { return fmt.Sprintf("Dedup[col %d]", o.Col) }
+
+// DedupContent removes duplicate rows by the CONTENT of one column (deep
+// variants often deduplicate by value because replicated copies have
+// distinct element ids).
+type DedupContent struct {
+	Input Op
+	Col   int
+}
+
+// Run implements Op.
+func (o *DedupContent) Run(ctx *Ctx) ([]Row, error) {
+	rows, err := o.Input.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0:0]
+	for _, r := range rows {
+		c, err := ContentOf(ctx, r, o.Col)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+func (o *DedupContent) String() string { return fmt.Sprintf("DedupContent[col %d]", o.Col) }
+
+// DedupAttr removes duplicate rows by an attribute value of one column (deep
+// variants identify logical entities by their ref attribute, since replicated
+// copies have distinct element ids).
+type DedupAttr struct {
+	Input Op
+	Col   int
+	Name  string
+}
+
+// Run implements Op.
+func (o *DedupAttr) Run(ctx *Ctx) ([]Row, error) {
+	rows, err := o.Input.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0:0]
+	for _, r := range rows {
+		ctx.M.ContentReads++
+		e, err := ctx.S.Elem(r[o.Col].Elem)
+		if err != nil {
+			return nil, err
+		}
+		k := e.Attr(o.Name)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+func (o *DedupAttr) String() string { return fmt.Sprintf("DedupAttr[col %d @%s]", o.Col, o.Name) }
+
+// Project keeps a subset of columns.
+type Project struct {
+	Input Op
+	Cols  []int
+}
+
+// Run implements Op.
+func (o *Project) Run(ctx *Ctx) ([]Row, error) {
+	rows, err := o.Input.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Row, len(rows))
+	for i, r := range rows {
+		nr := make(Row, len(o.Cols))
+		for j, c := range o.Cols {
+			nr[j] = r[c]
+		}
+		out[i] = nr
+	}
+	return out, nil
+}
+
+func (o *Project) String() string { return fmt.Sprintf("Project%v", o.Cols) }
+
+// SortStart orders rows by the start position of one column.
+type SortStart struct {
+	Input Op
+	Col   int
+}
+
+// Run implements Op.
+func (o *SortStart) Run(ctx *Ctx) ([]Row, error) {
+	rows, err := o.Input.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		return rows[i][o.Col].Start < rows[j][o.Col].Start
+	})
+	return rows, nil
+}
+
+func (o *SortStart) String() string { return fmt.Sprintf("SortStart[col %d]", o.Col) }
+
+// --- helpers -------------------------------------------------------------
+
+func wrap(ns []storage.SNode) []Row {
+	rows := make([]Row, len(ns))
+	for i, n := range ns {
+		rows[i] = Row{n}
+	}
+	return rows
+}
+
+func concat(a, b Row) Row {
+	out := make(Row, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// column extracts one column as a deduplicated, start-sorted node list plus
+// a start -> rows map for recombination after a node-level join.
+func column(rows []Row, col int) ([]storage.SNode, map[int64][]Row) {
+	byStart := make(map[int64][]Row, len(rows))
+	var nodes []storage.SNode
+	for _, r := range rows {
+		sn := r[col]
+		if _, ok := byStart[sn.Start]; !ok {
+			nodes = append(nodes, sn)
+		}
+		byStart[sn.Start] = append(byStart[sn.Start], r)
+	}
+	join.SortByStart(nodes)
+	return nodes, byStart
+}

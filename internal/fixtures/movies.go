@@ -1,0 +1,145 @@
+// Package fixtures builds small, well-known MCT databases used across the
+// test suites: chiefly the movie database of the paper's Figure 2, with its
+// red movie-genre hierarchy, green Oscar movie-award hierarchy and blue actor
+// hierarchy.
+package fixtures
+
+import (
+	"fmt"
+
+	"colorfulxml/internal/core"
+)
+
+// Colors of the movie database.
+const (
+	Red   = core.Color("red")
+	Green = core.Color("green")
+	Blue  = core.Color("blue")
+)
+
+// MovieDB is the constructed Figure 2 database plus named handles to its
+// interesting nodes.
+type MovieDB struct {
+	DB    *core.Database
+	Nodes map[string]*core.Node
+}
+
+// Node returns a named node, panicking on unknown names (fixture misuse).
+func (m *MovieDB) Node(name string) *core.Node {
+	n, ok := m.Nodes[name]
+	if !ok {
+		panic(fmt.Sprintf("fixtures: unknown node %q", name))
+	}
+	return n
+}
+
+// NewMovieDB builds the Figure 2 movie database:
+//
+//   - red: movie-genres > {Comedy > {Slapstick}, Drama}, movies under their
+//     most-specific genre, each movie with name and movie-role children, each
+//     movie-role with a name;
+//   - green: movie-awards > Oscar > years, with Oscar-nominated movies adopted
+//     under their nomination year and given green votes children;
+//   - blue: actors with names; movie-role nodes adopted under their actor.
+//
+// The movies: "All About Eve" (comedy, Oscar 1950, Bette Davis as Margo
+// Channing, 14 votes), "Some Like It Hot" (comedy, Oscar 1959, Marilyn Monroe
+// as Sugar, 11 votes), "Duck Soup" (slapstick, not nominated, Groucho Marx as
+// Rufus T. Firefly), "12 Angry Men" (drama, Oscar 1957, Henry Fonda as Juror
+// 8, 9 votes).
+func NewMovieDB() *MovieDB {
+	db := core.NewDatabase(Red, Green, Blue)
+	m := &MovieDB{DB: db, Nodes: map[string]*core.Node{}}
+	doc := db.Document()
+
+	must := func(n *core.Node, err error) *core.Node {
+		if err != nil {
+			panic(err)
+		}
+		return n
+	}
+	mustErr := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	el := func(key string, parent *core.Node, name string, c core.Color) *core.Node {
+		n := must(db.AddElement(parent, name, c))
+		m.Nodes[key] = n
+		return n
+	}
+	elText := func(key string, parent *core.Node, name string, c core.Color, text string) *core.Node {
+		n := must(db.AddElementText(parent, name, c, text))
+		m.Nodes[key] = n
+		return n
+	}
+
+	// Red hierarchy: genres.
+	genres := el("genres", doc, "movie-genres", Red)
+	comedy := el("comedy", genres, "movie-genre", Red)
+	elText("comedy-name", comedy, "name", Red, "Comedy")
+	slapstick := el("slapstick", comedy, "movie-genre", Red)
+	elText("slapstick-name", slapstick, "name", Red, "Slapstick")
+	drama := el("drama", genres, "movie-genre", Red)
+	elText("drama-name", drama, "name", Red, "Drama")
+
+	// Green hierarchy: Oscar best-movie awards by year.
+	awards := el("awards", doc, "movie-awards", Green)
+	oscar := el("oscar", awards, "movie-award", Green)
+	elText("oscar-name", oscar, "name", Green, "Oscar Best Movie")
+	y1950 := el("y1950", oscar, "year", Green)
+	elText("y1950-name", y1950, "name", Green, "1950")
+	y1957 := el("y1957", oscar, "year", Green)
+	elText("y1957-name", y1957, "name", Green, "1957")
+	y1959 := el("y1959", oscar, "year", Green)
+	elText("y1959-name", y1959, "name", Green, "1959")
+
+	// Blue hierarchy: actors.
+	actors := el("actors", doc, "actors", Blue)
+	addActor := func(key, name string) *core.Node {
+		a := el(key, actors, "actor", Blue)
+		elText(key+"-name", a, "name", Blue, name)
+		return a
+	}
+	bette := addActor("bette", "Bette Davis")
+	marilyn := addActor("marilyn", "Marilyn Monroe")
+	groucho := addActor("groucho", "Groucho Marx")
+	fonda := addActor("fonda", "Henry Fonda")
+
+	// Movies.
+	type movieSpec struct {
+		key, name string
+		genre     *core.Node
+		award     *core.Node // nil when not nominated
+		votes     string
+		actor     *core.Node
+		roleName  string
+	}
+	specs := []movieSpec{
+		{"eve", "All About Eve", comedy, y1950, "14", bette, "Margo Channing"},
+		{"hot", "Some Like It Hot", comedy, y1959, "11", marilyn, "Sugar"},
+		{"duck", "Duck Soup", slapstick, nil, "", groucho, "Rufus T. Firefly"},
+		{"angry", "12 Angry Men", drama, y1957, "9", fonda, "Juror 8"},
+	}
+	for _, s := range specs {
+		mv := el(s.key, s.genre, "movie", Red)
+		nameEl := elText(s.key+"-name", mv, "name", Red, s.name)
+		if s.award != nil {
+			mustErr(db.Adopt(s.award, mv, Green))
+			// Paper Section 2.1: "the children name nodes of movie nodes
+			// have all the same colors as their parents".
+			mustErr(db.Adopt(mv, nameEl, Green))
+			elText(s.key+"-votes", mv, "votes", Green, s.votes)
+		}
+		role := el(s.key+"-role", mv, "movie-role", Red)
+		roleName := elText(s.key+"-role-name", role, "name", Red, s.roleName)
+		mustErr(db.Adopt(s.actor, role, Blue))
+		// movie-role and its name are red and blue (paper Section 2.2).
+		mustErr(db.Adopt(role, roleName, Blue))
+	}
+
+	if err := db.Validate(); err != nil {
+		panic(fmt.Sprintf("fixtures: movie database invalid: %v", err))
+	}
+	return m
+}

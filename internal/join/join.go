@@ -1,0 +1,230 @@
+// Package join implements the join primitives the paper's evaluation rests
+// on:
+//
+//   - the stack-tree structural join of Al-Khalifa et al. (paper ref [2]),
+//     pairing ancestor/descendant (or parent/child) structural-node lists
+//     sorted by start position in a single merge pass;
+//   - the holistic twig join (TwigStack, paper ref [8]) for path patterns;
+//   - hash-based value joins (the shallow representation's ID/IDREF joins),
+//     including the multi-valued "contains(@idrefs, @id)" variant;
+//   - nested-loop joins for inequality predicates (the paper notes these are
+//     quadratic in data size);
+//   - duplicate elimination (what the deep representation pays for).
+//
+// All algorithms work on storage.SNode lists; inputs to the structural
+// algorithms must be sorted by Start within one color, which storage index
+// scans guarantee.
+package join
+
+import (
+	"sort"
+
+	"colorfulxml/internal/storage"
+)
+
+// Axis selects the structural relationship to join on.
+type Axis uint8
+
+// Structural join axes.
+const (
+	AncestorDescendant Axis = iota
+	ParentChild
+)
+
+// Pair is one structural join result.
+type Pair struct {
+	Anc  storage.SNode
+	Desc storage.SNode
+}
+
+// matches reports whether (a, d) satisfies the axis.
+func matches(a, d storage.SNode, axis Axis) bool {
+	if !a.Contains(d) {
+		return false
+	}
+	if axis == ParentChild {
+		return d.ParentStart == a.Start && d.Level == a.Level+1
+	}
+	return true
+}
+
+// Structural runs the stack-tree structural join: both inputs sorted by
+// Start, same color. It returns all (ancestor, descendant) pairs satisfying
+// the axis, in descendant start order.
+func Structural(anc, desc []storage.SNode, axis Axis) []Pair {
+	var out []Pair
+	var stack []storage.SNode
+	ai, di := 0, 0
+	for ai < len(anc) || di < len(desc) {
+		// Pop ancestors that end before the next node begins.
+		nextStart := int64(0)
+		switch {
+		case ai < len(anc) && di < len(desc):
+			nextStart = min64(anc[ai].Start, desc[di].Start)
+		case ai < len(anc):
+			nextStart = anc[ai].Start
+		default:
+			nextStart = desc[di].Start
+		}
+		for len(stack) > 0 && stack[len(stack)-1].End < nextStart {
+			stack = stack[:len(stack)-1]
+		}
+		if ai < len(anc) && (di >= len(desc) || anc[ai].Start < desc[di].Start) {
+			stack = append(stack, anc[ai])
+			ai++
+			continue
+		}
+		if di < len(desc) {
+			d := desc[di]
+			di++
+			for _, a := range stack {
+				if matches(a, d, axis) {
+					out = append(out, Pair{Anc: a, Desc: d})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SemiDesc returns the descendants (deduplicated, start order) that have at
+// least one ancestor in anc.
+func SemiDesc(anc, desc []storage.SNode, axis Axis) []storage.SNode {
+	pairs := Structural(anc, desc, axis)
+	out := make([]storage.SNode, 0, len(pairs))
+	var lastStart int64 = -1
+	for _, p := range pairs {
+		if p.Desc.Start != lastStart {
+			out = append(out, p.Desc)
+			lastStart = p.Desc.Start
+		}
+	}
+	return out
+}
+
+// SemiAnc returns the ancestors (deduplicated, start order) that have at
+// least one descendant in desc.
+func SemiAnc(anc, desc []storage.SNode, axis Axis) []storage.SNode {
+	pairs := Structural(anc, desc, axis)
+	seen := map[int64]bool{}
+	out := make([]storage.SNode, 0, len(pairs))
+	for _, p := range pairs {
+		if !seen[p.Anc.Start] {
+			seen[p.Anc.Start] = true
+			out = append(out, p.Anc)
+		}
+	}
+	SortByStart(out)
+	return out
+}
+
+// SortByStart sorts structural nodes by start position.
+func SortByStart(ns []storage.SNode) {
+	sort.Slice(ns, func(i, j int) bool { return ns[i].Start < ns[j].Start })
+}
+
+// DedupByElem removes duplicate elements (keeping first occurrence) — the
+// duplicate elimination the deep representation needs after joins over
+// replicated data.
+func DedupByElem(ns []storage.SNode) []storage.SNode {
+	seen := make(map[storage.ElemID]bool, len(ns))
+	out := ns[:0:0]
+	for _, n := range ns {
+		if !seen[n.Elem] {
+			seen[n.Elem] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// KeyFunc extracts a join key from a structural node (typically an attribute
+// or content fetch through the store, so the page cost is real).
+type KeyFunc func(storage.SNode) (string, error)
+
+// KeysFunc extracts multiple join keys (the IDREFS case).
+type KeysFunc func(storage.SNode) ([]string, error)
+
+// HashValue performs a hash join of left and right on string keys. Rows with
+// empty keys do not join. The result order follows left input order.
+func HashValue(left, right []storage.SNode, lkey, rkey KeyFunc) ([]Pair, error) {
+	ht := make(map[string][]storage.SNode, len(right))
+	for _, r := range right {
+		k, err := rkey(r)
+		if err != nil {
+			return nil, err
+		}
+		if k != "" {
+			ht[k] = append(ht[k], r)
+		}
+	}
+	var out []Pair
+	for _, l := range left {
+		k, err := lkey(l)
+		if err != nil {
+			return nil, err
+		}
+		if k == "" {
+			continue
+		}
+		for _, r := range ht[k] {
+			out = append(out, Pair{Anc: l, Desc: r})
+		}
+	}
+	return out, nil
+}
+
+// HashValueMulti joins left (multi-key side, e.g. an IDREFS attribute) with
+// right (single-key side): a pair matches when any of the left keys equals
+// the right key.
+func HashValueMulti(left, right []storage.SNode, lkeys KeysFunc, rkey KeyFunc) ([]Pair, error) {
+	ht := make(map[string][]storage.SNode, len(right))
+	for _, r := range right {
+		k, err := rkey(r)
+		if err != nil {
+			return nil, err
+		}
+		if k != "" {
+			ht[k] = append(ht[k], r)
+		}
+	}
+	var out []Pair
+	for _, l := range left {
+		ks, err := lkeys(l)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range ks {
+			for _, r := range ht[k] {
+				out = append(out, Pair{Anc: l, Desc: r})
+			}
+		}
+	}
+	return out, nil
+}
+
+// NestedLoop joins with an arbitrary predicate — the paper's inequality
+// value joins, "implemented as nested loops, and hence has a quadratic
+// dependence on data set size".
+func NestedLoop(left, right []storage.SNode, pred func(l, r storage.SNode) (bool, error)) ([]Pair, error) {
+	var out []Pair
+	for _, l := range left {
+		for _, r := range right {
+			ok, err := pred(l, r)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, Pair{Anc: l, Desc: r})
+			}
+		}
+	}
+	return out, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,195 @@
+package join
+
+import (
+	"fmt"
+
+	"colorfulxml/internal/storage"
+)
+
+// This file implements the holistic path/twig join substrate (paper ref [8],
+// Bruno, Koudas, Srivastava: "Holistic twig joins"). PathStack evaluates a
+// linear path pattern q1//q2//.../qn over start-sorted streams with one
+// stack per query node, never materializing intermediate binary-join
+// results. Branching twigs are evaluated by decomposing into root-to-leaf
+// paths and intersecting the branch-node matches, each path evaluated
+// holistically.
+
+// PathStep is one node of a linear path pattern: the input stream (sorted by
+// start, single color) and the axis connecting it to its predecessor (the
+// root step's axis is ignored).
+type PathStep struct {
+	Nodes []storage.SNode
+	Axis  Axis
+}
+
+// pathEntry is a stack entry with a pointer into the previous stack.
+type pathEntry struct {
+	node   storage.SNode
+	parent int // index into previous stack at push time (-1 when empty)
+}
+
+// PathStack evaluates the linear path holistically and returns the matches
+// of the step at index out (0-based), deduplicated, in start order.
+func PathStack(steps []PathStep, out int) ([]storage.SNode, error) {
+	n := len(steps)
+	if n == 0 {
+		return nil, fmt.Errorf("join: empty path")
+	}
+	if out < 0 || out >= n {
+		return nil, fmt.Errorf("join: output index %d out of range", out)
+	}
+	pos := make([]int, n)
+	stacks := make([][]pathEntry, n)
+	results := map[int64]storage.SNode{}
+
+	exhausted := func() bool {
+		for i := range steps {
+			if pos[i] < len(steps[i].Nodes) {
+				return false
+			}
+		}
+		return true
+	}
+
+	for !exhausted() {
+		// qmin: stream with the smallest next start.
+		qmin := -1
+		var minStart int64
+		for i := range steps {
+			if pos[i] >= len(steps[i].Nodes) {
+				continue
+			}
+			s := steps[i].Nodes[pos[i]].Start
+			if qmin == -1 || s < minStart {
+				qmin = i
+				minStart = s
+			}
+		}
+		next := steps[qmin].Nodes[pos[qmin]]
+		// Pop entries that cannot be ancestors of anything still to come.
+		for i := range stacks {
+			for len(stacks[i]) > 0 && stacks[i][len(stacks[i])-1].node.End < next.Start {
+				stacks[i] = stacks[i][:len(stacks[i])-1]
+			}
+		}
+		pos[qmin]++
+		// Push only when the previous stack can support a chain.
+		if qmin > 0 && len(stacks[qmin-1]) == 0 {
+			continue
+		}
+		parentIdx := -1
+		if qmin > 0 {
+			parentIdx = len(stacks[qmin-1]) - 1
+		}
+		stacks[qmin] = append(stacks[qmin], pathEntry{node: next, parent: parentIdx})
+		if qmin == n-1 {
+			// A root-to-leaf chain exists (ancestor-descendant semantics);
+			// verify axis constraints and record the output node(s).
+			collectChains(stacks, steps, n-1, len(stacks[n-1])-1, out, results)
+		}
+	}
+	outNodes := make([]storage.SNode, 0, len(results))
+	for _, sn := range results {
+		outNodes = append(outNodes, sn)
+	}
+	SortByStart(outNodes)
+	return outNodes, nil
+}
+
+// collectChains walks all stack chains ending at stacks[level][idx],
+// verifying axis constraints, and records the output-step node of every
+// valid chain.
+func collectChains(stacks [][]pathEntry, steps []PathStep, level, idx, out int, results map[int64]storage.SNode) {
+	chain := make([]storage.SNode, len(steps))
+	var rec func(level, maxIdx int) bool
+	rec = func(level, maxIdx int) bool {
+		if level < 0 {
+			return true
+		}
+		found := false
+		for i := maxIdx; i >= 0; i-- {
+			e := stacks[level][i]
+			if level < len(steps)-1 {
+				// e must relate to chain[level+1] per that step's axis.
+				child := chain[level+1]
+				if !matches(e.node, child, steps[level+1].Axis) {
+					continue
+				}
+			}
+			chain[level] = e.node
+			nextMax := e.parent
+			if level > 0 && nextMax < 0 {
+				nextMax = len(stacks[level-1]) - 1
+			}
+			if rec(level-1, nextMax) {
+				results[chain[out].Start] = chain[out]
+				found = true
+				// Keep scanning: other chains may bind different output
+				// nodes only when out < level; for out == leaf one chain
+				// suffices.
+				if out == len(steps)-1 {
+					return true
+				}
+			}
+		}
+		return found
+	}
+	chain[level] = stacks[level][idx].node
+	if level == 0 {
+		results[chain[out].Start] = chain[out]
+		return
+	}
+	maxIdx := stacks[level][idx].parent
+	if maxIdx < 0 {
+		maxIdx = len(stacks[level-1]) - 1
+	}
+	rec(level-1, maxIdx)
+}
+
+// TwigBranch describes a branching twig: a common prefix path and a set of
+// branch paths hanging off the prefix's last node. Matches of the branch
+// node are returned.
+type TwigBranch struct {
+	Prefix   []PathStep
+	Branches [][]PathStep
+}
+
+// Twig evaluates a branching twig by holistic path evaluation of
+// prefix+branch for every branch and intersecting the branch-node matches.
+func Twig(t TwigBranch) ([]storage.SNode, error) {
+	if len(t.Prefix) == 0 {
+		return nil, fmt.Errorf("join: twig without prefix")
+	}
+	branchIdx := len(t.Prefix) - 1
+	var result []storage.SNode
+	if len(t.Branches) == 0 {
+		return PathStack(t.Prefix, branchIdx)
+	}
+	for bi, br := range t.Branches {
+		full := append(append([]PathStep(nil), t.Prefix...), br...)
+		m, err := PathStack(full, branchIdx)
+		if err != nil {
+			return nil, err
+		}
+		if bi == 0 {
+			result = m
+			continue
+		}
+		result = intersectByStart(result, m)
+	}
+	return result, nil
+}
+
+func intersectByStart(a, b []storage.SNode) []storage.SNode {
+	in := make(map[int64]bool, len(b))
+	for _, n := range b {
+		in[n.Start] = true
+	}
+	out := a[:0:0]
+	for _, n := range a {
+		if in[n.Start] {
+			out = append(out, n)
+		}
+	}
+	return out
+}

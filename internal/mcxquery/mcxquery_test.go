@@ -1,0 +1,459 @@
+package mcxquery_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"colorfulxml/internal/core"
+	"colorfulxml/internal/fixtures"
+	"colorfulxml/internal/mcxquery"
+	"colorfulxml/internal/pathexpr"
+)
+
+func run(t *testing.T, m *fixtures.MovieDB, src string) pathexpr.Sequence {
+	t.Helper()
+	ev := mcxquery.NewEvaluator(m.DB)
+	out, err := ev.Query(src)
+	if err != nil {
+		t.Fatalf("query failed: %v\nquery: %s", err, src)
+	}
+	return out
+}
+
+func itemStrings(seq pathexpr.Sequence) []string {
+	out := make([]string, len(seq))
+	for i, it := range seq {
+		out[i] = pathexpr.ItemString(it)
+	}
+	return out
+}
+
+// TestPaperQ1 runs the paper's Figure 3 query 01 verbatim (modulo dataset).
+func TestPaperQ1(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	q := `
+for $m in document("mdb.xml")/{red}descendant::movie-genre[{red}child::name =
+        "Comedy"]/
+        {red}descendant::movie[contains({red}child::name, "Eve")]
+return createColor(black, <m-name> { $m/{red}child::name } </m-name>)`
+	out := run(t, m, q)
+	if len(out) != 1 {
+		t.Fatalf("Q1 results = %d, want 1", len(out))
+	}
+	res := out[0].Node
+	if res == nil || res.Name() != "m-name" {
+		t.Fatalf("result = %v", out[0])
+	}
+	if !res.HasColor("black") {
+		t.Fatal("result root must be black")
+	}
+	// The enclosed expression retained the identity of the existing name
+	// node: it is now black too, in addition to red.
+	kids := core.Children(res, "black")
+	if len(kids) != 1 || kids[0] != m.Node("eve-name") {
+		t.Fatalf("children = %v, want the original eve-name node", kids)
+	}
+	if !m.Node("eve-name").HasColor("red") || !m.Node("eve-name").HasColor("black") {
+		t.Fatalf("eve-name colors = %v", m.Node("eve-name").Colors())
+	}
+	if err := m.DB.Validate(); err != nil {
+		t.Fatalf("database invalid after Q1: %v", err)
+	}
+}
+
+// TestPaperQ2 is Figure 3 query 02: Oscar-nominated comedies titled *Eve*.
+func TestPaperQ2(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	q := `
+for $m in document("mdb.xml")/{red}descendant::movie-genre[{red}child::name = "Comedy"]/
+        {red}descendant::movie[contains({red}child::name, "Eve")],
+    $n in document("mdb.xml")/{green}descendant::movie-award
+        [contains({green}child::name, "Oscar")]/{green}descendant::movie
+where $m = $n
+return createColor(black, <m-name> { $m/{red}child::name } </m-name>)`
+	out := run(t, m, q)
+	if len(out) != 1 {
+		t.Fatalf("Q2 results = %d, want 1 (All About Eve)", len(out))
+	}
+	sv, _ := core.StringValue(out[0].Node, "black")
+	if sv != "All About Eve" {
+		t.Fatalf("Q2 value = %q", sv)
+	}
+}
+
+// TestPaperQ3 is Figure 3 query 03: Oscar comedies with Bette Davis, joining
+// through the shared movie-role node across red and blue hierarchies.
+func TestPaperQ3(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	q := `
+for $m in document("mdb.xml")/{green}descendant::movie-award
+        [contains({green}child::name, "Oscar")]/{green}descendant::movie,
+    $r in document("mdb.xml")/{red}descendant::movie-genre[{red}child::name = "Comedy"]/
+        {red}descendant::movie[. = $m]/{red}child::movie-role,
+    $s in document("mdb.xml")/{blue}descendant::actor
+        [{blue}child::name = "Bette Davis"]/{blue}child::movie-role
+where $r = $s
+return createColor(black, <m-name> { $m/{red}child::name } </m-name>)`
+	out := run(t, m, q)
+	if len(out) != 1 {
+		t.Fatalf("Q3 results = %d, want 1", len(out))
+	}
+	sv, _ := core.StringValue(out[0].Node, "black")
+	if sv != "All About Eve" {
+		t.Fatalf("Q3 = %q", sv)
+	}
+}
+
+// TestPaperQ4 is Figure 3 query 04: the multi-color single path expression.
+func TestPaperQ4(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	q := `
+for $a in document("mdb.xml")/{green}descendant::movie-award
+        [contains({green}child::name, "Oscar")]/{green}descendant::movie
+        [{green}child::votes > 10]/{red}child::movie-role/{blue}parent::actor
+return createColor(black, <a-name> { $a/{blue}child::name } </a-name>)`
+	out := run(t, m, q)
+	if len(out) != 2 {
+		t.Fatalf("Q4 results = %d, want 2", len(out))
+	}
+	var got []string
+	for _, it := range out {
+		sv, _ := core.StringValue(it.Node, "black")
+		got = append(got, sv)
+	}
+	want := map[string]bool{"Bette Davis": true, "Marilyn Monroe": true}
+	if !want[got[0]] || !want[got[1]] || got[0] == got[1] {
+		t.Fatalf("Q4 = %v", got)
+	}
+}
+
+// TestPaperQ5 is Figure 3 query 05: restructuring into a new black tree
+// grouping Oscar-nominated movies by votes (paper Figure 7).
+func TestPaperQ5(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	q := `
+createColor(black, <byvotes> {
+ for $v in distinct-values(document("mdb.xml")/{green}descendant::votes)
+ order by $v
+ return
+     <award-byvotes>
+        { for $m in document("mdb.xml")/{green}descendant::movie[{green}child::votes = $v]
+          return $m }
+        <votes> { $v } </votes>
+     </award-byvotes>
+ } </byvotes>)`
+	out := run(t, m, q)
+	if len(out) != 1 {
+		t.Fatalf("Q5 results = %d", len(out))
+	}
+	root := out[0].Node
+	if root.Name() != "byvotes" || !root.HasColor("black") {
+		t.Fatalf("root = %v", root)
+	}
+	groups := core.Children(root, "black")
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3 (votes 9, 11, 14)", len(groups))
+	}
+	// Ascending vote order: 9 (angry), 11 (hot), 14 (eve).
+	wantMovies := []string{"angry", "hot", "eve"}
+	wantVotes := []string{"9", "11", "14"}
+	for i, g := range groups {
+		if g.Name() != "award-byvotes" {
+			t.Fatalf("group %d = %v", i, g)
+		}
+		kids := core.Children(g, "black")
+		if len(kids) != 2 {
+			t.Fatalf("group %d children = %v", i, kids)
+		}
+		if kids[0] != m.Node(wantMovies[i]) {
+			t.Fatalf("group %d movie = %v, want %s", i, kids[0], wantMovies[i])
+		}
+		if kids[1].Name() != "votes" {
+			t.Fatalf("group %d second child = %v", i, kids[1])
+		}
+		sv, _ := core.StringValue(kids[1], "black")
+		if sv != wantVotes[i] {
+			t.Fatalf("group %d votes = %q, want %q", i, sv, wantVotes[i])
+		}
+	}
+	// Paper Figure 7: movie nodes now have three colors.
+	if got := m.Node("eve").Colors(); len(got) != 3 {
+		t.Fatalf("eve colors = %v, want black+green+red", got)
+	}
+	if err := m.DB.Validate(); err != nil {
+		t.Fatalf("database invalid after Q5: %v", err)
+	}
+}
+
+// TestDuplProblem reproduces the paper's Section 4.2 dynamic error: the same
+// node identity used twice in one constructed colored tree.
+func TestDuplProblem(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	ev := mcxquery.NewEvaluator(m.DB)
+	q := `
+for $m in document("mdb.xml")/{red}descendant::movie[contains({red}child::name, "Eve")]
+return createColor(black, <dupl-problem>
+    <m1> { $m/{red}child::name } </m1>
+    <m2> { $m/{red}child::name } </m2>
+</dupl-problem>)`
+	_, err := ev.Query(q)
+	if !errors.Is(err, core.ErrDuplicateInTree) {
+		t.Fatalf("want ErrDuplicateInTree, got %v", err)
+	}
+}
+
+// TestCreateCopyAvoidsDuplProblem: with createCopy the same content can be
+// used twice, as fresh nodes.
+func TestCreateCopyAvoidsDuplProblem(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	q := `
+for $m in document("mdb.xml")/{red}descendant::movie[contains({red}child::name, "Eve")]
+return createColor(black, <dupl-ok>
+    <m1> { createCopy($m/{red}child::name) } </m1>
+    <m2> { createCopy($m/{red}child::name) } </m2>
+</dupl-ok>)`
+	out := run(t, m, q)
+	if len(out) != 1 {
+		t.Fatalf("results = %d", len(out))
+	}
+	root := out[0].Node
+	kids := core.Children(root, "black")
+	if len(kids) != 2 {
+		t.Fatalf("children = %v", kids)
+	}
+	for _, k := range kids {
+		inner := core.Children(k, "black")
+		if len(inner) != 1 || inner[0].Name() != "name" {
+			t.Fatalf("inner = %v", inner)
+		}
+		if inner[0] == m.Node("eve-name") {
+			t.Fatal("createCopy must produce a fresh identity")
+		}
+		sv, _ := core.StringValue(inner[0], "black")
+		if sv != "All About Eve" {
+			t.Fatalf("copied value = %q", sv)
+		}
+	}
+	// The original node is untouched: still red only.
+	if m.Node("eve-name").HasColor("black") {
+		t.Fatal("original must not gain black via createCopy")
+	}
+	if err := m.DB.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLetClauseAndWhere(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	q := `
+for $g in document("x")/{red}descendant::movie-genre
+let $n := count($g/{red}child::movie)
+where $n >= 1
+return createColor(black, <genre-count c="x"> { $g/{red}child::name } </genre-count>)`
+	out := run(t, m, q)
+	if len(out) != 3 { // comedy (2 movies), slapstick (1), drama (1)
+		t.Fatalf("results = %d, want 3", len(out))
+	}
+	if out[0].Node.AttributeValue("c") != "x" {
+		t.Fatal("constructor attribute lost")
+	}
+}
+
+func TestOrderByDescending(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	q := `
+for $m in document("x")/{green}descendant::movie
+order by $m/{green}child::votes descending
+return $m/{green}child::votes`
+	out := run(t, m, q)
+	got := itemStrings(out)
+	want := []string{"14", "11", "9"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOrderByStringKey(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	q := `
+for $a in document("x")/{blue}descendant::actor
+order by $a/{blue}child::name
+return $a/{blue}child::name`
+	out := run(t, m, q)
+	got := itemStrings(out)
+	want := []string{"Bette Davis", "Groucho Marx", "Henry Fonda", "Marilyn Monroe"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v", got)
+		}
+	}
+}
+
+func TestIfExpr(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	q := `
+for $m in document("x")/{green}descendant::movie
+return if ($m/{green}child::votes > 10)
+  then concat("hit:", string($m/{green}child::votes))
+  else concat("miss:", string($m/{green}child::votes))`
+	out := itemStrings(run(t, m, q))
+	want := []string{"hit:14", "miss:9", "hit:11"} // green local order
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("if results = %v", out)
+		}
+	}
+}
+
+func TestSequenceExpr(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	out := run(t, m, `("a", 1, "b")`)
+	if got := itemStrings(out); len(got) != 3 || got[1] != "1" {
+		t.Fatalf("seq = %v", got)
+	}
+	out = run(t, m, `()`)
+	if len(out) != 0 {
+		t.Fatalf("empty seq = %v", out)
+	}
+}
+
+func TestNestedConstructors(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	q := `createColor(black, <outer><inner x="1">lit { 1 + 1 } eral</inner><empty/></outer>)`
+	out := run(t, m, q)
+	root := out[0].Node
+	kids := core.Children(root, "black")
+	if len(kids) != 2 || kids[0].Name() != "inner" || kids[1].Name() != "empty" {
+		t.Fatalf("kids = %v", kids)
+	}
+	sv, _ := core.StringValue(kids[0], "black")
+	if sv != "lit 2 eral" {
+		t.Fatalf("mixed content = %q", sv)
+	}
+	if err := m.DB.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultResultColor(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	// No createColor: the evaluator materializes in its default color.
+	out := run(t, m, `<r>{ 1 + 2 }</r>`)
+	if len(out) != 1 || !out[0].Node.HasColor("result") {
+		t.Fatalf("out = %v", out)
+	}
+	sv, _ := core.StringValue(out[0].Node, "result")
+	if sv != "3" {
+		t.Fatalf("value = %q", sv)
+	}
+}
+
+func TestLessThanStillWorks(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	// '<' in operator position must remain a comparison.
+	out := run(t, m, `for $m in document("x")/{green}descendant::movie
+where $m/{green}child::votes < 10 return $m/{green}child::votes`)
+	if got := itemStrings(out); len(got) != 1 || got[0] != "9" {
+		t.Fatalf("lt results = %v", got)
+	}
+}
+
+func TestCreateColorOfExistingNodes(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	out := run(t, m, `createColor(black, document("x")/{blue}descendant::actor[1])`)
+	if len(out) != 1 || !m.Node("bette").HasColor("black") {
+		t.Fatalf("out = %v", out)
+	}
+	// bette is now a black child of the document.
+	if core.Parent(m.Node("bette"), "black") != m.DB.Document() {
+		t.Fatal("black parent should be the document")
+	}
+	if err := m.DB.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryStringColorLiteralInCreateColor(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	out := run(t, m, `createColor("jet-black", <x/>)`)
+	if !out[0].Node.HasColor("jet-black") {
+		t.Fatal("string color literal not applied")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`for $m in`,
+		`for $m document("x") return $m`,
+		`for $m in document("x") return`,
+		`<a>`,
+		`<a><b></a></b>`,
+		`<a x=1/>`,
+		`<a>{ 1 </a>`,
+		`if (1) then 2`,
+		`let $x = 3 return $x`,
+		`for $m in (1,2) order return $m`,
+		`createColor(black)`,
+	}
+	for _, src := range bad {
+		if _, err := mcxquery.ParseQuery(src); err == nil {
+			// createColor(black) parses fine; it fails at eval time.
+			if src == `createColor(black)` {
+				ev := mcxquery.NewEvaluator(fixtures.NewMovieDB().DB)
+				if _, everr := ev.Query(src); everr == nil {
+					t.Errorf("%q should fail at eval", src)
+				}
+				continue
+			}
+			t.Errorf("ParseQuery(%q) should fail", src)
+		}
+	}
+}
+
+func TestCreateColorBadArg(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	ev := mcxquery.NewEvaluator(m.DB)
+	if _, err := ev.Query(`createColor(1 + 2, <x/>)`); err == nil ||
+		!strings.Contains(err.Error(), "color literal") {
+		t.Fatalf("want color-literal error, got %v", err)
+	}
+}
+
+func TestCountMetrics(t *testing.T) {
+	q := `
+for $mg in document("mdb.xml")/{red}descendant::movie-genre,
+    $m in document("mdb.xml")/{red}descendant::movie
+where $mg/{red}child::name = "Comedy" and contains($m/{red}child::name, "Eve")
+return <m-name> { $m/{red}child::name } </m-name>`
+	e, err := mcxquery.ParseQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mcxquery.CountVariableBindings(e); got != 2 {
+		t.Fatalf("bindings = %d, want 2", got)
+	}
+	if got := mcxquery.CountPathExpressions(e); got != 5 {
+		t.Fatalf("paths = %d, want 5", got)
+	}
+}
+
+func TestFLWORStringRendering(t *testing.T) {
+	q := `for $m in document("x")/{red}descendant::movie where $m/{red}child::name = "Eve" order by $m/{red}child::name descending return $m`
+	e, err := mcxquery.ParseQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.String()
+	for _, frag := range []string{"for $m in", "where", "order by", "descending", "return"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("rendered FLWOR missing %q: %s", frag, s)
+		}
+	}
+	// Re-parse the rendering.
+	if _, err := mcxquery.ParseQuery(s); err != nil {
+		t.Fatalf("reparse rendered query: %v", err)
+	}
+}

@@ -1,0 +1,500 @@
+// Package pagestore is the storage substrate of the physical MCT store: 8 KB
+// slotted pages grouped into heap files, behind an LRU buffer pool with
+// pin/unpin discipline and hit/miss accounting.
+//
+// The experiments of the paper's Section 7 ran Timber with an 8 KB data page
+// size and a 256 MB buffer pool; this package reproduces that configuration
+// (both sizes are tunable) so the query engine's relative costs — structural
+// joins vs. value joins vs. color crossings — are shaped by the same page
+// and buffering behaviour.
+package pagestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PageSize is the default page size (8 KB, the paper's configuration).
+const PageSize = 8192
+
+// DefaultPoolPages is the default buffer pool capacity: 256 MB of 8 KB
+// pages, the paper's configuration.
+const DefaultPoolPages = (256 << 20) / PageSize
+
+// PageID identifies a page within a Store: a file number and a page number.
+type PageID struct {
+	File FileID
+	Page uint32
+}
+
+func (p PageID) String() string { return fmt.Sprintf("%d:%d", p.File, p.Page) }
+
+// FileID identifies a heap file within a Store.
+type FileID uint32
+
+// RecordID identifies a record: a page and a slot within it.
+type RecordID struct {
+	PageID
+	Slot uint16
+}
+
+func (r RecordID) String() string { return fmt.Sprintf("%d:%d:%d", r.File, r.Page, r.Slot) }
+
+// Errors returned by the page store.
+var (
+	ErrRecordTooLarge = errors.New("record larger than page capacity")
+	ErrNoSuchRecord   = errors.New("no such record")
+	ErrNoSuchFile     = errors.New("no such file")
+)
+
+// Page is an in-memory page image with a slot directory:
+//
+//	[0:2]  numSlots
+//	[2:4]  free-space offset (end of used data region)
+//	then per-slot 4-byte entries (offset uint16, length uint16) growing from
+//	the end of the page, record data growing from the front.
+type Page struct {
+	ID   PageID
+	Data [PageSize]byte
+}
+
+const pageHeader = 4
+const slotSize = 4
+
+func (p *Page) numSlots() uint16 { return binary.LittleEndian.Uint16(p.Data[0:2]) }
+
+func (p *Page) setNumSlots(n uint16) { binary.LittleEndian.PutUint16(p.Data[0:2], n) }
+
+func (p *Page) freeOff() uint16 {
+	v := binary.LittleEndian.Uint16(p.Data[2:4])
+	if v == 0 {
+		return pageHeader
+	}
+	return v
+}
+
+func (p *Page) setFreeOff(v uint16) { binary.LittleEndian.PutUint16(p.Data[2:4], v) }
+
+func (p *Page) slotEntry(i uint16) (off, length uint16) {
+	base := PageSize - int(i+1)*slotSize
+	return binary.LittleEndian.Uint16(p.Data[base : base+2]),
+		binary.LittleEndian.Uint16(p.Data[base+2 : base+4])
+}
+
+func (p *Page) setSlotEntry(i uint16, off, length uint16) {
+	base := PageSize - int(i+1)*slotSize
+	binary.LittleEndian.PutUint16(p.Data[base:base+2], off)
+	binary.LittleEndian.PutUint16(p.Data[base+2:base+4], length)
+}
+
+// FreeSpace returns the bytes available for one more record (including its
+// slot entry).
+func (p *Page) FreeSpace() int {
+	used := int(p.freeOff()) + int(p.numSlots())*slotSize
+	free := PageSize - used - slotSize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Insert adds a record to the page, returning its slot.
+func (p *Page) Insert(rec []byte) (uint16, error) {
+	if len(rec) > p.FreeSpace() {
+		return 0, fmt.Errorf("pagestore: %w (%d bytes, %d free)", ErrRecordTooLarge, len(rec), p.FreeSpace())
+	}
+	slot := p.numSlots()
+	off := p.freeOff()
+	copy(p.Data[off:], rec)
+	p.setSlotEntry(slot, off, uint16(len(rec)))
+	p.setNumSlots(slot + 1)
+	p.setFreeOff(off + uint16(len(rec)))
+	return slot, nil
+}
+
+// Record returns the record bytes in a slot. The returned slice aliases the
+// page; callers must copy if they retain it past unpin.
+func (p *Page) Record(slot uint16) ([]byte, error) {
+	if slot >= p.numSlots() {
+		return nil, fmt.Errorf("pagestore: slot %d: %w", slot, ErrNoSuchRecord)
+	}
+	off, length := p.slotEntry(slot)
+	if off == 0 && length == 0 {
+		return nil, fmt.Errorf("pagestore: slot %d deleted: %w", slot, ErrNoSuchRecord)
+	}
+	return p.Data[off : off+length], nil
+}
+
+// Overwrite replaces a record in place. The new record must not be longer
+// than the old one (MCT structural records are fixed-size).
+func (p *Page) Overwrite(slot uint16, rec []byte) error {
+	if slot >= p.numSlots() {
+		return fmt.Errorf("pagestore: slot %d: %w", slot, ErrNoSuchRecord)
+	}
+	off, length := p.slotEntry(slot)
+	if len(rec) > int(length) {
+		return fmt.Errorf("pagestore: overwrite grows record %d -> %d: %w", length, len(rec), ErrRecordTooLarge)
+	}
+	copy(p.Data[off:off+uint16(len(rec))], rec)
+	if len(rec) < int(length) {
+		p.setSlotEntry(slot, off, uint16(len(rec)))
+	}
+	return nil
+}
+
+// Delete tombstones a slot (space is not reclaimed; heap files are
+// append-mostly in this system).
+func (p *Page) Delete(slot uint16) error {
+	if slot >= p.numSlots() {
+		return fmt.Errorf("pagestore: slot %d: %w", slot, ErrNoSuchRecord)
+	}
+	p.setSlotEntry(slot, 0, 0)
+	return nil
+}
+
+// NumSlots returns the number of slots ever allocated in the page (including
+// tombstones).
+func (p *Page) NumSlots() int { return int(p.numSlots()) }
+
+// Stats counts buffer pool activity.
+type Stats struct {
+	Hits      uint64 // page requests served from the pool
+	Misses    uint64 // page requests that had to "read from disk"
+	Evictions uint64
+	PagesRead uint64 // alias of Misses, for reporting symmetry
+}
+
+// Store is a collection of heap files backed by a buffer pool over an
+// in-memory "disk". All reads go through Pin/Unpin so that page traffic is
+// observable; the disk layer stores evicted page images.
+type Store struct {
+	mu       sync.Mutex
+	poolCap  int
+	pool     map[PageID]*frame
+	lru      *lruList
+	disk     map[PageID][]byte
+	files    map[FileID]*fileMeta
+	nextFile FileID
+	stats    Stats
+	coldMiss bool // when true, first-touch pages count as misses (default)
+}
+
+type fileMeta struct {
+	pages uint32
+	// lastPage caches the current fill target for appends.
+	lastPage uint32
+	hasPages bool
+}
+
+type frame struct {
+	page *Page
+	pins int
+	elem *lruElem
+}
+
+// NewStore creates a store with the given buffer pool capacity in pages
+// (DefaultPoolPages if <= 0).
+func NewStore(poolPages int) *Store {
+	if poolPages <= 0 {
+		poolPages = DefaultPoolPages
+	}
+	return &Store{
+		poolCap:  poolPages,
+		pool:     make(map[PageID]*frame),
+		lru:      newLRUList(),
+		disk:     make(map[PageID][]byte),
+		files:    make(map[FileID]*fileMeta),
+		coldMiss: true,
+	}
+}
+
+// CreateFile allocates a new, empty heap file.
+func (s *Store) CreateFile() FileID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextFile
+	s.nextFile++
+	s.files[id] = &fileMeta{}
+	return id
+}
+
+// NumPages returns the number of pages in a file.
+func (s *Store) NumPages(f FileID) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	meta, ok := s.files[f]
+	if !ok {
+		return 0, fmt.Errorf("pagestore: file %d: %w", f, ErrNoSuchFile)
+	}
+	return int(meta.pages), nil
+}
+
+// Stats returns a snapshot of buffer pool statistics.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.PagesRead = st.Misses
+	return st
+}
+
+// ResetStats zeroes the counters (used between experiment runs).
+func (s *Store) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = Stats{}
+}
+
+// FlushAll unpins nothing but evicts every unpinned page to the disk layer,
+// simulating a cold cache (the paper's cold-cache runs flush all buffers).
+func (s *Store) FlushAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, fr := range s.pool {
+		if fr.pins == 0 {
+			s.evictLocked(id, fr)
+		}
+	}
+}
+
+// Pin fetches a page and pins it in the pool. Every Pin must be matched by
+// an Unpin.
+func (s *Store) Pin(id PageID) (*Page, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	meta, ok := s.files[id.File]
+	if !ok {
+		return nil, fmt.Errorf("pagestore: file %d: %w", id.File, ErrNoSuchFile)
+	}
+	if id.Page >= meta.pages {
+		return nil, fmt.Errorf("pagestore: page %v out of range (%d pages)", id, meta.pages)
+	}
+	if fr, ok := s.pool[id]; ok {
+		s.stats.Hits++
+		fr.pins++
+		if fr.elem != nil {
+			s.lru.remove(fr.elem)
+			fr.elem = nil
+		}
+		return fr.page, nil
+	}
+	s.stats.Misses++
+	pg := &Page{ID: id}
+	if img, ok := s.disk[id]; ok {
+		copy(pg.Data[:], img)
+	}
+	s.ensureCapacityLocked()
+	s.pool[id] = &frame{page: pg, pins: 1}
+	return pg, nil
+}
+
+// Unpin releases a pinned page.
+func (s *Store) Unpin(id PageID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fr, ok := s.pool[id]
+	if !ok || fr.pins == 0 {
+		return
+	}
+	fr.pins--
+	if fr.pins == 0 {
+		fr.elem = s.lru.pushFront(id)
+	}
+}
+
+// ensureCapacityLocked evicts LRU unpinned pages until there is room for one
+// more.
+func (s *Store) ensureCapacityLocked() {
+	for len(s.pool) >= s.poolCap {
+		id, ok := s.lru.popBack()
+		if !ok {
+			return // everything pinned; allow temporary overcommit
+		}
+		fr := s.pool[id]
+		if fr == nil {
+			continue
+		}
+		fr.elem = nil
+		s.evictLocked(id, fr)
+	}
+}
+
+func (s *Store) evictLocked(id PageID, fr *frame) {
+	img := make([]byte, PageSize)
+	copy(img, fr.page.Data[:])
+	s.disk[id] = img
+	if fr.elem != nil {
+		s.lru.remove(fr.elem)
+	}
+	delete(s.pool, id)
+	s.stats.Evictions++
+}
+
+// AppendRecord inserts a record at the end of a file, allocating pages as
+// needed, and returns its RecordID.
+func (s *Store) AppendRecord(f FileID, rec []byte) (RecordID, error) {
+	if len(rec) > PageSize-pageHeader-slotSize {
+		return RecordID{}, fmt.Errorf("pagestore: %w", ErrRecordTooLarge)
+	}
+	s.mu.Lock()
+	meta, ok := s.files[f]
+	if !ok {
+		s.mu.Unlock()
+		return RecordID{}, fmt.Errorf("pagestore: file %d: %w", f, ErrNoSuchFile)
+	}
+	var target uint32
+	fresh := false
+	if meta.hasPages {
+		target = meta.lastPage
+	} else {
+		target = meta.pages
+		meta.pages++
+		meta.lastPage = target
+		meta.hasPages = true
+		fresh = true
+	}
+	s.mu.Unlock()
+
+	for {
+		id := PageID{File: f, Page: target}
+		pg, err := s.Pin(id)
+		if err != nil {
+			return RecordID{}, err
+		}
+		if fresh || len(rec) <= pg.FreeSpace() {
+			slot, err := pg.Insert(rec)
+			s.Unpin(id)
+			if err == nil {
+				return RecordID{PageID: id, Slot: slot}, nil
+			}
+			if !errors.Is(err, ErrRecordTooLarge) {
+				return RecordID{}, err
+			}
+		} else {
+			s.Unpin(id)
+		}
+		// Page full: allocate a new one.
+		s.mu.Lock()
+		target = meta.pages
+		meta.pages++
+		meta.lastPage = target
+		s.mu.Unlock()
+		fresh = true
+	}
+}
+
+// ReadRecord pins the page, copies the record out and unpins.
+func (s *Store) ReadRecord(rid RecordID) ([]byte, error) {
+	pg, err := s.Pin(rid.PageID)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Unpin(rid.PageID)
+	rec, err := pg.Record(rid.Slot)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(rec))
+	copy(out, rec)
+	return out, nil
+}
+
+// OverwriteRecord replaces a record in place (same or smaller size).
+func (s *Store) OverwriteRecord(rid RecordID, rec []byte) error {
+	pg, err := s.Pin(rid.PageID)
+	if err != nil {
+		return err
+	}
+	defer s.Unpin(rid.PageID)
+	return pg.Overwrite(rid.Slot, rec)
+}
+
+// DeleteRecord tombstones a record.
+func (s *Store) DeleteRecord(rid RecordID) error {
+	pg, err := s.Pin(rid.PageID)
+	if err != nil {
+		return err
+	}
+	defer s.Unpin(rid.PageID)
+	return pg.Delete(rid.Slot)
+}
+
+// Scan iterates every live record of a file in (page, slot) order, calling
+// fn with the record id and bytes (valid only during the call). fn returning
+// false stops the scan.
+func (s *Store) Scan(f FileID, fn func(RecordID, []byte) bool) error {
+	n, err := s.NumPages(f)
+	if err != nil {
+		return err
+	}
+	for p := 0; p < n; p++ {
+		id := PageID{File: f, Page: uint32(p)}
+		pg, err := s.Pin(id)
+		if err != nil {
+			return err
+		}
+		slots := pg.NumSlots()
+		for sl := 0; sl < slots; sl++ {
+			rec, err := pg.Record(uint16(sl))
+			if err != nil {
+				continue // tombstone
+			}
+			if !fn(RecordID{PageID: id, Slot: uint16(sl)}, rec) {
+				s.Unpin(id)
+				return nil
+			}
+		}
+		s.Unpin(id)
+	}
+	return nil
+}
+
+// lruList is a tiny intrusive doubly-linked LRU list of PageIDs.
+type lruList struct {
+	head, tail *lruElem
+}
+
+type lruElem struct {
+	id         PageID
+	prev, next *lruElem
+}
+
+func newLRUList() *lruList { return &lruList{} }
+
+func (l *lruList) pushFront(id PageID) *lruElem {
+	e := &lruElem{id: id}
+	e.next = l.head
+	if l.head != nil {
+		l.head.prev = e
+	}
+	l.head = e
+	if l.tail == nil {
+		l.tail = e
+	}
+	return e
+}
+
+func (l *lruList) remove(e *lruElem) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (l *lruList) popBack() (PageID, bool) {
+	if l.tail == nil {
+		return PageID{}, false
+	}
+	e := l.tail
+	l.remove(e)
+	return e.id, true
+}

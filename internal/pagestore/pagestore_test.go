@@ -1,0 +1,289 @@
+package pagestore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPageInsertAndRead(t *testing.T) {
+	var p Page
+	recs := [][]byte{[]byte("hello"), []byte("world"), []byte("")}
+	var slots []uint16
+	for _, r := range recs {
+		s, err := p.Insert(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, s)
+	}
+	for i, s := range slots {
+		got, err := p.Record(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, recs[i]) {
+			t.Fatalf("slot %d = %q, want %q", s, got, recs[i])
+		}
+	}
+	if _, err := p.Record(99); err == nil {
+		t.Fatal("bad slot should fail")
+	}
+}
+
+func TestPageCapacity(t *testing.T) {
+	var p Page
+	big := make([]byte, PageSize)
+	if _, err := p.Insert(big); err == nil {
+		t.Fatal("oversized record should fail")
+	}
+	// Fill the page with 100-byte records until full; then one more fails.
+	rec := make([]byte, 100)
+	n := 0
+	for {
+		if _, err := p.Insert(rec); err != nil {
+			break
+		}
+		n++
+	}
+	want := (PageSize - pageHeader) / (100 + slotSize)
+	if n != want {
+		t.Fatalf("fit %d records, want %d", n, want)
+	}
+}
+
+func TestPageOverwriteAndDelete(t *testing.T) {
+	var p Page
+	s, _ := p.Insert([]byte("abcdef"))
+	if err := p.Overwrite(s, []byte("xyzxyz")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := p.Record(s)
+	if string(got) != "xyzxyz" {
+		t.Fatalf("got %q", got)
+	}
+	if err := p.Overwrite(s, []byte("too long here")); err == nil {
+		t.Fatal("growing overwrite should fail")
+	}
+	if err := p.Overwrite(s, []byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = p.Record(s)
+	if string(got) != "ab" {
+		t.Fatalf("shrunk record = %q", got)
+	}
+	if err := p.Delete(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Record(s); err == nil {
+		t.Fatal("deleted record should not read")
+	}
+}
+
+func TestStoreAppendAndScan(t *testing.T) {
+	s := NewStore(16)
+	f := s.CreateFile()
+	var want []string
+	for i := 0; i < 5000; i++ {
+		rec := fmt.Sprintf("record-%05d", i)
+		want = append(want, rec)
+		if _, err := s.AppendRecord(f, []byte(rec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	if err := s.Scan(f, func(_ RecordID, rec []byte) bool {
+		got = append(got, string(rec))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scanned %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	n, _ := s.NumPages(f)
+	if n < 2 {
+		t.Fatalf("expected multiple pages, got %d", n)
+	}
+}
+
+func TestStoreReadWriteDelete(t *testing.T) {
+	s := NewStore(8)
+	f := s.CreateFile()
+	rid, err := s.AppendRecord(f, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadRecord(rid)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+	if err := s.OverwriteRecord(rid, []byte("PAYLOAD")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.ReadRecord(rid)
+	if string(got) != "PAYLOAD" {
+		t.Fatalf("after overwrite = %q", got)
+	}
+	if err := s.DeleteRecord(rid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadRecord(rid); err == nil {
+		t.Fatal("deleted record should not read")
+	}
+	// Scan skips the tombstone.
+	count := 0
+	_ = s.Scan(f, func(RecordID, []byte) bool { count++; return true })
+	if count != 0 {
+		t.Fatalf("scan found %d records after delete", count)
+	}
+}
+
+func TestStoreErrors(t *testing.T) {
+	s := NewStore(4)
+	if _, err := s.AppendRecord(99, []byte("x")); err == nil {
+		t.Fatal("append to missing file should fail")
+	}
+	if _, err := s.Pin(PageID{File: 99}); err == nil {
+		t.Fatal("pin of missing file should fail")
+	}
+	f := s.CreateFile()
+	if _, err := s.Pin(PageID{File: f, Page: 0}); err == nil {
+		t.Fatal("pin of out-of-range page should fail")
+	}
+	big := make([]byte, PageSize)
+	if _, err := s.AppendRecord(f, big); err == nil {
+		t.Fatal("oversized append should fail")
+	}
+	if _, err := s.NumPages(99); err == nil {
+		t.Fatal("NumPages of missing file should fail")
+	}
+}
+
+func TestBufferPoolEvictionAndStats(t *testing.T) {
+	s := NewStore(4)
+	f := s.CreateFile()
+	// Create 10 pages worth of data.
+	rec := make([]byte, 4000) // two records per page
+	for i := 0; i < 20; i++ {
+		if _, err := s.AppendRecord(f, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, _ := s.NumPages(f)
+	if n != 10 {
+		t.Fatalf("pages = %d, want 10", n)
+	}
+	s.ResetStats()
+	// Sequential scan through a 4-page pool: every page is a miss.
+	_ = s.Scan(f, func(RecordID, []byte) bool { return true })
+	st := s.Stats()
+	if st.Misses != 10 {
+		t.Fatalf("misses = %d, want 10", st.Misses)
+	}
+	// Re-scan: the last pages are hot but early ones were evicted.
+	_ = s.Scan(f, func(RecordID, []byte) bool { return true })
+	st = s.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions with a 4-page pool")
+	}
+	// A pool large enough turns the second scan into all hits.
+	s2 := NewStore(64)
+	f2 := s2.CreateFile()
+	for i := 0; i < 20; i++ {
+		if _, err := s2.AppendRecord(f2, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2.ResetStats()
+	_ = s2.Scan(f2, func(RecordID, []byte) bool { return true })
+	first := s2.Stats()
+	_ = s2.Scan(f2, func(RecordID, []byte) bool { return true })
+	second := s2.Stats()
+	if second.Misses != first.Misses {
+		t.Fatalf("warm scan should not miss: %d -> %d", first.Misses, second.Misses)
+	}
+	if second.Hits <= first.Hits {
+		t.Fatal("warm scan should hit")
+	}
+}
+
+func TestEvictionPersistsData(t *testing.T) {
+	s := NewStore(2) // tiny pool forces eviction
+	f := s.CreateFile()
+	var rids []RecordID
+	for i := 0; i < 50; i++ {
+		rec := []byte(fmt.Sprintf("%04d-%s", i, string(make([]byte, 500))))
+		rid, err := s.AppendRecord(f, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	for i, rid := range rids {
+		got, err := s.ReadRecord(rid)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if string(got[:4]) != fmt.Sprintf("%04d", i) {
+			t.Fatalf("record %d corrupted: %q", i, got[:4])
+		}
+	}
+}
+
+func TestFlushAllSimulatesColdCache(t *testing.T) {
+	s := NewStore(64)
+	f := s.CreateFile()
+	for i := 0; i < 10; i++ {
+		if _, err := s.AppendRecord(f, make([]byte, 4000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = s.Scan(f, func(RecordID, []byte) bool { return true }) // warm up
+	s.FlushAll()
+	s.ResetStats()
+	_ = s.Scan(f, func(RecordID, []byte) bool { return true })
+	if st := s.Stats(); st.Misses == 0 {
+		t.Fatal("scan after FlushAll should miss")
+	}
+}
+
+func TestQuickRandomRecordsRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewStore(3)
+		file := s.CreateFile()
+		type kv struct {
+			rid RecordID
+			val []byte
+		}
+		var all []kv
+		for i := 0; i < 200; i++ {
+			n := rng.Intn(300)
+			val := make([]byte, n)
+			rng.Read(val)
+			rid, err := s.AppendRecord(file, val)
+			if err != nil {
+				return false
+			}
+			all = append(all, kv{rid, val})
+		}
+		for _, item := range all {
+			got, err := s.ReadRecord(item.rid)
+			if err != nil || !bytes.Equal(got, item.val) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

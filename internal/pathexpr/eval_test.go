@@ -1,0 +1,350 @@
+package pathexpr_test
+
+import (
+	"errors"
+	"testing"
+
+	"colorfulxml/internal/core"
+	"colorfulxml/internal/fixtures"
+	"colorfulxml/internal/pathexpr"
+)
+
+func evalQuery(t *testing.T, m *fixtures.MovieDB, src string, vars map[string]pathexpr.Sequence) pathexpr.Sequence {
+	t.Helper()
+	e, err := pathexpr.ParseString(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	env := &pathexpr.Env{DB: m.DB, Vars: vars}
+	out, err := pathexpr.Eval(env, e)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return out
+}
+
+func names(seq pathexpr.Sequence) []string {
+	var out []string
+	for _, it := range seq {
+		out = append(out, pathexpr.ItemString(it))
+	}
+	return out
+}
+
+func TestEvalQ1ComedyMoviesWithEve(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	// Paper query Q1: names of comedy movies whose title contains "Eve".
+	src := `document("mdb.xml")/{red}descendant::movie-genre[{red}child::name = "Comedy"]/{red}descendant::movie[contains({red}child::name, "Eve")]/{red}child::name`
+	got := names(evalQuery(t, m, src, nil))
+	if len(got) != 1 || got[0] != "All About Eve" {
+		t.Fatalf("Q1 = %v", got)
+	}
+}
+
+func TestEvalQ2OscarNominatedComedies(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	// All comedy movies (including sub-genre slapstick): via descendant.
+	comedyMovies := evalQuery(t, m,
+		`document("mdb.xml")/{red}descendant::movie-genre[{red}child::name = "Comedy"]/{red}descendant::movie`, nil)
+	if len(comedyMovies) != 3 {
+		t.Fatalf("comedy movies = %d, want 3 (eve, hot, duck)", len(comedyMovies))
+	}
+	// Green path: Oscar nominated movies.
+	oscarMovies := evalQuery(t, m,
+		`document("mdb.xml")/{green}descendant::movie-award[contains({green}child::name, "Oscar")]/{green}descendant::movie`, nil)
+	if len(oscarMovies) != 3 {
+		t.Fatalf("oscar movies = %d, want 3 (eve, hot, angry)", len(oscarMovies))
+	}
+	// Intersection via [. = $m] idiom: comedies that are Oscar nominated.
+	var count int
+	for _, om := range oscarMovies {
+		vars := map[string]pathexpr.Sequence{"m": {om}}
+		r := evalQuery(t, m,
+			`document("mdb.xml")/{red}descendant::movie-genre[{red}child::name = "Comedy"]/{red}descendant::movie[. = $m]`, vars)
+		count += len(r)
+	}
+	if count != 2 {
+		t.Fatalf("oscar comedies = %d, want 2 (eve, hot)", count)
+	}
+}
+
+func TestEvalQ4ColorCrossingPath(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	// Q4: actors in Oscar-nominated movies with more than 10 votes, reached
+	// by crossing green -> red -> blue in one path expression.
+	src := `document("mdb.xml")/{green}descendant::movie-award[contains({green}child::name, "Oscar")]/{green}descendant::movie[{green}child::votes > 10]/{red}child::movie-role/{blue}parent::actor/{blue}child::name`
+	got := names(evalQuery(t, m, src, nil))
+	want := map[string]bool{"Bette Davis": true, "Marilyn Monroe": true}
+	if len(got) != 2 || !want[got[0]] || !want[got[1]] || got[0] == got[1] {
+		t.Fatalf("Q4 = %v", got)
+	}
+}
+
+func TestEvalAncestorAxis(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	// With ancestor axes Q3 becomes a single path (paper Section 2.2 note):
+	// from Bette Davis's roles, up the red tree to the movie.
+	src := `document("mdb.xml")/{blue}descendant::actor[{blue}child::name = "Bette Davis"]/{blue}child::movie-role/{red}ancestor::movie/{red}child::name`
+	got := names(evalQuery(t, m, src, nil))
+	if len(got) != 1 || got[0] != "All About Eve" {
+		t.Fatalf("Q3-single-path = %v", got)
+	}
+}
+
+func TestEvalColorIncompatibleStepIsEmpty(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	// duck is not nominated: it has no green parent.
+	vars := map[string]pathexpr.Sequence{
+		"m": {pathexpr.NodeItem(m.Node("duck"), fixtures.Red)},
+	}
+	got := evalQuery(t, m, `$m/{green}parent::node()`, vars)
+	if len(got) != 0 {
+		t.Fatalf("green parent of duck = %v, want empty", got)
+	}
+	// But eve has one.
+	vars["m"] = pathexpr.Sequence{pathexpr.NodeItem(m.Node("eve"), fixtures.Red)}
+	got = evalQuery(t, m, `$m/{green}parent::node()`, vars)
+	if len(got) != 1 || got[0].Node != m.Node("y1950") {
+		t.Fatalf("green parent of eve = %v", got)
+	}
+}
+
+func TestEvalResultOrderIsLocalOrder(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	got := evalQuery(t, m, `document("x")/{green}descendant::movie/{green}child::votes`, nil)
+	// Green tree order: y1950 (eve,14), y1957 (angry,9), y1959 (hot,11).
+	want := []string{"14", "9", "11"}
+	gotStr := names(got)
+	for i := range want {
+		if gotStr[i] != want[i] {
+			t.Fatalf("order = %v, want %v", gotStr, want)
+		}
+	}
+	for _, it := range got {
+		if it.Color != fixtures.Green {
+			t.Fatalf("result color = %q, want green", it.Color)
+		}
+	}
+}
+
+func TestEvalAttributes(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	if _, err := m.DB.SetAttribute(m.Node("eve"), "id", "m1"); err != nil {
+		t.Fatal(err)
+	}
+	got := evalQuery(t, m, `document("x")/{red}descendant::movie[{red}@id = "m1"]/{red}child::name`, nil)
+	if len(got) != 1 || pathexpr.ItemString(got[0]) != "All About Eve" {
+		t.Fatalf("attr predicate = %v", names(got))
+	}
+	attrs := evalQuery(t, m, `document("x")/{red}descendant::movie/{red}@id`, nil)
+	if len(attrs) != 1 || attrs[0].Node.Kind() != core.KindAttribute {
+		t.Fatalf("attribute axis = %v", attrs)
+	}
+}
+
+func TestEvalPositionalPredicates(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	first := evalQuery(t, m, `document("x")/{blue}descendant::actor[1]/{blue}child::name`, nil)
+	if len(first) != 1 || pathexpr.ItemString(first[0]) != "Bette Davis" {
+		t.Fatalf("[1] = %v", names(first))
+	}
+	last := evalQuery(t, m, `document("x")/{blue}descendant::actor[position() = last()]/{blue}child::name`, nil)
+	if len(last) != 1 || pathexpr.ItemString(last[0]) != "Henry Fonda" {
+		t.Fatalf("[last()] = %v", names(last))
+	}
+}
+
+func TestEvalSiblingAxes(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	vars := map[string]pathexpr.Sequence{
+		"a": {pathexpr.NodeItem(m.Node("marilyn"), fixtures.Blue)},
+	}
+	fs := evalQuery(t, m, `$a/{blue}following-sibling::actor/{blue}child::name`, vars)
+	if got := names(fs); len(got) != 2 || got[0] != "Groucho Marx" || got[1] != "Henry Fonda" {
+		t.Fatalf("following siblings = %v", got)
+	}
+	ps := evalQuery(t, m, `$a/{blue}preceding-sibling::actor[1]/{blue}child::name`, vars)
+	if got := names(ps); len(got) != 1 || got[0] != "Bette Davis" {
+		t.Fatalf("nearest preceding sibling = %v", got)
+	}
+}
+
+func TestEvalColorInheritance(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	// Only the first step specifies red; later steps inherit it.
+	src := `document("x")/{red}descendant::movie-genre[name = "Comedy"]/movie/name`
+	got := names(evalQuery(t, m, src, nil))
+	if len(got) != 2 { // eve + hot (direct children of comedy)
+		t.Fatalf("inherited-color result = %v", got)
+	}
+}
+
+func TestEvalNoColorError(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	e, err := pathexpr.ParseString(`document("x")/descendant::movie`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = pathexpr.Eval(&pathexpr.Env{DB: m.DB}, e)
+	if !errors.Is(err, pathexpr.ErrNoColor) {
+		t.Fatalf("want ErrNoColor, got %v", err)
+	}
+	// With a default color it evaluates.
+	out, err := pathexpr.Eval(&pathexpr.Env{DB: m.DB, DefaultColor: fixtures.Red}, e)
+	if err != nil || len(out) != 4 {
+		t.Fatalf("with default color: %v, %d items", err, len(out))
+	}
+}
+
+func TestEvalUnboundVariable(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	e, _ := pathexpr.ParseString(`$nope/{red}child::a`)
+	_, err := pathexpr.Eval(&pathexpr.Env{DB: m.DB}, e)
+	if !errors.Is(err, pathexpr.ErrUnboundVar) {
+		t.Fatalf("want ErrUnboundVar, got %v", err)
+	}
+}
+
+func TestEvalFunctions(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`count(document("x")/{red}descendant::movie)`, "4"},
+		{`count(document("x")/{green}descendant::movie)`, "3"},
+		{`string(document("x")/{blue}descendant::actor[1]/{blue}child::name)`, "Bette Davis"},
+		{`concat("a", "-", "b")`, "a-b"},
+		{`string-length("hello")`, "5"},
+		{`sum(document("x")/{green}descendant::votes)`, "34"},
+		{`min(document("x")/{green}descendant::votes)`, "9"},
+		{`max(document("x")/{green}descendant::votes)`, "14"},
+		{`round(avg(document("x")/{green}descendant::votes))`, "11"},
+		{`number("12") + 1`, "13"},
+		{`floor(3.7)`, "3"},
+		{`ceiling(3.2)`, "4"},
+		{`starts-with("Oscar Best Movie", "Oscar")`, "true"},
+		{`ends-with("Oscar Best Movie", "Movie")`, "true"},
+		{`empty(document("x")/{green}descendant::actor)`, "true"},
+		{`exists(document("x")/{blue}descendant::actor)`, "true"},
+		{`not(true())`, "false"},
+		{`count(distinct-values(document("x")/{red}descendant::movie-genre/{red}child::name))`, "3"},
+	}
+	for _, c := range cases {
+		got := evalQuery(t, m, c.src, nil)
+		if len(got) != 1 {
+			t.Errorf("%s: %d items", c.src, len(got))
+			continue
+		}
+		if s := pathexpr.ItemString(got[0]); s != c.want {
+			t.Errorf("%s = %q, want %q", c.src, s, c.want)
+		}
+	}
+}
+
+func TestEvalColorsFunction(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	vars := map[string]pathexpr.Sequence{
+		"m": {pathexpr.NodeItem(m.Node("eve"), fixtures.Red)},
+	}
+	got := names(evalQuery(t, m, `colors($m)`, vars))
+	if len(got) != 2 || got[0] != "green" || got[1] != "red" {
+		t.Fatalf("colors($eve) = %v", got)
+	}
+}
+
+func TestEvalArithmeticAndBooleans(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`1 + 2 * 3`, "7"},
+		{`(1 + 2) * 3`, "9"},
+		{`10 div 4`, "2.5"},
+		{`10 mod 3`, "1"},
+		{`-5 + 2`, "-3"},
+		{`1 < 2 and 2 < 3`, "true"},
+		{`1 > 2 or 3 >= 3`, "true"},
+		{`"abc" != "abd"`, "true"},
+		{`"abc" < "abd"`, "true"},
+	}
+	for _, c := range cases {
+		got := evalQuery(t, m, c.src, nil)
+		if s := pathexpr.ItemString(got[0]); s != c.want {
+			t.Errorf("%s = %q, want %q", c.src, s, c.want)
+		}
+	}
+	// Division by zero.
+	e, _ := pathexpr.ParseString(`1 div 0`)
+	if _, err := pathexpr.Eval(&pathexpr.Env{DB: m.DB}, e); err == nil {
+		t.Fatal("1 div 0 should fail")
+	}
+}
+
+func TestEvalNodeIdentityComparison(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	eve := pathexpr.NodeItem(m.Node("eve"), fixtures.Green)
+	vars := map[string]pathexpr.Sequence{"m": {eve}}
+	// The same node reached through a different (red) hierarchy compares
+	// equal by identity.
+	got := evalQuery(t, m, `document("x")/{red}descendant::movie[. = $m]`, vars)
+	if len(got) != 1 || got[0].Node != m.Node("eve") {
+		t.Fatalf("identity comparison = %v", got)
+	}
+	got = evalQuery(t, m, `document("x")/{red}descendant::movie[. != $m]`, vars)
+	if len(got) != 3 {
+		t.Fatalf("negated identity = %d items", len(got))
+	}
+}
+
+func TestEvalTextNodeTest(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	got := evalQuery(t, m, `document("x")/{blue}descendant::actor[1]/{blue}child::name/{blue}child::text()`, nil)
+	if len(got) != 1 || got[0].Node.Kind() != core.KindText {
+		t.Fatalf("text() = %v", got)
+	}
+	if got[0].Node.Value() != "Bette Davis" {
+		t.Fatalf("text value = %q", got[0].Node.Value())
+	}
+}
+
+func TestEvalStepOnAtomicFails(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	vars := map[string]pathexpr.Sequence{"v": {pathexpr.AtomItem("str")}}
+	e, _ := pathexpr.ParseString(`$v/{red}child::a`)
+	if _, err := pathexpr.Eval(&pathexpr.Env{DB: m.DB, Vars: vars}, e); !errors.Is(err, pathexpr.ErrType) {
+		t.Fatalf("want ErrType, got %v", err)
+	}
+}
+
+func TestEvalUnknownColorInStep(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	e, _ := pathexpr.ParseString(`document("x")/{purple}child::a`)
+	if _, err := pathexpr.Eval(&pathexpr.Env{DB: m.DB}, e); !errors.Is(err, core.ErrUnknownColor) {
+		t.Fatalf("want ErrUnknownColor, got %v", err)
+	}
+}
+
+func TestEvalUnknownFunction(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	e, _ := pathexpr.ParseString(`frobnicate(1)`)
+	if _, err := pathexpr.Eval(&pathexpr.Env{DB: m.DB}, e); !errors.Is(err, pathexpr.ErrUnknownFunc) {
+		t.Fatalf("want ErrUnknownFunc, got %v", err)
+	}
+}
+
+func TestEvalDescendantOrSelf(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	vars := map[string]pathexpr.Sequence{
+		"g": {pathexpr.NodeItem(m.Node("comedy"), fixtures.Red)},
+	}
+	got := evalQuery(t, m, `$g/{red}descendant-or-self::movie-genre`, vars)
+	if len(got) != 2 { // comedy + slapstick
+		t.Fatalf("descendant-or-self = %d", len(got))
+	}
+	got = evalQuery(t, m, `$g/{red}ancestor-or-self::node()`, vars)
+	if len(got) != 3 { // comedy, genres, document
+		t.Fatalf("ancestor-or-self = %d", len(got))
+	}
+}

@@ -1,0 +1,345 @@
+package pathexpr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"colorfulxml/internal/core"
+)
+
+// evalCall dispatches the core function library. Functions that MCXQuery
+// adds over XQuery (colors) live here too; the constructor functions
+// createColor and createCopy are evaluated by the mcxquery package, which
+// owns node construction.
+func evalCall(ctx evalCtx, c *Call) (Sequence, error) {
+	argn := func(want int) error {
+		if len(c.Args) != want {
+			return Errf(0, "%s() expects %d argument(s), got %d", c.Name, want, len(c.Args))
+		}
+		return nil
+	}
+	evalArgs := func() ([]Sequence, error) {
+		out := make([]Sequence, len(c.Args))
+		for i, a := range c.Args {
+			v, err := evalExpr(ctx, a)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	switch c.Name {
+	case "true":
+		if err := argn(0); err != nil {
+			return nil, err
+		}
+		return Sequence{AtomItem(true)}, nil
+	case "false":
+		if err := argn(0); err != nil {
+			return nil, err
+		}
+		return Sequence{AtomItem(false)}, nil
+	case "position":
+		if err := argn(0); err != nil {
+			return nil, err
+		}
+		if ctx.pos == 0 {
+			return nil, fmt.Errorf("pathexpr: position() outside a predicate")
+		}
+		return Sequence{AtomItem(int64(ctx.pos))}, nil
+	case "last":
+		if err := argn(0); err != nil {
+			return nil, err
+		}
+		if ctx.size == 0 {
+			return nil, fmt.Errorf("pathexpr: last() outside a predicate")
+		}
+		return Sequence{AtomItem(int64(ctx.size))}, nil
+	case "not":
+		if err := argn(1); err != nil {
+			return nil, err
+		}
+		args, err := evalArgs()
+		if err != nil {
+			return nil, err
+		}
+		b, err := EffectiveBool(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return Sequence{AtomItem(!b)}, nil
+	case "count":
+		if err := argn(1); err != nil {
+			return nil, err
+		}
+		args, err := evalArgs()
+		if err != nil {
+			return nil, err
+		}
+		return Sequence{AtomItem(int64(len(args[0])))}, nil
+	case "empty":
+		if err := argn(1); err != nil {
+			return nil, err
+		}
+		args, err := evalArgs()
+		if err != nil {
+			return nil, err
+		}
+		return Sequence{AtomItem(len(args[0]) == 0)}, nil
+	case "exists":
+		if err := argn(1); err != nil {
+			return nil, err
+		}
+		args, err := evalArgs()
+		if err != nil {
+			return nil, err
+		}
+		return Sequence{AtomItem(len(args[0]) > 0)}, nil
+	case "contains", "starts-with", "ends-with":
+		if err := argn(2); err != nil {
+			return nil, err
+		}
+		args, err := evalArgs()
+		if err != nil {
+			return nil, err
+		}
+		hay, err := argString(args[0])
+		if err != nil {
+			return nil, err
+		}
+		needle, err := argString(args[1])
+		if err != nil {
+			return nil, err
+		}
+		var b bool
+		switch c.Name {
+		case "contains":
+			b = strings.Contains(hay, needle)
+		case "starts-with":
+			b = strings.HasPrefix(hay, needle)
+		case "ends-with":
+			b = strings.HasSuffix(hay, needle)
+		}
+		return Sequence{AtomItem(b)}, nil
+	case "concat":
+		args, err := evalArgs()
+		if err != nil {
+			return nil, err
+		}
+		var b strings.Builder
+		for _, a := range args {
+			s, err := argString(a)
+			if err != nil {
+				return nil, err
+			}
+			b.WriteString(s)
+		}
+		return Sequence{AtomItem(b.String())}, nil
+	case "string":
+		var arg Sequence
+		switch len(c.Args) {
+		case 0:
+			arg = Sequence{ctx.item}
+		case 1:
+			args, err := evalArgs()
+			if err != nil {
+				return nil, err
+			}
+			arg = args[0]
+		default:
+			return nil, argn(1)
+		}
+		s, err := argString(arg)
+		if err != nil {
+			return nil, err
+		}
+		return Sequence{AtomItem(s)}, nil
+	case "string-length":
+		if err := argn(1); err != nil {
+			return nil, err
+		}
+		args, err := evalArgs()
+		if err != nil {
+			return nil, err
+		}
+		s, err := argString(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return Sequence{AtomItem(int64(len(s)))}, nil
+	case "number":
+		if err := argn(1); err != nil {
+			return nil, err
+		}
+		args, err := evalArgs()
+		if err != nil {
+			return nil, err
+		}
+		f, err := toNumber(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return Sequence{AtomItem(f)}, nil
+	case "name":
+		var n *core.Node
+		switch len(c.Args) {
+		case 0:
+			n = ctx.item.Node
+		case 1:
+			args, err := evalArgs()
+			if err != nil {
+				return nil, err
+			}
+			if len(args[0]) == 0 {
+				return Sequence{AtomItem("")}, nil
+			}
+			n = args[0][0].Node
+		default:
+			return nil, argn(1)
+		}
+		if n == nil {
+			return Sequence{AtomItem("")}, nil
+		}
+		return Sequence{AtomItem(n.Name())}, nil
+	case "colors":
+		// MCXQuery's dm:colors accessor exposed as a function: the sorted
+		// color names of a node.
+		if err := argn(1); err != nil {
+			return nil, err
+		}
+		args, err := evalArgs()
+		if err != nil {
+			return nil, err
+		}
+		var out Sequence
+		for _, it := range args[0] {
+			if it.Node == nil {
+				return nil, fmt.Errorf("pathexpr: colors() of an atomic value: %w", ErrType)
+			}
+			for _, col := range it.Node.Colors() {
+				out = append(out, AtomItem(string(col)))
+			}
+		}
+		return out, nil
+	case "distinct-values":
+		if err := argn(1); err != nil {
+			return nil, err
+		}
+		args, err := evalArgs()
+		if err != nil {
+			return nil, err
+		}
+		seen := map[any]bool{}
+		var out Sequence
+		for _, it := range args[0] {
+			a, err := atomizeItem(it)
+			if err != nil {
+				return nil, err
+			}
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, AtomItem(a))
+			}
+		}
+		// Deterministic order helps tests; sort numerics before strings.
+		sort.SliceStable(out, func(i, j int) bool { return lessAtom(out[i].Atom, out[j].Atom) })
+		return out, nil
+	case "sum", "min", "max", "avg":
+		if err := argn(1); err != nil {
+			return nil, err
+		}
+		args, err := evalArgs()
+		if err != nil {
+			return nil, err
+		}
+		if len(args[0]) == 0 {
+			if c.Name == "sum" {
+				return Sequence{AtomItem(int64(0))}, nil
+			}
+			return nil, nil
+		}
+		var acc float64
+		first := true
+		for _, it := range args[0] {
+			a, err := atomizeItem(it)
+			if err != nil {
+				return nil, err
+			}
+			f, ok := asFloat(a)
+			if !ok {
+				return nil, fmt.Errorf("pathexpr: %s() over non-numeric %v: %w", c.Name, a, ErrType)
+			}
+			switch {
+			case first:
+				acc = f
+				first = false
+			case c.Name == "min":
+				acc = math.Min(acc, f)
+			case c.Name == "max":
+				acc = math.Max(acc, f)
+			default:
+				acc += f
+			}
+		}
+		if c.Name == "avg" {
+			acc /= float64(len(args[0]))
+		}
+		if acc == float64(int64(acc)) {
+			return Sequence{AtomItem(int64(acc))}, nil
+		}
+		return Sequence{AtomItem(acc)}, nil
+	case "round", "floor", "ceiling":
+		if err := argn(1); err != nil {
+			return nil, err
+		}
+		args, err := evalArgs()
+		if err != nil {
+			return nil, err
+		}
+		f, err := toNumber(args[0])
+		if err != nil {
+			return nil, err
+		}
+		switch c.Name {
+		case "round":
+			f = math.Round(f)
+		case "floor":
+			f = math.Floor(f)
+		case "ceiling":
+			f = math.Ceil(f)
+		}
+		return Sequence{AtomItem(int64(f))}, nil
+	}
+	if ctx.env.Ext != nil {
+		seq, ok, err := ctx.env.Ext(ctx.env, c, ctx.item, ctx.pos, ctx.size)
+		if ok || err != nil {
+			return seq, err
+		}
+	}
+	return nil, fmt.Errorf("pathexpr: %s(): %w", c.Name, ErrUnknownFunc)
+}
+
+// argString atomizes a sequence to a single string: empty sequence yields "",
+// a singleton yields its string form.
+func argString(s Sequence) (string, error) {
+	if len(s) == 0 {
+		return "", nil
+	}
+	return ItemString(s[0]), nil
+}
+
+func lessAtom(a, b any) bool {
+	af, aok := asFloat(a)
+	bf, bok := asFloat(b)
+	if aok && bok {
+		return af < bf
+	}
+	if aok != bok {
+		return aok // numbers first
+	}
+	return asString(a) < asString(b)
+}

@@ -1,0 +1,337 @@
+// Package schema models MCT schemas (paper Sections 3.4 and 5.1): per-color
+// element productions with occurrence quantifiers, the real colors of each
+// element type, and the statistical summary (average child counts) that the
+// optSerialize algorithm consumes. It also implements the shallow/deep
+// schema characterization of Definition 3.3, based on XNF (Arenas & Libkin).
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"colorfulxml/internal/core"
+)
+
+// Quant is an occurrence quantifier of a production child: exactly one (1),
+// optional (?), one-or-more (+) or zero-or-more (*).
+type Quant byte
+
+// Occurrence quantifiers.
+const (
+	One        Quant = '1'
+	Optional   Quant = '?'
+	OneOrMore  Quant = '+'
+	ZeroOrMore Quant = '*'
+)
+
+func (q Quant) String() string {
+	if q == One {
+		return ""
+	}
+	return string(q)
+}
+
+// Child is one child slot of a production.
+type Child struct {
+	Elem  string
+	Quant Quant
+}
+
+func (c Child) String() string { return c.Elem + c.Quant.String() }
+
+// Production is the single production of an element type in one colored
+// hierarchy: elem -> children. The paper assumes one production per
+// (multi-colored element type, color).
+type Production struct {
+	Color    core.Color
+	Elem     string
+	Children []Child
+}
+
+func (p Production) String() string {
+	parts := make([]string, len(p.Children))
+	for i, c := range p.Children {
+		parts[i] = c.String()
+	}
+	return fmt.Sprintf("{%s} %s -> %s", p.Color, p.Elem, strings.Join(parts, ", "))
+}
+
+// Schema is an MCT schema: one tree grammar per color over a shared set of
+// element types, plus the statistical summary used for cost-based
+// serialization.
+type Schema struct {
+	colors []core.Color
+	roots  map[core.Color]string
+	// prods maps (color, elem) to the element's production in that color.
+	prods map[prodKey]*Production
+	// stats maps (elem, color) to quant(elem, color): the average number of
+	// children of this type under its parent type in that colored hierarchy.
+	stats map[prodKey]float64
+}
+
+type prodKey struct {
+	color core.Color
+	elem  string
+}
+
+// New creates an empty schema.
+func New() *Schema {
+	return &Schema{
+		roots: make(map[core.Color]string),
+		prods: make(map[prodKey]*Production),
+		stats: make(map[prodKey]float64),
+	}
+}
+
+// AddColor registers a colored hierarchy with its root element type.
+func (s *Schema) AddColor(c core.Color, root string) *Schema {
+	for _, have := range s.colors {
+		if have == c {
+			s.roots[c] = root
+			return s
+		}
+	}
+	s.colors = append(s.colors, c)
+	sort.Slice(s.colors, func(i, j int) bool { return s.colors[i] < s.colors[j] })
+	s.roots[c] = root
+	return s
+}
+
+// AddProduction registers the production of elem in color c. Children are
+// given as "name", "name?", "name+" or "name*".
+func (s *Schema) AddProduction(c core.Color, elem string, children ...string) *Schema {
+	p := &Production{Color: c, Elem: elem}
+	for _, ch := range children {
+		q := One
+		name := ch
+		if len(ch) > 0 {
+			switch ch[len(ch)-1] {
+			case '?', '+', '*':
+				q = Quant(ch[len(ch)-1])
+				name = ch[:len(ch)-1]
+			}
+		}
+		p.Children = append(p.Children, Child{Elem: name, Quant: q})
+	}
+	s.prods[prodKey{c, elem}] = p
+	return s
+}
+
+// SetQuant records quant(elem, c): the average number of children of type
+// elem per parent in hierarchy c (paper Section 5.3's helper function).
+func (s *Schema) SetQuant(elem string, c core.Color, avg float64) *Schema {
+	s.stats[prodKey{c, elem}] = avg
+	return s
+}
+
+// Quant returns quant(elem, c), defaulting to 1 when no statistic was set.
+func (s *Schema) Quant(elem string, c core.Color) float64 {
+	if v, ok := s.stats[prodKey{c, elem}]; ok {
+		return v
+	}
+	return 1
+}
+
+// Colors returns the schema's colors in sorted order.
+func (s *Schema) Colors() []core.Color { return s.colors }
+
+// Root returns the root element type of hierarchy c.
+func (s *Schema) Root(c core.Color) string { return s.roots[c] }
+
+// Production returns elem's production in color c, or nil.
+func (s *Schema) Production(c core.Color, elem string) *Production {
+	return s.prods[prodKey{c, elem}]
+}
+
+// RealColors returns the colors in which elem appears (as root or as a child
+// in some production), in sorted order — the element type's real colors
+// (paper Section 5.1).
+func (s *Schema) RealColors(elem string) []core.Color {
+	var out []core.Color
+	for _, c := range s.colors {
+		if s.roots[c] == elem {
+			out = append(out, c)
+			continue
+		}
+		if s.prods[prodKey{c, elem}] != nil {
+			out = append(out, c)
+			continue
+		}
+		found := false
+		for k, p := range s.prods {
+			if k.color != c {
+				continue
+			}
+			for _, ch := range p.Children {
+				if ch.Elem == elem {
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if found {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// IsLeaf reports whether elem has no production in any color (a leaf type
+// such as name or votes).
+func (s *Schema) IsLeaf(elem string) bool {
+	for _, c := range s.colors {
+		if s.prods[prodKey{c, elem}] != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// MultiColored reports whether elem has two or more real colors.
+func (s *Schema) MultiColored(elem string) bool { return len(s.RealColors(elem)) > 1 }
+
+// ElementTypes returns all element types mentioned anywhere in the schema,
+// sorted.
+func (s *Schema) ElementTypes() []string {
+	seen := map[string]bool{}
+	for _, r := range s.roots {
+		seen[r] = true
+	}
+	for _, p := range s.prods {
+		seen[p.Elem] = true
+		for _, ch := range p.Children {
+			seen[ch.Elem] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for e := range seen {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParentIn returns the parent element type of elem in hierarchy c, or ""
+// when elem is the root of c or absent from c. Schemas used with
+// optSerialize have a unique parent type per color (no cycles, single
+// production).
+func (s *Schema) ParentIn(elem string, c core.Color) string {
+	for k, p := range s.prods {
+		if k.color != c {
+			continue
+		}
+		for _, ch := range p.Children {
+			if ch.Elem == elem {
+				return p.Elem
+			}
+		}
+	}
+	return ""
+}
+
+// Validate checks schema well-formedness for serialization: every color has
+// a root, productions reference declared colors, and no colored hierarchy
+// has a cycle among multi-colored element types (the paper's simplifying
+// assumption in Section 5.3).
+func (s *Schema) Validate() error {
+	if len(s.colors) == 0 {
+		return fmt.Errorf("schema: no colors")
+	}
+	for _, c := range s.colors {
+		if s.roots[c] == "" {
+			return fmt.Errorf("schema: color %q has no root", c)
+		}
+		// Cycle detection per color by DFS from the root. Recursive types
+		// (e.g. nested movie-genre) are fine; the paper's Section 5.3
+		// assumption is only that MULTI-COLORED element types are not
+		// involved in cycles.
+		state := map[string]int{} // 0 unseen, 1 in-stack, 2 done
+		var stack []string
+		var visit func(elem string) error
+		visit = func(elem string) error {
+			switch state[elem] {
+			case 1:
+				// Found a cycle: elem .. top-of-stack. It is an error iff
+				// any member is multi-colored.
+				for i := len(stack) - 1; i >= 0; i-- {
+					if s.MultiColored(stack[i]) {
+						return fmt.Errorf("schema: multi-colored type %q in a cycle in color %q", stack[i], c)
+					}
+					if stack[i] == elem {
+						break
+					}
+				}
+				return nil
+			case 2:
+				return nil
+			}
+			state[elem] = 1
+			stack = append(stack, elem)
+			defer func() { stack = stack[:len(stack)-1] }()
+			if p := s.prods[prodKey{c, elem}]; p != nil {
+				for _, ch := range p.Children {
+					if err := visit(ch.Elem); err != nil {
+						return err
+					}
+				}
+			}
+			state[elem] = 2
+			return nil
+		}
+		if err := visit(s.roots[c]); err != nil {
+			return err
+		}
+	}
+	for k := range s.prods {
+		found := false
+		for _, c := range s.colors {
+			if c == k.color {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("schema: production for undeclared color %q", k.color)
+		}
+	}
+	return nil
+}
+
+// Figure8 builds the paper's Figure 8 example MCT schema: the movie schema
+// with red (genre), green (award) and blue (actor) hierarchies, movie
+// red+green, movie-role red+blue, and the extra subelements introduced in
+// Section 5.1 (category green, payment blue, description and scene red).
+func Figure8() *Schema {
+	s := New()
+	s.AddColor("red", "movie-genres")
+	s.AddColor("green", "movie-awards")
+	s.AddColor("blue", "actors")
+
+	s.AddProduction("red", "movie-genres", "movie-genre*")
+	s.AddProduction("red", "movie-genre", "name", "movie-genre*", "movie*")
+	s.AddProduction("red", "movie", "name", "movie-role*")
+	s.AddProduction("red", "movie-role", "name", "description?", "scene*")
+
+	s.AddProduction("green", "movie-awards", "movie-award*")
+	s.AddProduction("green", "movie-award", "name", "year*")
+	s.AddProduction("green", "year", "name", "movie*")
+	s.AddProduction("green", "movie", "name", "votes?", "category*")
+
+	s.AddProduction("blue", "actors", "actor*")
+	s.AddProduction("blue", "actor", "name", "movie-role*")
+	s.AddProduction("blue", "movie-role", "name", "payment?")
+
+	// Statistics in the spirit of Section 5.2: a movie has on average one
+	// name, one votes, one category and several movie-roles; a movie-role
+	// has one name/description/payment and 3 scenes.
+	s.SetQuant("movie-role", "red", 10)
+	s.SetQuant("movie-role", "blue", 4)
+	s.SetQuant("scene", "red", 3)
+	s.SetQuant("movie", "red", 5)
+	s.SetQuant("movie", "green", 5)
+	return s
+}

@@ -1,0 +1,649 @@
+package serialize
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"colorfulxml/internal/core"
+	"colorfulxml/internal/xmlenc"
+)
+
+// Serialization format. An MCT database serializes to
+//
+//	<mct colors="blue green red">
+//	  <tree color="blue"> ...full elements... </tree>
+//	  ...
+//	</mct>
+//
+// Every element instance is emitted exactly once, nested inside the tree of
+// its primary color under its parent in that color (its nest edge). The
+// remaining structure is encoded with reserved attributes:
+//
+//	mct:id         node identifier, emitted when the node is referenced
+//	mct:colors     full color list, for multi-colored elements
+//	mct:e          nest edge color, when it differs from the enclosing
+//	               context (a child may nest under its parent along any of
+//	               the parent's hierarchies)
+//	mct:p-<color>  parent reference for each non-nest color ("doc" for the
+//	               document node)
+//
+// and, on parents whose per-color element-child order is not implied by
+// physical nesting, mct:o-<color> — the ordered list of element-child ids.
+//
+// Text content is emitted inline at its nest-edge position. Per-color
+// element order is preserved exactly; the interleaving of text runs relative
+// to elements in NON-nest colors is approximated (text first), which is
+// exact for the data-centric documents this system targets.
+const (
+	attrID     = "mct:id"
+	attrColors = "mct:colors"
+	attrEdge   = "mct:e"
+	prefixP    = "mct:p-"
+	prefixO    = "mct:o-"
+)
+
+// Serialize renders the database as an XML document per the plan. A nil plan
+// nests every instance in its first (sorted-lowest) color.
+func Serialize(db *core.Database, plan *Plan) (*xmlenc.Node, error) {
+	s := &serializer{db: db, plan: plan, needsID: map[core.NodeID]bool{}, mixed: map[edgeKey]bool{}}
+	s.analyze()
+	root := &xmlenc.Node{Kind: xmlenc.KindElement, Name: "mct"}
+	colors := db.Colors()
+	colorNames := make([]string, len(colors))
+	for i, c := range colors {
+		colorNames[i] = string(c)
+	}
+	root.SetAttr("colors", strings.Join(colorNames, " "))
+	for _, c := range colors {
+		tree := &xmlenc.Node{Kind: xmlenc.KindElement, Name: "tree"}
+		tree.SetAttr("color", string(c))
+		if err := s.emitChildren(tree, db.Document(), c, c); err != nil {
+			return nil, err
+		}
+		s.emitOrderAttr(tree, db.Document(), c)
+		root.Children = append(root.Children, tree)
+	}
+	return &xmlenc.Node{Kind: xmlenc.KindDocument, Children: []*xmlenc.Node{root}}, nil
+}
+
+type edgeKey struct {
+	parent core.NodeID
+	color  core.Color
+}
+
+type serializer struct {
+	db      *core.Database
+	plan    *Plan
+	needsID map[core.NodeID]bool
+	mixed   map[edgeKey]bool
+	// primary is the per-instance nest color, after cycle breaking.
+	primary map[core.NodeID]core.Color
+}
+
+// primaryFor resolves the nest edge color of an instance.
+func (s *serializer) primaryFor(n *core.Node) core.Color {
+	if c, ok := s.primary[n.ID()]; ok {
+		return c
+	}
+	return s.planPrimary(n)
+}
+
+func (s *serializer) planPrimary(n *core.Node) core.Color {
+	if s.plan != nil {
+		return s.plan.PrimaryFor(n)
+	}
+	colors := n.Colors()
+	if len(colors) == 0 {
+		return ""
+	}
+	return colors[0]
+}
+
+// assignPrimaries chooses each instance's nest color, breaking emission
+// cycles. An element is emitted inside its parent along its nest color; that
+// parent must itself be emitted, so the nest-parent chains must all reach
+// the document. A plan may induce cycles (A nests under B in one color while
+// B nests under A in another); such nodes would never be emitted. For any
+// node whose chain does not reach the document, the nest color is demoted to
+// an alternative whose parent's chain does.
+func (s *serializer) assignPrimaries() {
+	s.primary = map[core.NodeID]core.Color{}
+	var elems []*core.Node
+	for _, c := range s.db.Colors() {
+		for _, n := range s.db.TreeNodes(c) {
+			if n.Kind() == core.KindElement {
+				if _, ok := s.primary[n.ID()]; !ok {
+					s.primary[n.ID()] = s.planPrimary(n)
+					elems = append(elems, n)
+				}
+			}
+		}
+	}
+	// okNodes[n]: n's nest-parent chain reaches the document.
+	okNodes := map[core.NodeID]bool{}
+	var reaches func(n *core.Node, visiting map[core.NodeID]bool) bool
+	reaches = func(n *core.Node, visiting map[core.NodeID]bool) bool {
+		if okNodes[n.ID()] {
+			return true
+		}
+		if visiting[n.ID()] {
+			return false // cycle
+		}
+		visiting[n.ID()] = true
+		defer delete(visiting, n.ID())
+		p := core.Parent(n, s.primary[n.ID()])
+		if p == nil {
+			return false
+		}
+		if p.Kind() == core.KindDocument || reaches(p, visiting) {
+			okNodes[n.ID()] = true
+			return true
+		}
+		return false
+	}
+	for {
+		var unreached []*core.Node
+		for _, n := range elems {
+			reaches(n, map[core.NodeID]bool{})
+		}
+		for _, n := range elems {
+			if !okNodes[n.ID()] {
+				unreached = append(unreached, n)
+			}
+		}
+		if len(unreached) == 0 {
+			return
+		}
+		// Repair one node whose parent in SOME color already reaches the
+		// document (one always exists: per-color parent chains are rooted
+		// trees, so walking any color up from an unreached node hits a
+		// reached node or the document).
+		repaired := false
+		for _, n := range unreached {
+			for _, c := range n.Colors() {
+				p := core.Parent(n, c)
+				if p == nil {
+					continue
+				}
+				if p.Kind() == core.KindDocument || okNodes[p.ID()] {
+					s.primary[n.ID()] = c
+					okNodes[n.ID()] = true
+					repaired = true
+					break
+				}
+			}
+			if repaired {
+				break
+			}
+		}
+		if !repaired {
+			// Defensive: unreachable for valid databases; avoid looping.
+			n := unreached[0]
+			s.primary[n.ID()] = n.Colors()[0]
+			okNodes[n.ID()] = true
+		}
+	}
+}
+
+// analyze finds nodes that need ids and (parent, color) groups whose element
+// order must be made explicit.
+func (s *serializer) analyze() {
+	s.assignPrimaries()
+	for _, c := range s.db.Colors() {
+		for _, n := range s.db.TreeNodes(c) {
+			if n.Kind() != core.KindElement {
+				continue
+			}
+			if s.primaryFor(n) == c {
+				continue
+			}
+			// n is referenced in color c rather than nested.
+			p := core.Parent(n, c)
+			if p != nil && p.Kind() == core.KindElement {
+				s.needsID[p.ID()] = true
+			}
+			if p != nil {
+				s.mixed[edgeKey{p.ID(), c}] = true
+			}
+		}
+	}
+	// Every element child of a mixed group needs an id for the order list.
+	for key := range s.mixed {
+		p := s.db.NodeByID(key.parent)
+		if p == nil {
+			continue
+		}
+		for _, ch := range core.Children(p, key.color) {
+			if ch.Kind() == core.KindElement {
+				s.needsID[ch.ID()] = true
+			}
+		}
+	}
+}
+
+// emitChildren emits, under out, the children of parent in color c that nest
+// here (their primary color is c). ctx is the enclosing context color: nested
+// children whose edge differs from it carry an mct:e attribute.
+func (s *serializer) emitChildren(out *xmlenc.Node, parent *core.Node, c core.Color, ctx core.Color) error {
+	for _, ch := range core.Children(parent, c) {
+		switch ch.Kind() {
+		case core.KindText:
+			// Text nests with its owner: emit only at the owner's nest edge.
+			if s.primaryFor(parent) == c || parent.Kind() == core.KindDocument {
+				out.Children = append(out.Children, xmlenc.NewText(ch.Value()))
+			}
+		case core.KindElement:
+			if s.primaryFor(ch) != c {
+				continue // referenced, emitted elsewhere
+			}
+			el, err := s.emitFull(ch, c, ctx)
+			if err != nil {
+				return err
+			}
+			out.Children = append(out.Children, el)
+		case core.KindComment:
+			if s.primaryFor(ch) == c {
+				out.Children = append(out.Children, &xmlenc.Node{Kind: xmlenc.KindComment, Value: ch.Value()})
+			}
+		case core.KindPI:
+			if s.primaryFor(ch) == c {
+				out.Children = append(out.Children, &xmlenc.Node{Kind: xmlenc.KindPI, Name: ch.Name(), Value: ch.Value()})
+			}
+		}
+	}
+	return nil
+}
+
+// emitFull emits one element completely, nested at its nest edge c inside
+// context color ctx.
+func (s *serializer) emitFull(n *core.Node, c core.Color, ctx core.Color) (*xmlenc.Node, error) {
+	el := &xmlenc.Node{Kind: xmlenc.KindElement, Name: n.Name()}
+	colors := n.Colors()
+	if s.needsID[n.ID()] {
+		el.SetAttr(attrID, strconv.FormatUint(uint64(n.ID()), 10))
+	}
+	if c != ctx {
+		el.SetAttr(attrEdge, string(c))
+	}
+	if len(colors) > 1 {
+		names := make([]string, len(colors))
+		for i, cc := range colors {
+			names[i] = string(cc)
+		}
+		el.SetAttr(attrColors, strings.Join(names, " "))
+	}
+	for _, cc := range colors {
+		if cc == c {
+			continue
+		}
+		p := core.Parent(n, cc)
+		switch {
+		case p == nil:
+			return nil, fmt.Errorf("serialize: %v has color %q but no parent in it", n, cc)
+		case p.Kind() == core.KindDocument:
+			el.SetAttr(prefixP+string(cc), "doc")
+		default:
+			el.SetAttr(prefixP+string(cc), strconv.FormatUint(uint64(p.ID()), 10))
+		}
+	}
+	for _, a := range n.Attributes() {
+		el.SetAttr(a.Name(), a.Value())
+	}
+	// Children from every color of n; only those nesting here are inlined.
+	// The context for them is n's own nest edge c.
+	for _, cc := range colors {
+		// Text children are shared across colors: emit them for the nest
+		// edge pass only (emitChildren handles the filtering).
+		if err := s.emitChildren(el, n, cc, c); err != nil {
+			return nil, err
+		}
+		s.emitOrderAttr(el, n, cc)
+	}
+	return el, nil
+}
+
+// emitOrderAttr records explicit element order for a mixed (parent, color)
+// group.
+func (s *serializer) emitOrderAttr(el *xmlenc.Node, parent *core.Node, c core.Color) {
+	if !s.mixed[edgeKey{parent.ID(), c}] {
+		return
+	}
+	var ids []string
+	for _, ch := range core.Children(parent, c) {
+		if ch.Kind() == core.KindElement {
+			ids = append(ids, strconv.FormatUint(uint64(ch.ID()), 10))
+		}
+	}
+	el.SetAttr(prefixO+string(c), strings.Join(ids, " "))
+}
+
+// SerializeString is Serialize rendered to a string.
+func SerializeString(db *core.Database, plan *Plan, indent bool) (string, error) {
+	doc, err := Serialize(db, plan)
+	if err != nil {
+		return "", err
+	}
+	opt := xmlenc.WriteOptions{Declaration: true}
+	if indent {
+		opt.Indent = "  "
+	}
+	return xmlenc.String(doc, opt), nil
+}
+
+// Deserialize reconstructs an MCT database from a serialized document.
+func Deserialize(doc *xmlenc.Node) (*core.Database, error) {
+	root := doc.Root()
+	if root == nil || root.Name != "mct" {
+		return nil, fmt.Errorf("serialize: document root is not <mct>")
+	}
+	colorsAttr, ok := root.Attr("colors")
+	if !ok {
+		return nil, fmt.Errorf("serialize: <mct> missing colors attribute")
+	}
+	var colors []core.Color
+	for _, c := range strings.Fields(colorsAttr) {
+		colors = append(colors, core.Color(c))
+	}
+	db := core.NewDatabase(colors...)
+	d := &deserializer{
+		db:    db,
+		byID:  map[string]*core.Node{},
+		refs:  nil,
+		order: nil,
+	}
+	for _, tree := range root.Elements("tree") {
+		tc, ok := tree.Attr("color")
+		if !ok {
+			return nil, fmt.Errorf("serialize: <tree> missing color attribute")
+		}
+		c := core.Color(tc)
+		if !db.HasColor(c) {
+			return nil, fmt.Errorf("serialize: undeclared tree color %q", c)
+		}
+		if err := d.buildChildren(tree, db.Document(), c); err != nil {
+			return nil, err
+		}
+		d.collectOrder(tree, db.Document())
+	}
+	if err := d.resolveRefs(); err != nil {
+		return nil, err
+	}
+	if err := d.applyOrders(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// DeserializeString parses and reconstructs from XML text.
+func DeserializeString(src string) (*core.Database, error) {
+	doc, err := xmlenc.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Deserialize(doc)
+}
+
+type pendingRef struct {
+	child     *core.Node
+	color     core.Color
+	parentRef string // "doc" or an mct:id value
+}
+
+type pendingOrder struct {
+	parent *core.Node
+	color  core.Color
+	ids    []string
+}
+
+type deserializer struct {
+	db    *core.Database
+	byID  map[string]*core.Node
+	refs  []pendingRef
+	order []pendingOrder
+}
+
+// buildChildren creates (and nests) the serialized children of parent along
+// edge color c.
+func (d *deserializer) buildChildren(src *xmlenc.Node, parent *core.Node, c core.Color) error {
+	for _, ch := range src.Children {
+		switch ch.Kind {
+		case xmlenc.KindText:
+			if parent.Kind() == core.KindElement {
+				if _, err := d.db.AppendText(parent, ch.Value); err != nil {
+					return err
+				}
+			}
+		case xmlenc.KindElement:
+			if err := d.buildElement(ch, parent, c); err != nil {
+				return err
+			}
+		case xmlenc.KindComment:
+			n, err := d.db.NewComment(ch.Value, c)
+			if err != nil {
+				return err
+			}
+			if err := d.db.Append(parent, n, c); err != nil {
+				return err
+			}
+		case xmlenc.KindPI:
+			n, err := d.db.NewPI(ch.Name, ch.Value, c)
+			if err != nil {
+				return err
+			}
+			if err := d.db.Append(parent, n, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (d *deserializer) buildElement(src *xmlenc.Node, parent *core.Node, ctx core.Color) error {
+	// The nest edge is the context color unless overridden by mct:e.
+	nestColor := ctx
+	if e, ok := src.Attr(attrEdge); ok {
+		nestColor = core.Color(e)
+	}
+	// Colors: explicit list or just the nest edge.
+	var colors []core.Color
+	if cl, ok := src.Attr(attrColors); ok {
+		for _, c := range strings.Fields(cl) {
+			colors = append(colors, core.Color(c))
+		}
+	} else {
+		colors = []core.Color{nestColor}
+	}
+	if !containsColor(colors, nestColor) {
+		return fmt.Errorf("serialize: element <%s> nested in %q but colored %v", src.Name, nestColor, colors)
+	}
+	n, err := d.db.NewElement(src.Name, colors[0])
+	if err != nil {
+		return err
+	}
+	for _, c := range colors[1:] {
+		if err := d.db.AddColor(n, c); err != nil {
+			return err
+		}
+	}
+	if err := d.db.Append(parent, n, nestColor); err != nil {
+		return err
+	}
+	for _, a := range src.Attrs {
+		switch {
+		case a.Name == attrID:
+			d.byID[a.Value] = n
+		case a.Name == attrColors, a.Name == attrEdge:
+			// handled above
+		case strings.HasPrefix(a.Name, prefixP):
+			c := core.Color(strings.TrimPrefix(a.Name, prefixP))
+			if !containsColor(colors, c) {
+				return fmt.Errorf("serialize: <%s> has parent ref in non-color %q", src.Name, c)
+			}
+			d.refs = append(d.refs, pendingRef{child: n, color: c, parentRef: a.Value})
+		case strings.HasPrefix(a.Name, prefixO):
+			// collected by collectOrder after children exist
+		default:
+			if _, err := d.db.SetAttribute(n, a.Name, a.Value); err != nil {
+				return err
+			}
+		}
+	}
+	if err := d.buildChildren(src, n, nestColor); err != nil {
+		return err
+	}
+	d.collectOrder(src, n)
+	return nil
+}
+
+func (d *deserializer) collectOrder(src *xmlenc.Node, n *core.Node) {
+	for _, a := range src.Attrs {
+		if strings.HasPrefix(a.Name, prefixO) {
+			d.order = append(d.order, pendingOrder{
+				parent: n,
+				color:  core.Color(strings.TrimPrefix(a.Name, prefixO)),
+				ids:    strings.Fields(a.Value),
+			})
+		}
+	}
+}
+
+func (d *deserializer) resolveRefs() error {
+	for _, r := range d.refs {
+		var parent *core.Node
+		if r.parentRef == "doc" {
+			parent = d.db.Document()
+		} else {
+			parent = d.byID[r.parentRef]
+			if parent == nil {
+				return fmt.Errorf("serialize: dangling parent reference %q", r.parentRef)
+			}
+		}
+		if err := d.db.Append(parent, r.child, r.color); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyOrders re-orders element children per the recorded mct:o-<color>
+// lists (references were appended at the end; this restores true positions).
+func (d *deserializer) applyOrders() error {
+	for _, o := range d.order {
+		want := make([]*core.Node, 0, len(o.ids))
+		for _, id := range o.ids {
+			n := d.byID[id]
+			if n == nil {
+				return fmt.Errorf("serialize: dangling order reference %q", id)
+			}
+			want = append(want, n)
+		}
+		// Detach all listed children, then re-append in order.
+		for _, n := range want {
+			if core.Parent(n, o.color) != o.parent {
+				return fmt.Errorf("serialize: order list names %v, not a child of %v in %q", n, o.parent, o.color)
+			}
+			if err := d.db.Detach(n, o.color); err != nil {
+				return err
+			}
+		}
+		for _, n := range want {
+			if err := d.db.Append(o.parent, n, o.color); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func containsColor(cs []core.Color, c core.Color) bool {
+	for _, x := range cs {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Isomorphic reports whether two databases are structurally identical per
+// color: same color sets, and for each color, identical trees (element
+// names, attributes, per-color element-child order, and per-element
+// concatenated text), ignoring node identities. It is the equivalence the
+// serializer guarantees to preserve, used by round-trip tests.
+func Isomorphic(a, b *core.Database) (bool, string) {
+	ac, bc := a.Colors(), b.Colors()
+	if len(ac) != len(bc) {
+		return false, fmt.Sprintf("color counts differ: %v vs %v", ac, bc)
+	}
+	for i := range ac {
+		if ac[i] != bc[i] {
+			return false, fmt.Sprintf("colors differ: %v vs %v", ac, bc)
+		}
+	}
+	for _, c := range ac {
+		if ok, why := isoNode(a.Document(), b.Document(), c); !ok {
+			return false, fmt.Sprintf("color %q: %s", c, why)
+		}
+	}
+	return true, ""
+}
+
+func isoNode(x, y *core.Node, c core.Color) (bool, string) {
+	if x.Kind() != y.Kind() || x.Name() != y.Name() {
+		return false, fmt.Sprintf("%v vs %v", x, y)
+	}
+	if x.Kind() == core.KindElement {
+		if len(x.Colors()) != len(y.Colors()) {
+			return false, fmt.Sprintf("%v colors %v vs %v", x, x.Colors(), y.Colors())
+		}
+		for i, cc := range x.Colors() {
+			if y.Colors()[i] != cc {
+				return false, fmt.Sprintf("%v colors %v vs %v", x, x.Colors(), y.Colors())
+			}
+		}
+		if len(x.Attributes()) != len(y.Attributes()) {
+			return false, fmt.Sprintf("%v attr count %d vs %d", x, len(x.Attributes()), len(y.Attributes()))
+		}
+		for _, a := range x.Attributes() {
+			if y.AttributeValue(a.Name()) != a.Value() {
+				return false, fmt.Sprintf("%v attr %s %q vs %q", x, a.Name(), a.Value(), y.AttributeValue(a.Name()))
+			}
+		}
+	}
+	xe := elementChildren(x, c)
+	ye := elementChildren(y, c)
+	if len(xe) != len(ye) {
+		return false, fmt.Sprintf("%v child count %d vs %d in %q", x, len(xe), len(ye), c)
+	}
+	xt := textOf(x, c)
+	yt := textOf(y, c)
+	if xt != yt {
+		return false, fmt.Sprintf("%v text %q vs %q", x, xt, yt)
+	}
+	for i := range xe {
+		if ok, why := isoNode(xe[i], ye[i], c); !ok {
+			return false, why
+		}
+	}
+	return true, ""
+}
+
+func elementChildren(n *core.Node, c core.Color) []*core.Node {
+	var out []*core.Node
+	for _, ch := range core.Children(n, c) {
+		if ch.Kind() != core.KindText {
+			out = append(out, ch)
+		}
+	}
+	return out
+}
+
+func textOf(n *core.Node, c core.Color) string {
+	var b strings.Builder
+	for _, ch := range core.Children(n, c) {
+		if ch.Kind() == core.KindText {
+			b.WriteString(ch.Value())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,242 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+
+	"colorfulxml/internal/core"
+	"colorfulxml/internal/pagestore"
+)
+
+// readStructRef reads a structural record through the buffer pool.
+func (s *Store) readStructRef(ref uint64, c core.Color) (SNode, error) {
+	buf, err := s.pages.ReadRecord(unpackRID(ref))
+	if err != nil {
+		return SNode{}, err
+	}
+	return decodeStruct(buf, c), nil
+}
+
+// ScanTag returns all structural nodes with the given tag in color c, in
+// start (local document) order.
+func (s *Store) ScanTag(c core.Color, tag string) ([]SNode, error) {
+	refs := s.tagIdx.Get(tagKey(c, tag))
+	out := make([]SNode, 0, len(refs))
+	for _, ref := range refs {
+		sn, err := s.readStructRef(ref, c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sn)
+	}
+	return out, nil
+}
+
+// CountTag returns the number of structural nodes with a tag in color c
+// without reading them (index-only).
+func (s *Store) CountTag(c core.Color, tag string) int {
+	return len(s.tagIdx.Get(tagKey(c, tag)))
+}
+
+// ElemInfo is a decoded element record.
+type ElemInfo struct {
+	ID      ElemID
+	Tag     string
+	Content string
+	Attrs   [][2]string
+}
+
+// Attr returns the named attribute's value, or "".
+func (e ElemInfo) Attr(name string) string {
+	for _, a := range e.Attrs {
+		if a[0] == name {
+			return a[1]
+		}
+	}
+	return ""
+}
+
+// Elem reads an element record through the buffer pool.
+func (s *Store) Elem(id ElemID) (ElemInfo, error) {
+	rid, ok := s.elemLoc[id]
+	if !ok {
+		return ElemInfo{}, fmt.Errorf("storage: element %d: %w", id, pagestore.ErrNoSuchRecord)
+	}
+	buf, err := s.pages.ReadRecord(rid)
+	if err != nil {
+		return ElemInfo{}, err
+	}
+	eid, tag, content, attrs := decodeElem(buf)
+	return ElemInfo{ID: eid, Tag: tag, Content: content, Attrs: attrs}, nil
+}
+
+// ContentOf reads an element's text content.
+func (s *Store) ContentOf(id ElemID) (string, error) {
+	e, err := s.Elem(id)
+	if err != nil {
+		return "", err
+	}
+	return e.Content, nil
+}
+
+// EqContent returns structural nodes with the given tag whose content equals
+// value, via the content index (no scan).
+func (s *Store) EqContent(c core.Color, tag, value string) ([]SNode, error) {
+	refs := s.contentIdx.Get(contentKey(c, tag, value))
+	out := make([]SNode, 0, len(refs))
+	for _, ref := range refs {
+		sn, err := s.readStructRef(ref, c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sn)
+	}
+	return out, nil
+}
+
+// ScanContains scans all nodes of a tag in color c and keeps those whose
+// content satisfies pred — the access path for contains() predicates, which
+// the content index cannot answer. Every candidate's element record is read
+// (a real content fetch), so the page cost is proportional to the tag's
+// cardinality.
+func (s *Store) ScanContains(c core.Color, tag string, pred func(content string) bool) ([]SNode, error) {
+	nodes, err := s.ScanTag(c, tag)
+	if err != nil {
+		return nil, err
+	}
+	out := nodes[:0:0]
+	for _, sn := range nodes {
+		content, err := s.ContentOf(sn.Elem)
+		if err != nil {
+			return nil, err
+		}
+		if pred(content) {
+			out = append(out, sn)
+		}
+	}
+	return out, nil
+}
+
+// EqAttr returns the element ids whose attribute name equals value, via the
+// attribute index.
+func (s *Store) EqAttr(name, value string) []ElemID {
+	refs := s.attrIdx.Get(attrKey(name, value))
+	out := make([]ElemID, len(refs))
+	for i, r := range refs {
+		out[i] = ElemID(r)
+	}
+	return out
+}
+
+// CrossTree is the color-transition access method of Section 6.2: it follows
+// the element's back-link to its structural node in the target color. ok is
+// false when the element does not participate in that colored tree.
+func (s *Store) CrossTree(id ElemID, to core.Color) (SNode, bool, error) {
+	locs, ok := s.structLoc[id]
+	if !ok {
+		return SNode{}, false, nil
+	}
+	rid, ok := locs[to]
+	if !ok {
+		return SNode{}, false, nil
+	}
+	buf, err := s.pages.ReadRecord(rid)
+	if err != nil {
+		return SNode{}, false, err
+	}
+	return decodeStruct(buf, to), true, nil
+}
+
+// ColorsOf returns the colors an element participates in.
+func (s *Store) ColorsOf(id ElemID) []core.Color {
+	locs := s.structLoc[id]
+	out := make([]core.Color, 0, len(locs))
+	for _, c := range s.colors {
+		if _, ok := locs[c]; ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ParentOf returns the parent structural node of sn in its color.
+func (s *Store) ParentOf(sn SNode) (SNode, bool, error) {
+	if sn.ParentStart < 0 {
+		return SNode{}, false, nil
+	}
+	refs := s.startIdx.Get(startKey(sn.Color, sn.ParentStart))
+	if len(refs) == 0 {
+		return SNode{}, false, fmt.Errorf("storage: dangling parent start %d in %q", sn.ParentStart, sn.Color)
+	}
+	p, err := s.readStructRef(refs[0], sn.Color)
+	if err != nil {
+		return SNode{}, false, err
+	}
+	return p, true, nil
+}
+
+// Subtree returns the descendants of sn (excluding sn) in start order.
+func (s *Store) Subtree(sn SNode) ([]SNode, error) {
+	var out []SNode
+	var scanErr error
+	s.startIdx.Range(startKey(sn.Color, sn.Start+1), startKey(sn.Color, sn.End), func(_ string, refs []uint64) bool {
+		for _, ref := range refs {
+			d, err := s.readStructRef(ref, sn.Color)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			out = append(out, d)
+		}
+		return true
+	})
+	return out, scanErr
+}
+
+// ChildrenOf returns the direct children of sn in start order.
+func (s *Store) ChildrenOf(sn SNode) ([]SNode, error) {
+	desc, err := s.Subtree(sn)
+	if err != nil {
+		return nil, err
+	}
+	out := desc[:0:0]
+	for _, d := range desc {
+		if d.ParentStart == sn.Start {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// Roots returns the root structural nodes of a colored tree (children of the
+// document) in start order.
+func (s *Store) Roots(c core.Color) ([]SNode, error) {
+	var out []SNode
+	var scanErr error
+	s.startIdx.Prefix(string(c)+"|", func(_ string, refs []uint64) bool {
+		for _, ref := range refs {
+			sn, err := s.readStructRef(ref, c)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if sn.ParentStart == -1 {
+				out = append(out, sn)
+			}
+		}
+		return true
+	})
+	return out, scanErr
+}
+
+// StructOf returns the structural node of an element in a color (same as
+// CrossTree; provided for readability at call sites that are not joins).
+func (s *Store) StructOf(id ElemID, c core.Color) (SNode, bool, error) {
+	return s.CrossTree(id, c)
+}
+
+// ContainsFold reports substring containment, the semantics used by the
+// workload's contains() predicates.
+func ContainsFold(haystack, needle string) bool {
+	return strings.Contains(haystack, needle)
+}

@@ -1,0 +1,116 @@
+package storage
+
+import (
+	"fmt"
+
+	"colorfulxml/internal/core"
+	"colorfulxml/internal/pagestore"
+)
+
+// Load bulk-loads a logical MCT database into a physical store: element
+// records are written once per element (in first-color document order),
+// structural records per (element, color) in pre-order — so tag-index
+// postings come out sorted by start position, as the structural join
+// algorithms require.
+func Load(db *core.Database, poolPages int) (*Store, error) {
+	s := NewStore(poolPages, db.Colors()...)
+	type rec struct {
+		node *core.Node
+		sn   SNode
+	}
+	for _, c := range db.Colors() {
+		ctr := int64(gap)
+		// First pass: compute intervals in pre-order (records are written in
+		// pre-order afterwards so index postings come out start-sorted; End
+		// is only known after the recursion).
+		var recs []rec
+		var walk func(n *core.Node, level int32, parentStart int64)
+		walk = func(n *core.Node, level int32, parentStart int64) {
+			for _, ch := range core.Children(n, c) {
+				if ch.Kind() != core.KindElement {
+					continue // text is the owning element's content
+				}
+				idx := len(recs)
+				start := ctr
+				ctr += gap
+				recs = append(recs, rec{node: ch, sn: SNode{
+					Elem:        ElemID(ch.ID()),
+					Color:       c,
+					Start:       start,
+					Level:       level,
+					ParentStart: parentStart,
+				}})
+				walk(ch, level+1, start)
+				recs[idx].sn.End = ctr
+				ctr += gap
+			}
+		}
+		walk(db.Document(), 0, -1)
+		for _, r := range recs {
+			if err := s.ensureElem(r.node); err != nil {
+				return nil, err
+			}
+			if err := s.insertStruct(r.node.Name(), core.Text(r.node), r.sn); err != nil {
+				return nil, err
+			}
+		}
+		s.maxStart[c] = ctr
+	}
+	// Count text nodes for Table 1's content-node accounting.
+	return s, nil
+}
+
+// ensureElem writes the element record on first encounter.
+func (s *Store) ensureElem(n *core.Node) error {
+	id := ElemID(n.ID())
+	if _, ok := s.elemLoc[id]; ok {
+		return nil
+	}
+	var attrs [][2]string
+	for _, a := range n.Attributes() {
+		attrs = append(attrs, [2]string{a.Name(), a.Value()})
+	}
+	content := core.Text(n)
+	rid, err := s.pages.AppendRecord(s.elemFile, encodeElem(id, n.Name(), content, attrs))
+	if err != nil {
+		return err
+	}
+	s.elemLoc[id] = rid
+	if id >= s.nextID {
+		s.nextID = id + 1
+	}
+	s.counts.Elements++
+	s.counts.Attributes += len(attrs)
+	if content != "" {
+		s.counts.ContentNodes++
+	}
+	for _, a := range attrs {
+		s.attrIdx.Insert(attrKey(a[0], a[1]), uint64(id))
+	}
+	return nil
+}
+
+// insertStruct writes a structural record and registers it in the
+// directories and indexes.
+func (s *Store) insertStruct(tag, content string, sn SNode) error {
+	f, ok := s.structFile[sn.Color]
+	if !ok {
+		return fmt.Errorf("storage: unknown color %q", sn.Color)
+	}
+	rid, err := s.pages.AppendRecord(f, encodeStruct(sn))
+	if err != nil {
+		return err
+	}
+	if s.structLoc[sn.Elem] == nil {
+		s.structLoc[sn.Elem] = map[core.Color]pagestore.RecordID{}
+	}
+	s.structLoc[sn.Elem][sn.Color] = rid
+	ref := packRID(rid)
+	s.tagIdx.Insert(tagKey(sn.Color, tag), ref)
+	if content != "" {
+		s.contentIdx.Insert(contentKey(sn.Color, tag, content), ref)
+	}
+	s.startIdx.Insert(startKey(sn.Color, sn.Start), ref)
+	s.counts.StructNodes++
+	return nil
+}

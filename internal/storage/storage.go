@@ -1,0 +1,265 @@
+// Package storage is the Timber-style physical MCT store of the paper's
+// Section 6.2 and Figure 10:
+//
+//   - element content and attributes are stored exactly once, as one element
+//     record in a heap file;
+//   - structural relationships are stored separately: one structural node per
+//     (element, color), carrying a (start, end, level, parent-start) interval
+//     encoding of its position in that colored tree;
+//   - multi-colored elements carry back-links from the element record to each
+//     of its single-colored structural nodes, which the cross-tree join
+//     access method follows to transition between colors.
+//
+// All record access goes through the pagestore buffer pool, so structural
+// scans, content fetches and cross-tree joins have observable page costs.
+// Tag, content and attribute B+-tree indexes support the experiment
+// workloads.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"colorfulxml/internal/btree"
+	"colorfulxml/internal/core"
+	"colorfulxml/internal/pagestore"
+)
+
+// ElemID identifies an element record (identity shared by all its structural
+// nodes).
+type ElemID uint64
+
+// SNode is a structural node: the physical representation of one element's
+// participation in one colored tree, with interval encoding.
+type SNode struct {
+	Elem        ElemID
+	Color       core.Color
+	Start       int64
+	End         int64
+	Level       int32
+	ParentStart int64 // -1 for roots (children of the document)
+}
+
+// Contains reports whether d lies strictly within a's interval: a is an
+// ancestor of d in their (shared) colored tree.
+func (a SNode) Contains(d SNode) bool { return a.Start < d.Start && d.End < a.End }
+
+// IsParentOf reports whether a is the parent of d (one level apart and
+// d's parent-start matches).
+func (a SNode) IsParentOf(d SNode) bool {
+	return d.ParentStart == a.Start && d.Level == a.Level+1
+}
+
+// gap is the spacing between consecutive start values at bulk load, leaving
+// room for a few inserts without renumbering.
+const gap = 16
+
+// structRecSize is the fixed size of an encoded structural record.
+const structRecSize = 8 + 8 + 8 + 4 + 8 // elem, start, end, level, parentStart
+
+// Store is the physical MCT database.
+type Store struct {
+	pages *pagestore.Store
+
+	elemFile   pagestore.FileID
+	structFile map[core.Color]pagestore.FileID
+
+	// Directories (in-memory, like Timber's node directories): element
+	// record locations and per-color structural record locations (the
+	// Figure 10 back-link "attributes").
+	elemLoc   map[ElemID]pagestore.RecordID
+	structLoc map[ElemID]map[core.Color]pagestore.RecordID
+
+	// Indexes.
+	tagIdx     *btree.Tree // color|tag -> struct record refs (start order)
+	contentIdx *btree.Tree // color|tag|content -> struct record refs
+	attrIdx    *btree.Tree // name=value -> elem ids
+	startIdx   *btree.Tree // color|zero-padded start -> struct record ref
+
+	colors []core.Color
+	nextID ElemID
+	// maxStart tracks the highest start per color for appends.
+	maxStart map[core.Color]int64
+
+	counts SizeCounts
+}
+
+// SizeCounts is the Table 1 accounting: logical node counts plus physical
+// sizes.
+type SizeCounts struct {
+	Elements     int
+	Attributes   int
+	ContentNodes int
+	StructNodes  int
+}
+
+// NewStore creates an empty store with the given buffer pool size in pages
+// (0 means the paper's 256 MB default).
+func NewStore(poolPages int, colors ...core.Color) *Store {
+	s := &Store{
+		pages:      pagestore.NewStore(poolPages),
+		structFile: map[core.Color]pagestore.FileID{},
+		elemLoc:    map[ElemID]pagestore.RecordID{},
+		structLoc:  map[ElemID]map[core.Color]pagestore.RecordID{},
+		tagIdx:     btree.New(),
+		contentIdx: btree.New(),
+		attrIdx:    btree.New(),
+		startIdx:   btree.New(),
+		maxStart:   map[core.Color]int64{},
+	}
+	s.elemFile = s.pages.CreateFile()
+	for _, c := range colors {
+		s.addColor(c)
+	}
+	return s
+}
+
+func (s *Store) addColor(c core.Color) {
+	if _, ok := s.structFile[c]; ok {
+		return
+	}
+	s.structFile[c] = s.pages.CreateFile()
+	s.colors = append(s.colors, c)
+	sort.Slice(s.colors, func(i, j int) bool { return s.colors[i] < s.colors[j] })
+}
+
+// Colors returns the store's colors in sorted order.
+func (s *Store) Colors() []core.Color { return s.colors }
+
+// Pages exposes the underlying page store (for I/O statistics).
+func (s *Store) Pages() *pagestore.Store { return s.pages }
+
+// Counts returns the logical node counts.
+func (s *Store) Counts() SizeCounts { return s.counts }
+
+// DataBytes returns the total bytes of data pages (element + structural
+// files).
+func (s *Store) DataBytes() (int64, error) {
+	total := int64(0)
+	n, err := s.pages.NumPages(s.elemFile)
+	if err != nil {
+		return 0, err
+	}
+	total += int64(n) * pagestore.PageSize
+	for _, f := range s.structFile {
+		n, err := s.pages.NumPages(f)
+		if err != nil {
+			return 0, err
+		}
+		total += int64(n) * pagestore.PageSize
+	}
+	return total, nil
+}
+
+// IndexBytes returns the approximate in-memory size of the indexes.
+func (s *Store) IndexBytes() int64 {
+	return approxBytes(s.tagIdx) + approxBytes(s.contentIdx) + approxBytes(s.attrIdx)
+}
+
+func approxBytes(t *btree.Tree) int64 {
+	total := int64(0)
+	t.Ascend(func(k string, vals []uint64) bool {
+		total += int64(len(k)) + 16 + 8*int64(len(vals))
+		return true
+	})
+	return total
+}
+
+// --- record encoding ---------------------------------------------------
+
+func encodeElem(id ElemID, tag, content string, attrs [][2]string) []byte {
+	buf := make([]byte, 0, 32+len(tag)+len(content))
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], uint64(id))
+	buf = append(buf, tmp[:]...)
+	buf = appendStr(buf, tag)
+	buf = appendStr(buf, content)
+	var n [2]byte
+	binary.LittleEndian.PutUint16(n[:], uint16(len(attrs)))
+	buf = append(buf, n[:]...)
+	for _, a := range attrs {
+		buf = appendStr(buf, a[0])
+		buf = appendStr(buf, a[1])
+	}
+	return buf
+}
+
+func appendStr(buf []byte, s string) []byte {
+	var n [2]byte
+	binary.LittleEndian.PutUint16(n[:], uint16(len(s)))
+	buf = append(buf, n[:]...)
+	return append(buf, s...)
+}
+
+func readStr(buf []byte, off int) (string, int) {
+	n := int(binary.LittleEndian.Uint16(buf[off : off+2]))
+	off += 2
+	return string(buf[off : off+n]), off + n
+}
+
+func decodeElem(buf []byte) (id ElemID, tag, content string, attrs [][2]string) {
+	id = ElemID(binary.LittleEndian.Uint64(buf[0:8]))
+	off := 8
+	tag, off = readStr(buf, off)
+	content, off = readStr(buf, off)
+	n := int(binary.LittleEndian.Uint16(buf[off : off+2]))
+	off += 2
+	for i := 0; i < n; i++ {
+		var k, v string
+		k, off = readStr(buf, off)
+		v, off = readStr(buf, off)
+		attrs = append(attrs, [2]string{k, v})
+	}
+	return
+}
+
+func encodeStruct(sn SNode) []byte {
+	buf := make([]byte, structRecSize)
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(sn.Elem))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(sn.Start))
+	binary.LittleEndian.PutUint64(buf[16:24], uint64(sn.End))
+	binary.LittleEndian.PutUint32(buf[24:28], uint32(sn.Level))
+	binary.LittleEndian.PutUint64(buf[28:36], uint64(sn.ParentStart))
+	return buf
+}
+
+func decodeStruct(buf []byte, c core.Color) SNode {
+	return SNode{
+		Elem:        ElemID(binary.LittleEndian.Uint64(buf[0:8])),
+		Color:       c,
+		Start:       int64(binary.LittleEndian.Uint64(buf[8:16])),
+		End:         int64(binary.LittleEndian.Uint64(buf[16:24])),
+		Level:       int32(binary.LittleEndian.Uint32(buf[24:28])),
+		ParentStart: int64(binary.LittleEndian.Uint64(buf[28:36])),
+	}
+}
+
+// packRID encodes a RecordID into a uint64 for index postings.
+func packRID(r pagestore.RecordID) uint64 {
+	return uint64(r.File)<<48 | uint64(r.Page)<<16 | uint64(r.Slot)
+}
+
+func unpackRID(v uint64) pagestore.RecordID {
+	return pagestore.RecordID{
+		PageID: pagestore.PageID{
+			File: pagestore.FileID(v >> 48),
+			Page: uint32(v >> 16),
+		},
+		Slot: uint16(v),
+	}
+}
+
+func tagKey(c core.Color, tag string) string { return string(c) + "|" + tag }
+
+func contentKey(c core.Color, tag, content string) string {
+	return string(c) + "|" + tag + "|" + content
+}
+
+func attrKey(name, value string) string { return name + "=" + value }
+
+// startKey is the startIdx key: color plus a zero-padded decimal start so
+// that lexicographic order equals numeric order.
+func startKey(c core.Color, start int64) string {
+	return fmt.Sprintf("%s|%016d", c, start)
+}

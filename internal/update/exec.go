@@ -1,0 +1,252 @@
+package update
+
+import (
+	"fmt"
+
+	"colorfulxml/internal/core"
+	"colorfulxml/internal/mcxquery"
+	"colorfulxml/internal/pathexpr"
+)
+
+// Result reports what an update did.
+type Result struct {
+	// Tuples is the number of binding tuples the update clause ran for.
+	Tuples int
+	// NodesTouched is the total number of nodes inserted, deleted, replaced
+	// or renamed (the "results" column of the paper's Table 2 for updates).
+	NodesTouched int
+}
+
+// Executor applies parsed update expressions to an MCT database.
+type Executor struct {
+	ev *mcxquery.Evaluator
+}
+
+// NewExecutor creates an executor over db.
+func NewExecutor(db *core.Database) *Executor {
+	return &Executor{ev: mcxquery.NewEvaluator(db)}
+}
+
+// Apply parses and applies an update expression.
+func (x *Executor) Apply(src string) (Result, error) {
+	u, err := Parse(src)
+	if err != nil {
+		return Result{}, err
+	}
+	return x.Run(u)
+}
+
+// Run applies a parsed update expression: it evaluates the binding clauses
+// to tuples (exactly like a FLWOR prefix), filters them with the where
+// clause, and applies the update operations once per tuple.
+func (x *Executor) Run(u *Update) (Result, error) {
+	db := x.ev.DB
+	env := &pathexpr.Env{DB: db, Ext: x.ev.ExtEval()}
+	tuples := []*pathexpr.Env{env}
+	for _, cl := range u.Clauses {
+		var next []*pathexpr.Env
+		for _, te := range tuples {
+			v, err := pathexpr.Eval(te, cl.Expr)
+			if err != nil {
+				return Result{}, err
+			}
+			if cl.Let {
+				next = append(next, te.Bind(cl.Var, v))
+				continue
+			}
+			for _, it := range v {
+				next = append(next, te.Bind(cl.Var, pathexpr.Sequence{it}))
+			}
+		}
+		tuples = next
+	}
+	if u.Where != nil {
+		var kept []*pathexpr.Env
+		for _, te := range tuples {
+			v, err := pathexpr.Eval(te, u.Where)
+			if err != nil {
+				return Result{}, err
+			}
+			b, err := pathexpr.EffectiveBool(v)
+			if err != nil {
+				return Result{}, err
+			}
+			if b {
+				kept = append(kept, te)
+			}
+		}
+		tuples = kept
+	}
+
+	res := Result{Tuples: len(tuples)}
+	for _, te := range tuples {
+		tv, ok := te.Vars[u.Target]
+		if !ok {
+			return Result{}, fmt.Errorf("update: target $%s is not bound", u.Target)
+		}
+		if len(tv) != 1 || tv[0].Node == nil {
+			return Result{}, fmt.Errorf("update: target $%s must bind a single node", u.Target)
+		}
+		target := tv[0]
+		for _, op := range u.Ops {
+			n, err := x.applyOp(te, op, target)
+			if err != nil {
+				return Result{}, err
+			}
+			res.NodesTouched += n
+		}
+	}
+	return res, nil
+}
+
+// applyOp applies one operation for one tuple; returns nodes touched.
+func (x *Executor) applyOp(env *pathexpr.Env, op Op, target pathexpr.Item) (int, error) {
+	db := x.ev.DB
+	color := target.Color
+	if color == "" {
+		colors := target.Node.Colors()
+		if len(colors) == 0 {
+			return 0, fmt.Errorf("update: target node has no colors")
+		}
+		color = colors[0]
+	}
+	switch op.Kind {
+	case OpDelete:
+		v, err := pathexpr.Eval(env, op.Arg)
+		if err != nil {
+			return 0, err
+		}
+		n := 0
+		for _, it := range v {
+			if it.Node == nil {
+				return n, fmt.Errorf("update: delete of atomic value")
+			}
+			c := it.Color
+			if c == "" {
+				c = color
+			}
+			if it.Node.Kind() == core.KindAttribute {
+				db.RemoveAttribute(it.Node.Owner(), it.Node.Name())
+				n++
+				continue
+			}
+			if err := db.DeleteSubtree(it.Node, c); err != nil {
+				return n, err
+			}
+			n++
+		}
+		return n, nil
+	case OpInsert, OpInsertBefore, OpInsertAfter:
+		v, err := pathexpr.Eval(env, op.Arg)
+		if err != nil {
+			return 0, err
+		}
+		var ref *core.Node
+		if op.Ref != nil {
+			rv, err := pathexpr.Eval(env, op.Ref)
+			if err != nil {
+				return 0, err
+			}
+			if len(rv) != 1 || rv[0].Node == nil {
+				return 0, fmt.Errorf("update: insert anchor must be a single node")
+			}
+			ref = rv[0].Node
+		}
+		n := 0
+		for _, it := range v {
+			node, err := x.ev.Materialize(it, color, nil)
+			if err != nil {
+				return n, err
+			}
+			if node == nil { // atomic item: becomes a text child
+				if _, err := db.AppendText(target.Node, pathexpr.ItemString(it)); err != nil {
+					return n, err
+				}
+				n++
+				continue
+			}
+			switch op.Kind {
+			case OpInsert:
+				if !node.HasColor(color) {
+					if err := db.AddColor(node, color); err != nil {
+						return n, err
+					}
+				}
+				if err := db.Append(target.Node, node, color); err != nil {
+					return n, err
+				}
+			case OpInsertBefore, OpInsertAfter:
+				if !node.HasColor(color) {
+					if err := db.AddColor(node, color); err != nil {
+						return n, err
+					}
+				}
+				anchor := ref
+				if op.Kind == OpInsertAfter {
+					sibs := core.FollowingSiblings(ref, color)
+					if len(sibs) > 0 {
+						anchor = sibs[0]
+					} else {
+						anchor = nil // append at end
+					}
+				}
+				if err := db.InsertBefore(target.Node, node, anchor, color); err != nil {
+					return n, err
+				}
+			}
+			n++
+		}
+		return n, nil
+	case OpReplace:
+		v, err := pathexpr.Eval(env, op.Arg)
+		if err != nil {
+			return 0, err
+		}
+		rv, err := pathexpr.Eval(env, op.Ref)
+		if err != nil {
+			return 0, err
+		}
+		if len(rv) != 1 {
+			return 0, fmt.Errorf("update: replace value must be a single item")
+		}
+		val := pathexpr.ItemString(rv[0])
+		n := 0
+		for _, it := range v {
+			if it.Node == nil {
+				return n, fmt.Errorf("update: replace of atomic value")
+			}
+			switch it.Node.Kind() {
+			case core.KindAttribute:
+				if _, err := db.SetAttribute(it.Node.Owner(), it.Node.Name(), val); err != nil {
+					return n, err
+				}
+			case core.KindElement:
+				if err := db.SetText(it.Node, val); err != nil {
+					return n, err
+				}
+			default:
+				return n, fmt.Errorf("update: cannot replace %v", it.Node)
+			}
+			n++
+		}
+		return n, nil
+	case OpRename:
+		v, err := pathexpr.Eval(env, op.Arg)
+		if err != nil {
+			return 0, err
+		}
+		n := 0
+		for _, it := range v {
+			if it.Node == nil {
+				return n, fmt.Errorf("update: rename of atomic value")
+			}
+			if err := db.Rename(it.Node, op.Name); err != nil {
+				return n, err
+			}
+			n++
+		}
+		return n, nil
+	default:
+		return 0, fmt.Errorf("update: unknown operation")
+	}
+}

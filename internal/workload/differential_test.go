@@ -1,0 +1,122 @@
+package workload_test
+
+import (
+	"sort"
+	"testing"
+
+	"colorfulxml/internal/core"
+	"colorfulxml/internal/datagen"
+	"colorfulxml/internal/mcxquery"
+	"colorfulxml/internal/workload"
+)
+
+// TestDifferentialLogicalVsPhysical cross-checks the two evaluation stacks
+// of this repository on the same data and queries: the reference
+// tree-walking MCXQuery evaluator runs each query's MCT TEXT over the
+// logical core database, while the physical engine runs the hand-specified
+// PLAN over the Timber-style store. Both must produce the same result set.
+//
+// Queries are compared by the id attribute their result elements carry. Only
+// queries whose MCT text is a faithful rendition of the plan are included
+// (texts with illustrative literal constants that the plan derives from the
+// entity pool are skipped).
+func TestDifferentialLogicalVsPhysical(t *testing.T) {
+	ds, err := datagen.TPCW(datagen.TPCWConfig{Scale: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := workload.LoadTPCW(1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Logical evaluation of the MCT query texts over ds.MCT. The texts use
+	// createColor, so each runs against a fresh logical database.
+	cases := []string{"TQ1", "TQ2", "TQ5", "TQ8", "TQ9", "TQ11", "TQ13"}
+	for _, id := range cases {
+		q := findQuery(t, id)
+
+		// Physical: run the plan, extract ids.
+		physical, _, err := workload.RunQuery(q, st, workload.MCT)
+		if err != nil {
+			t.Fatalf("%s physical: %v", id, err)
+		}
+
+		// Logical: fresh database (createColor mutates), evaluate the text.
+		fresh, err := datagen.BuildTPCWMCT(ds.Entities)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := mcxquery.NewEvaluator(fresh)
+		out, err := ev.Query(q.Text[workload.MCT])
+		if err != nil {
+			t.Fatalf("%s logical: %v\n%s", id, err, q.Text[workload.MCT])
+		}
+		var logical []string
+		for _, it := range out {
+			if it.Node == nil {
+				t.Fatalf("%s: logical result is not a node: %+v", id, it)
+			}
+			// The result constructors wrap { $x/...attribute::id }: the id
+			// attribute is copied onto the constructed element.
+			v := it.Node.AttributeValue("id")
+			if v == "" {
+				// Some texts return the id as text content instead.
+				v, _ = core.StringValue(it.Node, "black")
+			}
+			logical = append(logical, v)
+		}
+
+		sort.Strings(logical)
+		phys := append([]string(nil), physical...)
+		sort.Strings(phys)
+		if len(logical) != len(phys) {
+			t.Errorf("%s: logical %d results vs physical %d\nlogical: %v\nphysical: %v",
+				id, len(logical), len(phys), logical, phys)
+			continue
+		}
+		for i := range phys {
+			if logical[i] != phys[i] {
+				t.Errorf("%s: result sets differ at %d: %q vs %q", id, i, logical[i], phys[i])
+				break
+			}
+		}
+	}
+}
+
+// TestDifferentialShallowTexts does the same for the shallow value-join
+// formulations: the logical evaluator executes the XQuery text with its
+// where-clause joins over the shallow database; the engine executes the
+// value-join plan over the shallow store.
+func TestDifferentialShallowTexts(t *testing.T) {
+	ds, err := datagen.TPCW(datagen.TPCWConfig{Scale: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := workload.LoadTPCW(1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TQ9/TQ11's shallow texts join orderlines to orders via @orderIdRef —
+	// fully self-contained (no pool-derived constants).
+	for _, id := range []string{"TQ9", "TQ11", "TQ2"} {
+		q := findQuery(t, id)
+		physical, _, err := workload.RunQuery(q, st, workload.Shallow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := datagen.BuildTPCWShallow(ds.Entities)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := mcxquery.NewEvaluator(fresh)
+		ev.DefaultColor = datagen.ColDoc
+		out, err := ev.Query(q.Text[workload.Shallow])
+		if err != nil {
+			t.Fatalf("%s logical shallow: %v", id, err)
+		}
+		if len(out) != len(physical) {
+			t.Errorf("%s: logical shallow %d vs physical %d results", id, len(out), len(physical))
+		}
+	}
+}

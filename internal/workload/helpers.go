@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"colorfulxml/internal/core"
+	"colorfulxml/internal/engine"
+	"colorfulxml/internal/join"
+)
+
+// Plan-building shorthands. Column conventions are noted at each use site:
+// engine.StructJoin emits anc-row ++ desc-row; engine.CrossColor appends the
+// crossed structural node as a new last column.
+
+// scanT is an index scan.
+func scanT(c core.Color, tag string) engine.Op {
+	return &engine.ScanTag{Color: c, Tag: tag}
+}
+
+// eqC is a content-index lookup.
+func eqC(c core.Color, tag, val string) engine.Op {
+	return &engine.EqContent{Color: c, Tag: tag, Value: val}
+}
+
+// containsC scans a tag applying a content predicate.
+func containsC(c core.Color, tag string, pred engine.Pred) engine.Op {
+	return &engine.ContainsScan{Color: c, Tag: tag, Pred: pred}
+}
+
+// pc joins anc (column ancCol) as parent of desc (column descCol).
+func pc(anc, desc engine.Op, ancCol, descCol int) engine.Op {
+	return &engine.StructJoin{Anc: anc, Desc: desc, AncCol: ancCol, DescCol: descCol, Axis: join.ParentChild}
+}
+
+// ad joins anc as ancestor of desc.
+func ad(anc, desc engine.Op, ancCol, descCol int) engine.Op {
+	return &engine.StructJoin{Anc: anc, Desc: desc, AncCol: ancCol, DescCol: descCol, Axis: join.AncestorDescendant}
+}
+
+// havingChild keeps rows of in whose column col has a child matching probe.
+func havingChild(in engine.Op, col int, probe engine.Op) engine.Op {
+	return &engine.ExistsJoin{Input: in, Probe: probe, Col: col, ProbeCol: 0, Axis: join.ParentChild}
+}
+
+// havingDesc keeps rows of in whose column col has a descendant matching
+// probe.
+func havingDesc(in engine.Op, col int, probe engine.Op) engine.Op {
+	return &engine.ExistsJoin{Input: in, Probe: probe, Col: col, ProbeCol: 0, Axis: join.AncestorDescendant}
+}
+
+// cross appends the To-colored structural node of column col.
+func cross(in engine.Op, col int, to core.Color) engine.Op {
+	return &engine.CrossColor{Input: in, Col: col, To: to}
+}
+
+// vjoin hash-joins left.col's key with right.col's key.
+func vjoin(left, right engine.Op, lcol, rcol int, lkey, rkey engine.Key) engine.Op {
+	return &engine.ValueJoin{Left: left, Right: right, LeftCol: lcol, RightCol: rcol,
+		LeftKey: lkey, RightKey: rkey}
+}
+
+// elemWithChildEq returns elements of tag whose child childTag equals val —
+// the workhorse "entity by field value" pattern.
+func elemWithChildEq(c core.Color, tag, childTag, val string) engine.Op {
+	return havingChild(scanT(c, tag), 0, eqC(c, childTag, val))
+}
+
+// elemWithChildPred is the predicate-scan version.
+func elemWithChildPred(c core.Color, tag, childTag string, pred engine.Pred) engine.Op {
+	return havingChild(scanT(c, tag), 0, containsC(c, childTag, pred))
+}
+
+// akey builds an attribute key for value joins. Content keys
+// (engine.Key{Content: true}) and IDREFS keys (Multi: true) are used
+// directly at call sites.
+func akey(name string) engine.Key { return engine.Key{Attr: name} }

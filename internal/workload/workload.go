@@ -1,0 +1,212 @@
+// Package workload defines the experiment workload of the paper's Table 2:
+// sixteen TPC-W queries (TQ1–TQ16), four TPC-W updates (TU1–TU4), five
+// SIGMOD-Record queries (SQ1–SQ5) and two SIGMOD-Record updates (SU1–SU2),
+// each in all three representations — MCT, shallow and deep — as
+//
+//   - query/update TEXT in the corresponding language (MCXQuery for MCT,
+//     XQuery with value joins for shallow, plain-path XQuery for deep), which
+//     the Figure 11/12 complexity metrics are computed from; and
+//   - a hand-specified physical PLAN over the engine operators, exactly as
+//     the paper ran Timber ("we manually specified the query plan").
+//
+// Queries whose deep evaluation produces duplicates additionally provide the
+// paper's "*D" variant: the same deep plan without duplicate elimination.
+package workload
+
+import (
+	"fmt"
+
+	"colorfulxml/internal/datagen"
+	"colorfulxml/internal/engine"
+	"colorfulxml/internal/mcxquery"
+	"colorfulxml/internal/pathexpr"
+	"colorfulxml/internal/storage"
+	"colorfulxml/internal/update"
+)
+
+// Variant selects a representation.
+type Variant string
+
+// The three representations of Section 7.
+const (
+	MCT     Variant = "MCT"
+	Shallow Variant = "Shallow"
+	Deep    Variant = "Deep"
+)
+
+// Variants lists them in the paper's column order.
+var Variants = []Variant{MCT, Shallow, Deep}
+
+// Extract designates how to render a query's result rows as comparable
+// values: the attribute (or content, when Attr is empty) of one column.
+type Extract struct {
+	Col  int
+	Attr string
+}
+
+// Query is one read-only workload query.
+type Query struct {
+	ID   string
+	Desc string
+	// Colors is the number of color transitions the MCT plan needs; Trees is
+	// the number of hierarchies involved (Table 2's annotation columns).
+	Colors int
+	Trees  int
+	// Text per variant; parsed by the Figure 11/12 metrics.
+	Text map[Variant]string
+	// Plan builds the physical plan per variant.
+	Plan map[Variant]func(p Params) engine.Op
+	// Out extracts comparable result values per variant.
+	Out map[Variant]Extract
+	// DeepNoDedup, when set, is the "*D" plan: deep without duplicate
+	// elimination (paper Table 2's TQ7D, TQ12D, SQ4D rows).
+	DeepNoDedup func(p Params) engine.Op
+}
+
+// UpdateSpec is one update statement of the workload.
+type UpdateSpec struct {
+	ID     string
+	Desc   string
+	Colors int
+	Trees  int
+	Text   map[Variant]string
+	// Run applies the update against the store of the given variant and
+	// returns the number of nodes updated (Table 2's "results" column for
+	// updates: 1 for MCT/shallow, the number of copies for deep).
+	Run map[Variant]func(s *storage.Store, p Params) (int, error)
+}
+
+// Params carries the generated entity pools so queries can use data-derived
+// constants.
+type Params struct {
+	E *datagen.TPCWEntities
+	S *datagen.SigmodEntities
+}
+
+// Stores bundles one loaded store per variant.
+type Stores struct {
+	MCT     *storage.Store
+	Shallow *storage.Store
+	Deep    *storage.Store
+	Params  Params
+}
+
+// Of returns the store for a variant.
+func (s *Stores) Of(v Variant) *storage.Store {
+	switch v {
+	case MCT:
+		return s.MCT
+	case Shallow:
+		return s.Shallow
+	default:
+		return s.Deep
+	}
+}
+
+// LoadTPCW generates and loads the TPC-W dataset at a scale.
+func LoadTPCW(scale int, seed int64, poolPages int) (*Stores, error) {
+	ds, err := datagen.TPCW(datagen.TPCWConfig{Scale: scale, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return loadStores(ds, Params{E: ds.Entities}, poolPages)
+}
+
+// LoadSigmod generates and loads the SIGMOD-Record dataset at a scale.
+func LoadSigmod(scale int, seed int64, poolPages int) (*Stores, error) {
+	ds, err := datagen.Sigmod(datagen.SigmodConfig{Scale: scale, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return loadStores(ds, Params{S: ds.Sigmod}, poolPages)
+}
+
+func loadStores(ds *datagen.Dataset, p Params, poolPages int) (*Stores, error) {
+	mct, err := storage.Load(ds.MCT, poolPages)
+	if err != nil {
+		return nil, fmt.Errorf("workload: load mct: %w", err)
+	}
+	sh, err := storage.Load(ds.Shallow, poolPages)
+	if err != nil {
+		return nil, fmt.Errorf("workload: load shallow: %w", err)
+	}
+	dp, err := storage.Load(ds.Deep, poolPages)
+	if err != nil {
+		return nil, fmt.Errorf("workload: load deep: %w", err)
+	}
+	return &Stores{MCT: mct, Shallow: sh, Deep: dp, Params: p}, nil
+}
+
+// RunQuery executes a query on one variant, returning the extracted result
+// values and the engine metrics.
+func RunQuery(q *Query, st *Stores, v Variant) ([]string, engine.Metrics, error) {
+	plan := q.Plan[v](st.Params)
+	s := st.Of(v)
+	rows, m, err := engine.Exec(s, plan)
+	if err != nil {
+		return nil, m, fmt.Errorf("workload: %s/%s: %w", q.ID, v, err)
+	}
+	out, err := extract(s, rows, q.Out[v])
+	return out, m, err
+}
+
+// RunDeepNoDedup executes the "*D" variant.
+func RunDeepNoDedup(q *Query, st *Stores) ([]string, engine.Metrics, error) {
+	if q.DeepNoDedup == nil {
+		return nil, engine.Metrics{}, fmt.Errorf("workload: %s has no *D variant", q.ID)
+	}
+	plan := q.DeepNoDedup(st.Params)
+	rows, m, err := engine.Exec(st.Deep, plan)
+	if err != nil {
+		return nil, m, err
+	}
+	out, err := extract(st.Deep, rows, q.Out[Deep])
+	return out, m, err
+}
+
+func extract(s *storage.Store, rows []engine.Row, ex Extract) ([]string, error) {
+	out := make([]string, 0, len(rows))
+	for _, r := range rows {
+		e, err := s.Elem(r[ex.Col].Elem)
+		if err != nil {
+			return nil, err
+		}
+		if ex.Attr == "" {
+			out = append(out, e.Content)
+		} else {
+			out = append(out, e.Attr(ex.Attr))
+		}
+	}
+	return out, nil
+}
+
+// Complexity is the Figure 11/12 metric pair for one query text.
+type Complexity struct {
+	PathExprs int
+	Bindings  int
+}
+
+// QueryComplexity parses a query text as MCXQuery/XQuery and counts path
+// expressions and variable bindings.
+func QueryComplexity(text string) (Complexity, error) {
+	e, err := mcxquery.ParseQuery(text)
+	if err != nil {
+		return Complexity{}, err
+	}
+	return Complexity{
+		PathExprs: pathexpr.CountPaths(e),
+		Bindings:  mcxquery.CountVariableBindings(e),
+	}, nil
+}
+
+// UpdateComplexity parses an update text and counts the same metrics.
+func UpdateComplexity(text string) (Complexity, error) {
+	u, err := update.Parse(text)
+	if err != nil {
+		return Complexity{}, err
+	}
+	return Complexity{
+		PathExprs: u.CountPathExpressions(),
+		Bindings:  u.NumBindings(),
+	}, nil
+}

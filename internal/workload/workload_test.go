@@ -1,0 +1,249 @@
+package workload_test
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"colorfulxml/internal/workload"
+)
+
+var (
+	once    sync.Once
+	tpcwSt  *workload.Stores
+	sigSt   *workload.Stores
+	loadErr error
+)
+
+func stores(t *testing.T) (*workload.Stores, *workload.Stores) {
+	t.Helper()
+	once.Do(func() {
+		tpcwSt, loadErr = workload.LoadTPCW(1, 1, 0)
+		if loadErr != nil {
+			return
+		}
+		sigSt, loadErr = workload.LoadSigmod(1, 5, 0)
+	})
+	if loadErr != nil {
+		t.Fatal(loadErr)
+	}
+	return tpcwSt, sigSt
+}
+
+func sorted(s []string) []string {
+	out := append([]string(nil), s...)
+	sort.Strings(out)
+	return out
+}
+
+func equalSets(a, b []string) bool {
+	a, b = sorted(a), sorted(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQueriesAgreeAcrossVariants is the central correctness check of the
+// reproduction: every Table 2 query must return the same result set on the
+// MCT, shallow and deep representations of the same entity pool.
+func TestQueriesAgreeAcrossVariants(t *testing.T) {
+	tp, sg := stores(t)
+	run := func(qs []*workload.Query, st *workload.Stores) {
+		for _, q := range qs {
+			mct, _, err := workload.RunQuery(q, st, workload.MCT)
+			if err != nil {
+				t.Fatalf("%s MCT: %v", q.ID, err)
+			}
+			if len(mct) == 0 {
+				t.Errorf("%s returned no results on MCT — query constants too selective", q.ID)
+				continue
+			}
+			for _, v := range []workload.Variant{workload.Shallow, workload.Deep} {
+				got, _, err := workload.RunQuery(q, st, v)
+				if err != nil {
+					t.Fatalf("%s %s: %v", q.ID, v, err)
+				}
+				if !equalSets(mct, got) {
+					t.Errorf("%s: %s disagrees with MCT: %d vs %d results\nMCT: %.10v\n%s: %.10v",
+						q.ID, v, len(mct), len(got), sorted(mct), v, sorted(got))
+				}
+			}
+		}
+	}
+	run(workload.TPCWQueries(), tp)
+	run(workload.SigmodQueries(), sg)
+}
+
+// TestDeepDuplicateVariants checks the "*D" rows: without duplicate
+// elimination, deep returns strictly more rows for the duplicate-afflicted
+// queries.
+func TestDeepDuplicateVariants(t *testing.T) {
+	tp, sg := stores(t)
+	for _, tc := range []struct {
+		q  *workload.Query
+		st *workload.Stores
+	}{
+		{findQuery(t, "TQ7"), tp},
+		{findQuery(t, "TQ12"), tp},
+		{findQuery(t, "SQ4"), sg},
+	} {
+		with, _, err := workload.RunQuery(tc.q, tc.st, workload.Deep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		without, _, err := workload.RunDeepNoDedup(tc.q, tc.st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(without) <= len(with) {
+			t.Errorf("%s: no-dedup %d should exceed dedup %d", tc.q.ID, len(without), len(with))
+		}
+	}
+}
+
+func findQuery(t *testing.T, id string) *workload.Query {
+	t.Helper()
+	for _, q := range append(workload.TPCWQueries(), workload.SigmodQueries()...) {
+		if q.ID == id {
+			return q
+		}
+	}
+	t.Fatalf("unknown query %s", id)
+	return nil
+}
+
+// TestOperatorShapeMatchesAnnotations: the MCT plans use color crossings
+// exactly where Table 2 says; shallow plans use value joins exactly on
+// multi-tree queries.
+func TestOperatorShapeMatchesAnnotations(t *testing.T) {
+	tp, sg := stores(t)
+	check := func(qs []*workload.Query, st *workload.Stores) {
+		for _, q := range qs {
+			_, m, err := workload.RunQuery(q, st, workload.MCT)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q.Colors > 0 && m.CrossJoins == 0 {
+				t.Errorf("%s: expected color crossings, saw none", q.ID)
+			}
+			if q.Colors == 0 && m.CrossJoins > 0 {
+				t.Errorf("%s: unexpected crossings (%d)", q.ID, m.CrossJoins)
+			}
+			if m.ValueJoins > 0 && q.ID != "TQ15" { // TQ15's NL join counts as value probes
+				t.Errorf("%s: MCT plan should not value join", q.ID)
+			}
+			_, ms, err := workload.RunQuery(q, st, workload.Shallow)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q.Trees > 1 && ms.ValueJoins == 0 {
+				t.Errorf("%s: shallow should value join on a %d-tree query", q.ID, q.Trees)
+			}
+		}
+	}
+	check(workload.TPCWQueries(), tp)
+	check(workload.SigmodQueries(), sg)
+}
+
+// TestUpdates runs every update on fresh stores and checks the Table 2
+// update shape: MCT and shallow touch the same number of nodes; deep touches
+// at least as many (strictly more for the replication-afflicted updates).
+func TestUpdates(t *testing.T) {
+	// Fresh stores: updates mutate.
+	tp, err := workload.LoadTPCW(1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := workload.LoadSigmod(1, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strictlyMore := map[string]bool{"TU1": true, "TU4": true, "SU1": true, "SU2": true}
+	run := func(us []*workload.UpdateSpec, st *workload.Stores) {
+		for _, u := range us {
+			nMCT, err := u.Run[workload.MCT](st.MCT, st.Params)
+			if err != nil {
+				t.Fatalf("%s MCT: %v", u.ID, err)
+			}
+			nSh, err := u.Run[workload.Shallow](st.Shallow, st.Params)
+			if err != nil {
+				t.Fatalf("%s shallow: %v", u.ID, err)
+			}
+			nDp, err := u.Run[workload.Deep](st.Deep, st.Params)
+			if err != nil {
+				t.Fatalf("%s deep: %v", u.ID, err)
+			}
+			if nMCT == 0 {
+				t.Errorf("%s: no nodes updated on MCT", u.ID)
+			}
+			if nMCT != nSh {
+				t.Errorf("%s: MCT %d vs shallow %d nodes", u.ID, nMCT, nSh)
+			}
+			if nDp < nMCT {
+				t.Errorf("%s: deep %d < MCT %d", u.ID, nDp, nMCT)
+			}
+			if strictlyMore[u.ID] && nDp <= nMCT {
+				t.Errorf("%s: deep should touch replicated copies (%d vs %d)", u.ID, nDp, nMCT)
+			}
+		}
+	}
+	run(workload.TPCWUpdates(), tp)
+	run(workload.SigmodUpdates(), sg)
+}
+
+// TestQueryTextsParse: every query text in every variant must parse with the
+// MCXQuery parser, and every update text with the update parser — they feed
+// the Figure 11/12 metrics.
+func TestQueryTextsParse(t *testing.T) {
+	for _, q := range append(workload.TPCWQueries(), workload.SigmodQueries()...) {
+		for v, text := range q.Text {
+			c, err := workload.QueryComplexity(text)
+			if err != nil {
+				t.Errorf("%s/%s does not parse: %v\n%s", q.ID, v, err, text)
+				continue
+			}
+			if c.PathExprs == 0 {
+				t.Errorf("%s/%s: no path expressions counted", q.ID, v)
+			}
+			if c.Bindings == 0 {
+				t.Errorf("%s/%s: no bindings counted", q.ID, v)
+			}
+		}
+	}
+	for _, u := range append(workload.TPCWUpdates(), workload.SigmodUpdates()...) {
+		for v, text := range u.Text {
+			if _, err := workload.UpdateComplexity(text); err != nil {
+				t.Errorf("%s/%s does not parse: %v\n%s", u.ID, v, err, text)
+			}
+		}
+	}
+}
+
+// TestShallowNeverSimplerThanMCT is Figure 11/12's claim: the shallow
+// formulation needs at least as many path expressions and bindings as MCT,
+// and strictly more on multi-tree queries.
+func TestShallowNeverSimplerThanMCT(t *testing.T) {
+	for _, q := range append(workload.TPCWQueries(), workload.SigmodQueries()...) {
+		mct, err := workload.QueryComplexity(q.Text[workload.MCT])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh, err := workload.QueryComplexity(q.Text[workload.Shallow])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sh.Bindings < mct.Bindings {
+			t.Errorf("%s: shallow bindings %d < MCT %d", q.ID, sh.Bindings, mct.Bindings)
+		}
+		if q.Trees > 1 && sh.Bindings <= mct.Bindings && sh.PathExprs <= mct.PathExprs {
+			t.Errorf("%s: multi-tree query should be more complex in shallow (MCT %+v, shallow %+v)",
+				q.ID, mct, sh)
+		}
+	}
+}

@@ -212,6 +212,40 @@ func benchFigure(b *testing.B, paths bool) {
 	}
 }
 
+// BenchmarkCompiledVsHandPlans runs each Table 2 query both ways on the MCT
+// store: the hand-specified physical plan (the paper's methodology) versus
+// the plan the automatic compiler derives from the query text. The compiled
+// side re-parses, re-compiles and re-costs the text every iteration, so the
+// delta bounds the full compilation overhead. Deep texts using
+// distinct-values are outside the compilable subset and are skipped.
+func BenchmarkCompiledVsHandPlans(b *testing.B) {
+	tp, sg := benchStores(b)
+	bench := func(qs []*workload.Query, st *workload.Stores) {
+		for _, q := range qs {
+			q := q
+			if _, _, _, err := workload.RunCompiled(q, st, workload.MCT); err != nil {
+				continue
+			}
+			b.Run(fmt.Sprintf("%s_Hand", q.ID), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := workload.RunQuery(q, st, workload.MCT); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("%s_Compiled", q.ID), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, _, err := workload.RunCompiled(q, st, workload.MCT); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+	bench(workload.TPCWQueries(), tp)
+	bench(workload.SigmodQueries(), sg)
+}
+
 // --- Ablations (DESIGN.md Section 5) ---------------------------------------
 
 // BenchmarkAblationCrossTree compares the two implementations of the color

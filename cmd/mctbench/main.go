@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mctbench [-table1] [-table2] [-fig11] [-fig12] [-all]
+//	mctbench [-table1] [-table2] [-fig11] [-fig12] [-compiled] [-all]
 //	         [-tpcw-scale N] [-sigmod-scale N] [-seed N] [-runs N]
 package main
 
@@ -23,6 +23,7 @@ func main() {
 		table2 = flag.Bool("table2", false, "print Table 2 (query processing time)")
 		fig11  = flag.Bool("fig11", false, "print Figure 11 (number of path expressions)")
 		fig12  = flag.Bool("fig12", false, "print Figure 12 (number of variable bindings)")
+		comp   = flag.Bool("compiled", false, "print the plan-compiler vs hand-plan comparison")
 		all    = flag.Bool("all", false, "print everything")
 		tpcw   = flag.Int("tpcw-scale", experiment.DefaultConfig.TPCWScale, "TPC-W scale factor")
 		sigmod = flag.Int("sigmod-scale", experiment.DefaultConfig.SigmodScale, "SIGMOD-Record scale factor")
@@ -31,7 +32,7 @@ func main() {
 		cold   = flag.Bool("cold", false, "flush the buffer pool before each run (cold cache)")
 	)
 	flag.Parse()
-	if !*table1 && !*table2 && !*fig11 && !*fig12 {
+	if !*table1 && !*table2 && !*fig11 && !*fig12 && !*comp {
 		*all = true
 	}
 	cfg := experiment.Config{TPCWScale: *tpcw, SigmodScale: *sigmod, Seed: *seed, Cold: *cold}
@@ -61,6 +62,15 @@ func main() {
 		}
 		fmt.Printf("=== Table 2: Query Processing Time (%s) ===\n", cache)
 		fmt.Print(experiment.FormatTable2(res))
+		fmt.Println()
+	}
+	if *all || *comp {
+		rows, err := experiment.CompiledAgreement(cfg, *runs)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("=== Plan compiler vs hand-specified plans ===")
+		fmt.Print(experiment.FormatCompiled(rows))
 		fmt.Println()
 	}
 	if *all || *fig11 || *fig12 {

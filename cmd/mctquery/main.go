@@ -5,6 +5,12 @@
 //
 //	mctquery -db FILE [-update] 'query text'
 //	mctquery -db FILE            # reads the query from stdin
+//	mctquery -db FILE -explain 'query text'   # print the compiled plan
+//
+// Constructor-free queries are compiled to physical plans over an indexed
+// store snapshot (see internal/plan); -explain shows the instrumented plan
+// tree with per-operator row counts and the peak number of intermediate rows
+// buffered by pipeline breakers.
 package main
 
 import (
@@ -19,8 +25,9 @@ import (
 
 func main() {
 	var (
-		dbPath = flag.String("db", "", "exchange-XML database file (from mctgen or MarshalXML)")
-		isUpd  = flag.Bool("update", false, "treat the input as an update expression")
+		dbPath  = flag.String("db", "", "exchange-XML database file (from mctgen or MarshalXML)")
+		isUpd   = flag.Bool("update", false, "treat the input as an update expression")
+		explain = flag.Bool("explain", false, "compile the query and print the instrumented physical plan")
 	)
 	flag.Parse()
 	if *dbPath == "" {
@@ -57,6 +64,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("updated %d node(s) across %d binding tuple(s)\n", res.NodesTouched, res.Tuples)
+		return
+	}
+	if *explain {
+		text, err := db.Explain(src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mctquery:", err)
+			os.Exit(1)
+		}
+		fmt.Print(text)
 		return
 	}
 	out, err := db.Query(src)

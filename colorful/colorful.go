@@ -25,9 +25,12 @@ import (
 	"io"
 
 	"colorfulxml/internal/core"
+	"colorfulxml/internal/engine"
 	"colorfulxml/internal/mcxquery"
 	"colorfulxml/internal/pathexpr"
+	"colorfulxml/internal/plan"
 	"colorfulxml/internal/serialize"
+	"colorfulxml/internal/storage"
 	"colorfulxml/internal/update"
 	"colorfulxml/internal/xmlenc"
 )
@@ -48,6 +51,11 @@ type DB struct {
 	*core.Database
 	ev *mcxquery.Evaluator
 	ex *update.Executor
+
+	// Compiled query path: a Timber-style store snapshot of the database,
+	// rebuilt lazily whenever the database generation moves.
+	st    *storage.Store
+	stGen uint64
 }
 
 // New creates an empty database with the given colors. Colors can also be
@@ -75,7 +83,17 @@ type Item struct {
 
 // Query parses and evaluates an MCXQuery expression. Constructor results
 // mutate the database (new nodes, new colors), per the paper's semantics.
+//
+// Constructor-free queries in the compilable subset run through the automatic
+// plan compiler (internal/plan) and the streaming engine over an indexed
+// snapshot of the database, returning distinct result nodes; everything else
+// falls back to the reference tree-walking evaluator.
 func (d *DB) Query(src string) ([]Item, error) {
+	if e, err := mcxquery.ParseQuery(src); err == nil && !plan.HasConstructors(e) {
+		if out, cerr := d.queryCompiled(e); cerr == nil {
+			return out, nil
+		}
+	}
 	seq, err := d.ev.Query(src)
 	if err != nil {
 		return nil, err
@@ -83,6 +101,48 @@ func (d *DB) Query(src string) ([]Item, error) {
 	out := make([]Item, len(seq))
 	for i, it := range seq {
 		out[i] = Item{Node: it.Node, Color: it.Color, Value: pathexpr.ItemString(it)}
+	}
+	return out, nil
+}
+
+// queryCompiled lowers a parsed constructor-free query to a physical plan and
+// executes it on the cached store snapshot. Any error (including
+// plan.ErrUnsupported) makes the caller fall back to the evaluator.
+func (d *DB) queryCompiled(e pathexpr.Expr) ([]Item, error) {
+	if d.st == nil || d.stGen != d.Generation() {
+		s, err := storage.Load(d.Database, 0)
+		if err != nil {
+			return nil, err
+		}
+		d.st, d.stGen = s, d.Generation()
+	}
+	c, err := plan.Compile(e, plan.Options{Catalog: plan.StoreCatalog{Store: d.st}})
+	if err != nil {
+		return nil, err
+	}
+	rows, _, err := engine.Exec(d.st, c.Root)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Item, 0, len(rows))
+	for _, r := range rows {
+		sn := r[c.OutCol]
+		n := d.NodeByID(core.NodeID(sn.Elem))
+		if n == nil {
+			return nil, fmt.Errorf("colorful: compiled plan returned unknown node %d", sn.Elem)
+		}
+		if c.OutAttr != "" {
+			// The output designator projects an attribute; nodes lacking it
+			// contribute no item, matching the path semantics.
+			a := n.Attribute(c.OutAttr)
+			if a == nil {
+				continue
+			}
+			out = append(out, Item{Node: a, Color: sn.Color, Value: a.Value()})
+			continue
+		}
+		out = append(out, Item{Node: n, Color: sn.Color,
+			Value: pathexpr.ItemString(pathexpr.NodeItem(n, sn.Color))})
 	}
 	return out, nil
 }
@@ -115,6 +175,38 @@ func (d *DB) Path(src string, vars map[string]*Node) ([]Item, error) {
 		out[i] = Item{Node: it.Node, Color: it.Color, Value: pathexpr.ItemString(it)}
 	}
 	return out, nil
+}
+
+// Explain compiles a query with the automatic plan compiler, executes it with
+// per-operator instrumentation, and returns the annotated physical plan tree
+// (rows per operator, materialization, index and join counters, and the peak
+// number of intermediate rows buffered — a fully streaming pipeline reports
+// 0). Queries the compiler cannot lower report why they run on the evaluator
+// instead.
+func (d *DB) Explain(src string) (string, error) {
+	e, err := mcxquery.ParseQuery(src)
+	if err != nil {
+		return "", err
+	}
+	if plan.HasConstructors(e) {
+		return "", fmt.Errorf("colorful: query constructs nodes and runs on the evaluator; %w", plan.ErrUnsupported)
+	}
+	if d.st == nil || d.stGen != d.Generation() {
+		s, err := storage.Load(d.Database, 0)
+		if err != nil {
+			return "", err
+		}
+		d.st, d.stGen = s, d.Generation()
+	}
+	c, err := plan.Compile(e, plan.Options{Catalog: plan.StoreCatalog{Store: d.st}})
+	if err != nil {
+		return "", err
+	}
+	an, err := engine.ExplainAnalyze(d.st, c.Root)
+	if err != nil {
+		return "", err
+	}
+	return an.Text, nil
 }
 
 // UpdateResult reports how many binding tuples matched and how many nodes an

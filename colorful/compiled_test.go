@@ -1,0 +1,57 @@
+package colorful
+
+import (
+	"testing"
+
+	"colorfulxml/internal/fixtures"
+)
+
+// TestQueryUsesCompiledPath: constructor-free queries run through the plan
+// compiler over a cached store snapshot; the snapshot is rebuilt when the
+// database changes and the results still agree with the evaluator.
+func TestQueryUsesCompiledPath(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	db := wrap(m.DB)
+
+	const q = `for $m in document("db")/{red}descendant::movie return $m/{green}child::votes`
+	out, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.st == nil {
+		t.Fatal("constructor-free query should populate the store snapshot")
+	}
+	got := map[string]bool{}
+	for _, it := range out {
+		got[it.Value] = true
+	}
+	for _, want := range []string{"14", "11", "9"} {
+		if !got[want] {
+			t.Fatalf("missing vote count %s in %v", want, out)
+		}
+	}
+
+	// Mutating the database must invalidate the snapshot on the next query.
+	gen := db.stGen
+	if _, err := db.Query(`for $m in document("db")/{red}descendant::movie
+	  return createColor(black, <m>{ $m/{red}child::name }</m>)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if db.stGen == gen {
+		t.Fatal("snapshot should be rebuilt after the constructor query mutated the database")
+	}
+
+	// Constructor queries and unsupported constructs still answer via the
+	// evaluator.
+	out, err = db.Query(`for $m in document("db")/{red}descendant::movie
+	  order by $m/{red}child::name return $m/{red}child::name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("evaluator fallback returned nothing")
+	}
+}

@@ -69,6 +69,12 @@ func (db *Database) NodeByID(id NodeID) *Node { return db.byID[id] }
 // NumNodes returns the total number of nodes of all kinds in the database.
 func (db *Database) NumNodes() int { return len(db.byID) }
 
+// Generation returns a counter that increases on every mutation of the
+// database. Callers that derive secondary structures (such as a physical
+// store loaded from the database) can cache them keyed on the generation and
+// rebuild only when it changes.
+func (db *Database) Generation() uint64 { return db.gen }
+
 func (db *Database) newNode(kind Kind) *Node {
 	db.nextID++
 	n := &Node{id: db.nextID, kind: kind, db: db}

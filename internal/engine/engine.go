@@ -4,14 +4,21 @@
 // joins, duplicate elimination), an executor with per-query operator
 // metrics, and plan rendering.
 //
-// Plans are hand-specified per query and representation, exactly as in the
-// paper's Section 6.2: "For all the experimentation described next, we
-// manually specified the query plan, always choosing the one expected to be
-// the best."
+// Operators follow the Volcano iterator model: a plan is opened once, pulls
+// rows one at a time through Next, and is closed when exhausted. Only the
+// explicit pipeline breakers — sorts, duplicate-aware probe structures, and
+// join build sides — materialize an input; everything else streams, so a
+// plan's peak intermediate footprint is the sum of its build sides, not the
+// sum of every edge in the tree (ExplainAnalyze reports both).
+//
+// Plans may be hand-specified per query and representation, exactly as in
+// the paper's Section 6.2 ("we manually specified the query plan"), or
+// produced automatically by the internal/plan compiler.
 package engine
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"colorfulxml/internal/core"
@@ -25,8 +32,22 @@ type Row []storage.SNode
 type Metrics struct {
 	StructJoins  int // structural join node comparisons emitted
 	ValueJoins   int // value join probes
+	IDJoins      int // element-identity join probes
 	CrossJoins   int // cross-tree (color transition) link traversals
 	RowsOut      int
+	ContentReads int
+}
+
+// OpStats is the per-operator slice of Metrics gathered by ExplainAnalyze,
+// plus the rows the operator produced and the rows it materialized (buffered
+// in full) as a pipeline breaker.
+type OpStats struct {
+	Rows         int
+	Materialized int
+	StructJoins  int
+	ValueJoins   int
+	IDJoins      int
+	CrossJoins   int
 	ContentReads int
 }
 
@@ -34,18 +55,143 @@ type Metrics struct {
 type Ctx struct {
 	S *storage.Store
 	M Metrics
+
+	// stats is per-operator attribution, non-nil only under ExplainAnalyze.
+	stats map[Op]*OpStats
+	// live/peak track currently materialized intermediate rows across all
+	// pipeline breakers, so ExplainAnalyze can report the peak footprint.
+	live int
+	peak int
 }
 
-// Op is a physical operator producing rows.
+func (ctx *Ctx) statsFor(o Op) *OpStats {
+	if ctx.stats == nil {
+		return nil
+	}
+	st := ctx.stats[o]
+	if st == nil {
+		st = &OpStats{}
+		ctx.stats[o] = st
+	}
+	return st
+}
+
+func (ctx *Ctx) addContentReads(o Op, n int) {
+	ctx.M.ContentReads += n
+	if st := ctx.statsFor(o); st != nil {
+		st.ContentReads += n
+	}
+}
+
+func (ctx *Ctx) addStructJoins(o Op, n int) {
+	ctx.M.StructJoins += n
+	if st := ctx.statsFor(o); st != nil {
+		st.StructJoins += n
+	}
+}
+
+func (ctx *Ctx) addValueJoins(o Op, n int) {
+	ctx.M.ValueJoins += n
+	if st := ctx.statsFor(o); st != nil {
+		st.ValueJoins += n
+	}
+}
+
+func (ctx *Ctx) addIDJoins(o Op, n int) {
+	ctx.M.IDJoins += n
+	if st := ctx.statsFor(o); st != nil {
+		st.IDJoins += n
+	}
+}
+
+func (ctx *Ctx) addCrossJoins(o Op, n int) {
+	ctx.M.CrossJoins += n
+	if st := ctx.statsFor(o); st != nil {
+		st.CrossJoins += n
+	}
+}
+
+// hold records n rows materialized by a pipeline breaker; release undoes it
+// when the operator closes.
+func (ctx *Ctx) hold(o Op, n int) {
+	ctx.live += n
+	if ctx.live > ctx.peak {
+		ctx.peak = ctx.live
+	}
+	if st := ctx.statsFor(o); st != nil {
+		st.Materialized += n
+	}
+}
+
+func (ctx *Ctx) release(n int) { ctx.live -= n }
+
+// Op is a physical operator: a Volcano iterator producing rows.
+//
+// The contract: Open prepares (or re-prepares — operators are re-openable
+// after Close) all iteration state and opens streamed children; Next returns
+// one row, or ok=false when exhausted; Close releases state and closes
+// children, and is idempotent. Children returns the direct inputs for plan
+// rendering, so Explain can never silently drop an operator's subtree.
 type Op interface {
-	Run(ctx *Ctx) ([]Row, error)
+	Open(ctx *Ctx) error
+	Next(ctx *Ctx) (Row, bool, error)
+	Close(ctx *Ctx) error
+	Children() []Op
 	String() string
+}
+
+// pull draws one row from an operator, attributing it under ExplainAnalyze.
+// All parents (and the executor) pull through this helper.
+func pull(ctx *Ctx, o Op) (Row, bool, error) {
+	r, ok, err := o.Next(ctx)
+	if ok && err == nil {
+		if st := ctx.statsFor(o); st != nil {
+			st.Rows++
+		}
+	}
+	return r, ok, err
+}
+
+// drain opens an operator, pulls it to exhaustion and closes it.
+func drain(ctx *Ctx, op Op) ([]Row, error) {
+	if err := op.Open(ctx); err != nil {
+		op.Close(ctx)
+		return nil, err
+	}
+	var rows []Row
+	for {
+		r, ok, err := pull(ctx, op)
+		if err != nil {
+			op.Close(ctx)
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		rows = append(rows, r)
+	}
+	if err := op.Close(ctx); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// gather materializes a child operator in full on behalf of a pipeline
+// breaker (a join build side or sort buffer), accounting the buffered rows
+// to the parent until it closes.
+func gather(ctx *Ctx, parent, child Op) ([]Row, error) {
+	rows, err := drain(ctx, child)
+	if err != nil {
+		return nil, err
+	}
+	ctx.hold(parent, len(rows))
+	return rows, nil
 }
 
 // Exec runs a plan and returns its rows plus metrics.
 func Exec(s *storage.Store, plan Op) ([]Row, Metrics, error) {
 	ctx := &Ctx{S: s}
-	rows, err := plan.Run(ctx)
+	rows, err := drain(ctx, plan)
 	if err != nil {
 		return nil, ctx.M, err
 	}
@@ -59,7 +205,7 @@ func Explain(plan Op) string {
 	var walk func(op Op, depth int)
 	walk = func(op Op, depth int) {
 		fmt.Fprintf(&b, "%s%s\n", strings.Repeat("  ", depth), op.String())
-		for _, ch := range children(op) {
+		for _, ch := range op.Children() {
 			walk(ch, depth+1)
 		}
 	}
@@ -67,35 +213,68 @@ func Explain(plan Op) string {
 	return b.String()
 }
 
-func children(op Op) []Op {
-	switch x := op.(type) {
-	case *StructJoin:
-		return []Op{x.Anc, x.Desc}
-	case *ValueJoin:
-		return []Op{x.Left, x.Right}
-	case *NLJoin:
-		return []Op{x.Left, x.Right}
-	case *Filter:
-		return []Op{x.Input}
-	case *AttrFilter:
-		return []Op{x.Input}
-	case *CrossColor:
-		return []Op{x.Input}
-	case *Dedup:
-		return []Op{x.Input}
-	case *DedupContent:
-		return []Op{x.Input}
-	case *DedupAttr:
-		return []Op{x.Input}
-	case *Project:
-		return []Op{x.Input}
-	case *SortStart:
-		return []Op{x.Input}
-	case *ExistsJoin:
-		return []Op{x.Input, x.Probe}
-	default:
-		return nil
+// Analyzed is the result of ExplainAnalyze: the rows and metrics of a real
+// execution plus the annotated plan text and the peak number of intermediate
+// rows materialized at any instant (the streaming-executor footprint).
+type Analyzed struct {
+	Rows    []Row
+	Metrics Metrics
+	// Text is the plan tree with per-operator annotations.
+	Text string
+	// PeakMaterialized is the maximum number of intermediate rows buffered by
+	// pipeline breakers at any point of the execution. A fully streaming
+	// pipeline reports 0.
+	PeakMaterialized int
+}
+
+// ExplainAnalyze executes a plan while attributing rows, materialization and
+// metric deltas to each operator, and renders the annotated tree.
+func ExplainAnalyze(s *storage.Store, plan Op) (*Analyzed, error) {
+	ctx := &Ctx{S: s, stats: map[Op]*OpStats{}}
+	rows, err := drain(ctx, plan)
+	if err != nil {
+		return nil, err
 	}
+	ctx.M.RowsOut = len(rows)
+
+	var b strings.Builder
+	var walk func(op Op, depth int)
+	walk = func(op Op, depth int) {
+		st := ctx.stats[op]
+		if st == nil {
+			st = &OpStats{}
+		}
+		fmt.Fprintf(&b, "%s%s  (rows=%d%s)\n",
+			strings.Repeat("  ", depth), op.String(), st.Rows, statExtras(st))
+		for _, ch := range op.Children() {
+			walk(ch, depth+1)
+		}
+	}
+	walk(plan, 0)
+	fmt.Fprintf(&b, "peak materialized intermediate rows: %d\n", ctx.peak)
+
+	return &Analyzed{
+		Rows:             rows,
+		Metrics:          ctx.M,
+		Text:             b.String(),
+		PeakMaterialized: ctx.peak,
+	}, nil
+}
+
+func statExtras(st *OpStats) string {
+	var b strings.Builder
+	add := func(name string, v int) {
+		if v != 0 {
+			fmt.Fprintf(&b, ", %s=%d", name, v)
+		}
+	}
+	add("materialized", st.Materialized)
+	add("structJoins", st.StructJoins)
+	add("valueJoins", st.ValueJoins)
+	add("idJoins", st.IDJoins)
+	add("crossJoins", st.CrossJoins)
+	add("contentReads", st.ContentReads)
+	return b.String()
 }
 
 // ContentOf fetches the content of one row column, charging a content read.
@@ -196,4 +375,73 @@ func cmpStr(kind, a, b string) bool {
 	default:
 		return a >= b
 	}
+}
+
+// --- shared iterator helpers ---------------------------------------------
+
+// ancIndex is a probe structure over a materialized ancestor-side column:
+// the distinct nodes sorted by start, a start -> rows map for recombination,
+// and the nearest-enclosing chain (laminar: same-color intervals nest or are
+// disjoint, so every node containing a position lies on the chain from the
+// rightmost node starting at or before it).
+type ancIndex struct {
+	nodes   []storage.SNode
+	byStart map[int64][]Row
+	encl    []int
+}
+
+func buildAncIndex(rows []Row, col int) *ancIndex {
+	ix := &ancIndex{byStart: make(map[int64][]Row, len(rows))}
+	for _, r := range rows {
+		sn := r[col]
+		if _, ok := ix.byStart[sn.Start]; !ok {
+			ix.nodes = append(ix.nodes, sn)
+		}
+		ix.byStart[sn.Start] = append(ix.byStart[sn.Start], r)
+	}
+	sort.Slice(ix.nodes, func(i, j int) bool { return ix.nodes[i].Start < ix.nodes[j].Start })
+	ix.encl = make([]int, len(ix.nodes))
+	var stack []int
+	for i, n := range ix.nodes {
+		for len(stack) > 0 && ix.nodes[stack[len(stack)-1]].End < n.Start {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 {
+			ix.encl[i] = stack[len(stack)-1]
+		} else {
+			ix.encl[i] = -1
+		}
+		stack = append(stack, i)
+	}
+	return ix
+}
+
+// containing returns the indices of nodes containing d (outermost first),
+// filtered by the axis.
+func (ix *ancIndex) containing(d storage.SNode, parentChild bool) []int {
+	if parentChild {
+		// The parent, if present, is the node starting at d.ParentStart.
+		i := sort.Search(len(ix.nodes), func(i int) bool {
+			return ix.nodes[i].Start >= d.ParentStart
+		})
+		if i < len(ix.nodes) && ix.nodes[i].Start == d.ParentStart && ix.nodes[i].IsParentOf(d) && ix.nodes[i].Contains(d) {
+			return []int{i}
+		}
+		return nil
+	}
+	// Rightmost node starting strictly before d, then up the enclosing chain.
+	i := sort.Search(len(ix.nodes), func(i int) bool {
+		return ix.nodes[i].Start >= d.Start
+	}) - 1
+	var hits []int
+	for ; i >= 0; i = ix.encl[i] {
+		if ix.nodes[i].Contains(d) {
+			hits = append(hits, i)
+		}
+	}
+	// Reverse to outermost-first, matching the stack-tree join's emit order.
+	for l, r := 0, len(hits)-1; l < r; l, r = l+1, r-1 {
+		hits[l], hits[r] = hits[r], hits[l]
+	}
+	return hits
 }

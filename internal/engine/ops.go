@@ -11,39 +11,86 @@ import (
 )
 
 // ScanTag is an index scan: all structural nodes with a tag in one color, as
-// single-column rows in start order.
+// single-column rows in start order. It streams straight off the tag index
+// posting list, resolving one structural record per Next.
 type ScanTag struct {
 	Color core.Color
 	Tag   string
+
+	refs []uint64
+	pos  int
 }
 
-// Run implements Op.
-func (o *ScanTag) Run(ctx *Ctx) ([]Row, error) {
-	ns, err := ctx.S.ScanTag(o.Color, o.Tag)
-	if err != nil {
-		return nil, err
-	}
-	return wrap(ns), nil
+// Open implements Op.
+func (o *ScanTag) Open(ctx *Ctx) error {
+	o.refs = ctx.S.TagRefs(o.Color, o.Tag)
+	o.pos = 0
+	return nil
 }
+
+// Next implements Op.
+func (o *ScanTag) Next(ctx *Ctx) (Row, bool, error) {
+	if o.pos >= len(o.refs) {
+		return nil, false, nil
+	}
+	sn, err := ctx.S.StructByRef(o.refs[o.pos], o.Color)
+	if err != nil {
+		return nil, false, err
+	}
+	o.pos++
+	return Row{sn}, true, nil
+}
+
+// Close implements Op.
+func (o *ScanTag) Close(ctx *Ctx) error {
+	o.refs = nil
+	return nil
+}
+
+// Children implements Op.
+func (o *ScanTag) Children() []Op { return nil }
 
 func (o *ScanTag) String() string { return fmt.Sprintf("ScanTag{%s}%s", o.Color, o.Tag) }
 
 // EqContent is a content-index lookup: nodes of a tag whose content equals a
-// value.
+// value, streamed off the content index posting list.
 type EqContent struct {
 	Color core.Color
 	Tag   string
 	Value string
+
+	refs []uint64
+	pos  int
 }
 
-// Run implements Op.
-func (o *EqContent) Run(ctx *Ctx) ([]Row, error) {
-	ns, err := ctx.S.EqContent(o.Color, o.Tag, o.Value)
-	if err != nil {
-		return nil, err
-	}
-	return wrap(ns), nil
+// Open implements Op.
+func (o *EqContent) Open(ctx *Ctx) error {
+	o.refs = ctx.S.ContentRefs(o.Color, o.Tag, o.Value)
+	o.pos = 0
+	return nil
 }
+
+// Next implements Op.
+func (o *EqContent) Next(ctx *Ctx) (Row, bool, error) {
+	if o.pos >= len(o.refs) {
+		return nil, false, nil
+	}
+	sn, err := ctx.S.StructByRef(o.refs[o.pos], o.Color)
+	if err != nil {
+		return nil, false, err
+	}
+	o.pos++
+	return Row{sn}, true, nil
+}
+
+// Close implements Op.
+func (o *EqContent) Close(ctx *Ctx) error {
+	o.refs = nil
+	return nil
+}
+
+// Children implements Op.
+func (o *EqContent) Children() []Op { return nil }
 
 func (o *EqContent) String() string {
 	return fmt.Sprintf("EqContent{%s}%s=%q", o.Color, o.Tag, o.Value)
@@ -56,60 +103,108 @@ type ContainsScan struct {
 	Color core.Color
 	Tag   string
 	Pred  Pred
+
+	refs []uint64
+	pos  int
 }
 
-// Run implements Op.
-func (o *ContainsScan) Run(ctx *Ctx) ([]Row, error) {
-	ns, err := ctx.S.ScanTag(o.Color, o.Tag)
-	if err != nil {
-		return nil, err
-	}
-	var out []Row
-	for _, sn := range ns {
-		ctx.M.ContentReads++
+// Open implements Op.
+func (o *ContainsScan) Open(ctx *Ctx) error {
+	o.refs = ctx.S.TagRefs(o.Color, o.Tag)
+	o.pos = 0
+	return nil
+}
+
+// Next implements Op.
+func (o *ContainsScan) Next(ctx *Ctx) (Row, bool, error) {
+	for o.pos < len(o.refs) {
+		sn, err := ctx.S.StructByRef(o.refs[o.pos], o.Color)
+		if err != nil {
+			return nil, false, err
+		}
+		o.pos++
+		ctx.addContentReads(o, 1)
 		content, err := ctx.S.ContentOf(sn.Elem)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		ok, err := o.Pred.Eval(content)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if ok {
-			out = append(out, Row{sn})
+			return Row{sn}, true, nil
 		}
 	}
-	return out, nil
+	return nil, false, nil
 }
+
+// Close implements Op.
+func (o *ContainsScan) Close(ctx *Ctx) error {
+	o.refs = nil
+	return nil
+}
+
+// Children implements Op.
+func (o *ContainsScan) Children() []Op { return nil }
 
 func (o *ContainsScan) String() string {
 	return fmt.Sprintf("ContainsScan{%s}%s[%s]", o.Color, o.Tag, o.Pred)
 }
 
 // AttrEq is an attribute-index lookup producing the matching elements'
-// structural nodes in one color.
+// structural nodes in one color. The attribute index yields element ids in
+// no particular order, so the (small) result is buffered and start-sorted.
 type AttrEq struct {
 	Color core.Color
 	Name  string
 	Value string
+
+	rows []Row
+	pos  int
+	held int
 }
 
-// Run implements Op.
-func (o *AttrEq) Run(ctx *Ctx) ([]Row, error) {
+// Open implements Op.
+func (o *AttrEq) Open(ctx *Ctx) error {
 	ids := ctx.S.EqAttr(o.Name, o.Value)
-	var out []Row
+	o.rows = nil
+	o.pos = 0
 	for _, id := range ids {
 		sn, ok, err := ctx.S.StructOf(id, o.Color)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if ok {
-			out = append(out, Row{sn})
+			o.rows = append(o.rows, Row{sn})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i][0].Start < out[j][0].Start })
-	return out, nil
+	sort.Slice(o.rows, func(i, j int) bool { return o.rows[i][0].Start < o.rows[j][0].Start })
+	o.held = len(o.rows)
+	ctx.hold(o, o.held)
+	return nil
 }
+
+// Next implements Op.
+func (o *AttrEq) Next(ctx *Ctx) (Row, bool, error) {
+	if o.pos >= len(o.rows) {
+		return nil, false, nil
+	}
+	r := o.rows[o.pos]
+	o.pos++
+	return r, true, nil
+}
+
+// Close implements Op.
+func (o *AttrEq) Close(ctx *Ctx) error {
+	ctx.release(o.held)
+	o.held = 0
+	o.rows = nil
+	return nil
+}
+
+// Children implements Op.
+func (o *AttrEq) Children() []Op { return nil }
 
 func (o *AttrEq) String() string {
 	return fmt.Sprintf("AttrEq{%s}@%s=%q", o.Color, o.Name, o.Value)
@@ -122,28 +217,36 @@ type Filter struct {
 	Pred  Pred
 }
 
-// Run implements Op.
-func (o *Filter) Run(ctx *Ctx) ([]Row, error) {
-	rows, err := o.Input.Run(ctx)
-	if err != nil {
-		return nil, err
-	}
-	out := rows[:0:0]
-	for _, r := range rows {
-		content, err := ContentOf(ctx, r, o.Col)
+// Open implements Op.
+func (o *Filter) Open(ctx *Ctx) error { return o.Input.Open(ctx) }
+
+// Next implements Op.
+func (o *Filter) Next(ctx *Ctx) (Row, bool, error) {
+	for {
+		r, ok, err := pull(ctx, o.Input)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		ctx.addContentReads(o, 1)
+		content, err := ctx.S.ContentOf(r[o.Col].Elem)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		ok, err := o.Pred.Eval(content)
+		keep, err := o.Pred.Eval(content)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		if ok {
-			out = append(out, r)
+		if keep {
+			return r, true, nil
 		}
 	}
-	return out, nil
 }
+
+// Close implements Op.
+func (o *Filter) Close(ctx *Ctx) error { return o.Input.Close(ctx) }
+
+// Children implements Op.
+func (o *Filter) Children() []Op { return []Op{o.Input} }
 
 func (o *Filter) String() string { return fmt.Sprintf("Filter[col %d %s]", o.Col, o.Pred) }
 
@@ -155,69 +258,111 @@ type AttrFilter struct {
 	Pred  Pred
 }
 
-// Run implements Op.
-func (o *AttrFilter) Run(ctx *Ctx) ([]Row, error) {
-	rows, err := o.Input.Run(ctx)
-	if err != nil {
-		return nil, err
-	}
-	out := rows[:0:0]
-	for _, r := range rows {
-		ctx.M.ContentReads++
+// Open implements Op.
+func (o *AttrFilter) Open(ctx *Ctx) error { return o.Input.Open(ctx) }
+
+// Next implements Op.
+func (o *AttrFilter) Next(ctx *Ctx) (Row, bool, error) {
+	for {
+		r, ok, err := pull(ctx, o.Input)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		ctx.addContentReads(o, 1)
 		e, err := ctx.S.Elem(r[o.Col].Elem)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		ok, err := o.Pred.Eval(e.Attr(o.Name))
+		keep, err := o.Pred.Eval(e.Attr(o.Name))
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		if ok {
-			out = append(out, r)
+		if keep {
+			return r, true, nil
 		}
 	}
-	return out, nil
 }
+
+// Close implements Op.
+func (o *AttrFilter) Close(ctx *Ctx) error { return o.Input.Close(ctx) }
+
+// Children implements Op.
+func (o *AttrFilter) Children() []Op { return []Op{o.Input} }
 
 func (o *AttrFilter) String() string {
 	return fmt.Sprintf("AttrFilter[col %d @%s %s]", o.Col, o.Name, o.Pred)
 }
 
-// StructJoin joins two subplans with the stack-tree structural join: the
-// AncCol column of Anc rows must be an ancestor (or parent) of the DescCol
-// column of Desc rows. Output rows are anc-row ++ desc-row.
+// StructJoin joins two subplans structurally: the AncCol column of Anc rows
+// must be an ancestor (or parent) of the DescCol column of Desc rows. Output
+// rows are anc-row ++ desc-row.
+//
+// The ancestor side is the build side: it is materialized into a
+// nearest-enclosing interval index (same-color intervals nest or are
+// disjoint, so each descendant's ancestors lie on one enclosing chain found
+// by binary search). The descendant side streams.
 type StructJoin struct {
 	Anc     Op
 	Desc    Op
 	AncCol  int
 	DescCol int
 	Axis    join.Axis
+
+	ix      *ancIndex
+	pending []Row
+	held    int
 }
 
-// Run implements Op.
-func (o *StructJoin) Run(ctx *Ctx) ([]Row, error) {
-	ancRows, err := o.Anc.Run(ctx)
+// Open implements Op.
+func (o *StructJoin) Open(ctx *Ctx) error {
+	ancRows, err := gather(ctx, o, o.Anc)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	descRows, err := o.Desc.Run(ctx)
-	if err != nil {
-		return nil, err
-	}
-	ancNodes, ancByStart := column(ancRows, o.AncCol)
-	descNodes, descByStart := column(descRows, o.DescCol)
-	pairs := join.Structural(ancNodes, descNodes, o.Axis)
-	ctx.M.StructJoins += len(pairs)
-	out := make([]Row, 0, len(pairs))
-	for _, p := range pairs {
-		for _, ar := range ancByStart[p.Anc.Start] {
-			for _, dr := range descByStart[p.Desc.Start] {
-				out = append(out, concat(ar, dr))
+	o.held = len(ancRows)
+	o.ix = buildAncIndex(ancRows, o.AncCol)
+	o.pending = nil
+	return o.Desc.Open(ctx)
+}
+
+// Next implements Op.
+func (o *StructJoin) Next(ctx *Ctx) (Row, bool, error) {
+	for {
+		if len(o.pending) > 0 {
+			r := o.pending[0]
+			o.pending = o.pending[1:]
+			return r, true, nil
+		}
+		d, ok, err := pull(ctx, o.Desc)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		dn := d[o.DescCol]
+		for _, hi := range o.ix.containing(dn, o.Axis == join.ParentChild) {
+			ctx.addStructJoins(o, 1)
+			for _, ar := range o.ix.byStart[o.ix.nodes[hi].Start] {
+				o.pending = append(o.pending, concat(ar, d))
 			}
 		}
 	}
-	return out, nil
 }
+
+// Close implements Op.
+func (o *StructJoin) Close(ctx *Ctx) error {
+	ctx.release(o.held)
+	o.held = 0
+	o.ix = nil
+	o.pending = nil
+	err1 := o.Anc.Close(ctx)
+	err2 := o.Desc.Close(ctx)
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Children implements Op.
+func (o *StructJoin) Children() []Op { return []Op{o.Anc, o.Desc} }
 
 func (o *StructJoin) String() string {
 	axis := "ancestor-descendant"
@@ -229,6 +374,8 @@ func (o *StructJoin) String() string {
 
 // ExistsJoin is a structural semi-join: keep Input rows whose column has a
 // descendant (or child/ancestor/parent, per Axis and Dir) in Probe's column.
+// The probe side is materialized into an interval index; Input streams, with
+// one decision memoized per distinct input node.
 type ExistsJoin struct {
 	Input    Op
 	Probe    Op
@@ -238,39 +385,110 @@ type ExistsJoin struct {
 	// InputIsDesc inverts the direction: keep Input rows whose column HAS AN
 	// ANCESTOR in Probe.
 	InputIsDesc bool
+
+	ix            *ancIndex        // when InputIsDesc: probe nodes as ancestors
+	probeNodes    []storage.SNode  // otherwise: distinct probe nodes, start order
+	probeByParent map[int64][]int  // otherwise, ParentChild: probe indexes by ParentStart
+	decided       map[int64]bool
+	held          int
 }
 
-// Run implements Op.
-func (o *ExistsJoin) Run(ctx *Ctx) ([]Row, error) {
-	rows, err := o.Input.Run(ctx)
+// Open implements Op.
+func (o *ExistsJoin) Open(ctx *Ctx) error {
+	probeRows, err := gather(ctx, o, o.Probe)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	probe, err := o.Probe.Run(ctx)
-	if err != nil {
-		return nil, err
-	}
-	in, _ := column(rows, o.Col)
-	pr, _ := column(probe, o.ProbeCol)
-	var keep []storage.SNode
+	o.held = len(probeRows)
+	o.decided = make(map[int64]bool)
+	o.ix = nil
+	o.probeNodes = nil
+	o.probeByParent = nil
 	if o.InputIsDesc {
-		keep = join.SemiDesc(pr, in, o.Axis)
+		o.ix = buildAncIndex(probeRows, o.ProbeCol)
 	} else {
-		keep = join.SemiAnc(in, pr, o.Axis)
-	}
-	ctx.M.StructJoins += len(keep)
-	ok := make(map[int64]bool, len(keep))
-	for _, k := range keep {
-		ok[k.Start] = true
-	}
-	out := rows[:0:0]
-	for _, r := range rows {
-		if ok[r[o.Col].Start] {
-			out = append(out, r)
+		seen := make(map[int64]bool, len(probeRows))
+		for _, r := range probeRows {
+			sn := r[o.ProbeCol]
+			if !seen[sn.Start] {
+				seen[sn.Start] = true
+				o.probeNodes = append(o.probeNodes, sn)
+			}
+		}
+		join.SortByStart(o.probeNodes)
+		if o.Axis == join.ParentChild {
+			o.probeByParent = make(map[int64][]int, len(o.probeNodes))
+			for i, sn := range o.probeNodes {
+				o.probeByParent[sn.ParentStart] = append(o.probeByParent[sn.ParentStart], i)
+			}
 		}
 	}
-	return out, nil
+	return o.Input.Open(ctx)
 }
+
+// match decides whether one input node has a structural partner in the probe
+// set.
+func (o *ExistsJoin) match(sn storage.SNode) bool {
+	if o.InputIsDesc {
+		return len(o.ix.containing(sn, o.Axis == join.ParentChild)) > 0
+	}
+	if o.Axis == join.ParentChild {
+		for _, i := range o.probeByParent[sn.Start] {
+			d := o.probeNodes[i]
+			if sn.Contains(d) && sn.IsParentOf(d) {
+				return true
+			}
+		}
+		return false
+	}
+	// Ancestor-descendant: any probe node starting inside sn's interval is a
+	// descendant (same-color intervals nest or are disjoint).
+	i := sort.Search(len(o.probeNodes), func(i int) bool {
+		return o.probeNodes[i].Start > sn.Start
+	})
+	return i < len(o.probeNodes) && sn.Contains(o.probeNodes[i])
+}
+
+// Next implements Op.
+func (o *ExistsJoin) Next(ctx *Ctx) (Row, bool, error) {
+	for {
+		r, ok, err := pull(ctx, o.Input)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		sn := r[o.Col]
+		keep, seen := o.decided[sn.Start]
+		if !seen {
+			keep = o.match(sn)
+			o.decided[sn.Start] = keep
+			if keep {
+				ctx.addStructJoins(o, 1)
+			}
+		}
+		if keep {
+			return r, true, nil
+		}
+	}
+}
+
+// Close implements Op.
+func (o *ExistsJoin) Close(ctx *Ctx) error {
+	ctx.release(o.held)
+	o.held = 0
+	o.ix = nil
+	o.probeNodes = nil
+	o.probeByParent = nil
+	o.decided = nil
+	err1 := o.Input.Close(ctx)
+	err2 := o.Probe.Close(ctx)
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Children implements Op.
+func (o *ExistsJoin) Children() []Op { return []Op{o.Input, o.Probe} }
 
 func (o *ExistsJoin) String() string {
 	return fmt.Sprintf("ExistsJoin[col %d, desc=%v]", o.Col, o.InputIsDesc)
@@ -286,25 +504,32 @@ type CrossColor struct {
 	To    core.Color
 }
 
-// Run implements Op.
-func (o *CrossColor) Run(ctx *Ctx) ([]Row, error) {
-	rows, err := o.Input.Run(ctx)
-	if err != nil {
-		return nil, err
-	}
-	out := rows[:0:0]
-	for _, r := range rows {
-		ctx.M.CrossJoins++
+// Open implements Op.
+func (o *CrossColor) Open(ctx *Ctx) error { return o.Input.Open(ctx) }
+
+// Next implements Op.
+func (o *CrossColor) Next(ctx *Ctx) (Row, bool, error) {
+	for {
+		r, ok, err := pull(ctx, o.Input)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		ctx.addCrossJoins(o, 1)
 		sn, ok, err := ctx.S.CrossTree(r[o.Col].Elem, o.To)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if ok {
-			out = append(out, concat(r, Row{sn}))
+			return concat(r, Row{sn}), true, nil
 		}
 	}
-	return out, nil
 }
+
+// Close implements Op.
+func (o *CrossColor) Close(ctx *Ctx) error { return o.Input.Close(ctx) }
+
+// Children implements Op.
+func (o *CrossColor) Children() []Op { return []Op{o.Input} }
 
 func (o *CrossColor) String() string {
 	return fmt.Sprintf("CrossColor[col %d -> %s]", o.Col, o.To)
@@ -329,8 +554,8 @@ func (k Key) String() string {
 	}
 }
 
-func (k Key) extract(ctx *Ctx, sn storage.SNode) ([]string, error) {
-	ctx.M.ContentReads++
+func (k Key) extract(ctx *Ctx, o Op, sn storage.SNode) ([]string, error) {
+	ctx.addContentReads(o, 1)
 	e, err := ctx.S.Elem(sn.Elem)
 	if err != nil {
 		return nil, err
@@ -351,7 +576,8 @@ func (k Key) extract(ctx *Ctx, sn storage.SNode) ([]string, error) {
 }
 
 // ValueJoin hash-joins two subplans on extracted string keys — the shallow
-// representation's ID/IDREF join. Output rows are left-row ++ right-row.
+// representation's ID/IDREF join. The right side is the build side; the left
+// streams. Output rows are left-row ++ right-row.
 type ValueJoin struct {
 	Left     Op
 	Right    Op
@@ -359,49 +585,152 @@ type ValueJoin struct {
 	RightCol int
 	LeftKey  Key
 	RightKey Key
+
+	ht      map[string][]Row
+	pending []Row
+	held    int
 }
 
-// Run implements Op.
-func (o *ValueJoin) Run(ctx *Ctx) ([]Row, error) {
-	left, err := o.Left.Run(ctx)
+// Open implements Op.
+func (o *ValueJoin) Open(ctx *Ctx) error {
+	right, err := gather(ctx, o, o.Right)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	right, err := o.Right.Run(ctx)
-	if err != nil {
-		return nil, err
-	}
-	ht := make(map[string][]Row, len(right))
+	o.held = len(right)
+	o.ht = make(map[string][]Row, len(right))
 	for _, r := range right {
-		keys, err := o.RightKey.extract(ctx, r[o.RightCol])
+		keys, err := o.RightKey.extract(ctx, o, r[o.RightCol])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, k := range keys {
-			ht[k] = append(ht[k], r)
+			o.ht[k] = append(o.ht[k], r)
 		}
 	}
-	var out []Row
-	for _, l := range left {
-		keys, err := o.LeftKey.extract(ctx, l[o.LeftCol])
+	o.pending = nil
+	return o.Left.Open(ctx)
+}
+
+// Next implements Op.
+func (o *ValueJoin) Next(ctx *Ctx) (Row, bool, error) {
+	for {
+		if len(o.pending) > 0 {
+			r := o.pending[0]
+			o.pending = o.pending[1:]
+			return r, true, nil
+		}
+		l, ok, err := pull(ctx, o.Left)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		keys, err := o.LeftKey.extract(ctx, o, l[o.LeftCol])
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		for _, k := range keys {
-			ctx.M.ValueJoins++
-			for _, r := range ht[k] {
-				out = append(out, concat(l, r))
+			ctx.addValueJoins(o, 1)
+			for _, r := range o.ht[k] {
+				o.pending = append(o.pending, concat(l, r))
 			}
 		}
 	}
-	return out, nil
 }
+
+// Close implements Op.
+func (o *ValueJoin) Close(ctx *Ctx) error {
+	ctx.release(o.held)
+	o.held = 0
+	o.ht = nil
+	o.pending = nil
+	err1 := o.Left.Close(ctx)
+	err2 := o.Right.Close(ctx)
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Children implements Op.
+func (o *ValueJoin) Children() []Op { return []Op{o.Left, o.Right} }
 
 func (o *ValueJoin) String() string {
 	return fmt.Sprintf("ValueJoin[%s = %s]", o.LeftKey, o.RightKey)
 }
 
+// IDJoin hash-joins two subplans on element identity — the MCT identity join
+// produced by the plan compiler for "$a = $b" comparisons between node
+// variables. The right side is the build side; the left streams. Output rows
+// are left-row ++ right-row.
+type IDJoin struct {
+	Left     Op
+	Right    Op
+	LeftCol  int
+	RightCol int
+
+	ht      map[storage.ElemID][]Row
+	pending []Row
+	held    int
+}
+
+// Open implements Op.
+func (o *IDJoin) Open(ctx *Ctx) error {
+	right, err := gather(ctx, o, o.Right)
+	if err != nil {
+		return err
+	}
+	o.held = len(right)
+	o.ht = make(map[storage.ElemID][]Row, len(right))
+	for _, r := range right {
+		id := r[o.RightCol].Elem
+		o.ht[id] = append(o.ht[id], r)
+	}
+	o.pending = nil
+	return o.Left.Open(ctx)
+}
+
+// Next implements Op.
+func (o *IDJoin) Next(ctx *Ctx) (Row, bool, error) {
+	for {
+		if len(o.pending) > 0 {
+			r := o.pending[0]
+			o.pending = o.pending[1:]
+			return r, true, nil
+		}
+		l, ok, err := pull(ctx, o.Left)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		ctx.addIDJoins(o, 1)
+		for _, r := range o.ht[l[o.LeftCol].Elem] {
+			o.pending = append(o.pending, concat(l, r))
+		}
+	}
+}
+
+// Close implements Op.
+func (o *IDJoin) Close(ctx *Ctx) error {
+	ctx.release(o.held)
+	o.held = 0
+	o.ht = nil
+	o.pending = nil
+	err1 := o.Left.Close(ctx)
+	err2 := o.Right.Close(ctx)
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Children implements Op.
+func (o *IDJoin) Children() []Op { return []Op{o.Left, o.Right} }
+
+func (o *IDJoin) String() string {
+	return fmt.Sprintf("IDJoin[left col %d, right col %d]", o.LeftCol, o.RightCol)
+}
+
 // NLJoin is the nested-loop join used for inequality predicates on content.
+// The right side (and its contents) is the build side; the left streams.
 type NLJoin struct {
 	Left     Op
 	Right    Op
@@ -410,78 +739,124 @@ type NLJoin struct {
 	// Kind is an inequality predicate kind ("lt", "le", "gt", "ge", "ne").
 	Kind    string
 	Numeric bool
+
+	right   []Row
+	rc      []string
+	pending []Row
+	held    int
 }
 
-// Run implements Op.
-func (o *NLJoin) Run(ctx *Ctx) ([]Row, error) {
-	left, err := o.Left.Run(ctx)
+// Open implements Op.
+func (o *NLJoin) Open(ctx *Ctx) error {
+	right, err := gather(ctx, o, o.Right)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	right, err := o.Right.Run(ctx)
-	if err != nil {
-		return nil, err
-	}
-	// Pre-fetch contents once per side (the quadratic part is comparisons).
-	lc := make([]string, len(left))
-	for i, r := range left {
-		lc[i], err = ContentOf(ctx, r, o.LeftCol)
-		if err != nil {
-			return nil, err
-		}
-	}
-	rc := make([]string, len(right))
+	o.held = len(right)
+	o.right = right
+	o.rc = make([]string, len(right))
 	for i, r := range right {
-		rc[i], err = ContentOf(ctx, r, o.RightCol)
+		ctx.addContentReads(o, 1)
+		o.rc[i], err = ctx.S.ContentOf(r[o.RightCol].Elem)
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	var out []Row
-	for i, l := range left {
-		p := Pred{Kind: o.Kind, Numeric: o.Numeric}
-		for j, r := range right {
-			ctx.M.ValueJoins++
-			p.Value = rc[j]
-			ok, err := p.Eval(lc[i])
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				out = append(out, concat(l, r))
-			}
-		}
-	}
-	return out, nil
+	o.pending = nil
+	return o.Left.Open(ctx)
 }
+
+// Next implements Op.
+func (o *NLJoin) Next(ctx *Ctx) (Row, bool, error) {
+	for {
+		if len(o.pending) > 0 {
+			r := o.pending[0]
+			o.pending = o.pending[1:]
+			return r, true, nil
+		}
+		l, ok, err := pull(ctx, o.Left)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		ctx.addContentReads(o, 1)
+		lc, err := ctx.S.ContentOf(l[o.LeftCol].Elem)
+		if err != nil {
+			return nil, false, err
+		}
+		p := Pred{Kind: o.Kind, Numeric: o.Numeric}
+		for j, r := range o.right {
+			ctx.addValueJoins(o, 1)
+			p.Value = o.rc[j]
+			match, err := p.Eval(lc)
+			if err != nil {
+				return nil, false, err
+			}
+			if match {
+				o.pending = append(o.pending, concat(l, r))
+			}
+		}
+	}
+}
+
+// Close implements Op.
+func (o *NLJoin) Close(ctx *Ctx) error {
+	ctx.release(o.held)
+	o.held = 0
+	o.right = nil
+	o.rc = nil
+	o.pending = nil
+	err1 := o.Left.Close(ctx)
+	err2 := o.Right.Close(ctx)
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Children implements Op.
+func (o *NLJoin) Children() []Op { return []Op{o.Left, o.Right} }
 
 func (o *NLJoin) String() string { return fmt.Sprintf("NLJoin[%s numeric=%v]", o.Kind, o.Numeric) }
 
 // Dedup removes duplicate rows by the element identity of one column — the
 // duplicate elimination the deep representation pays after traversing
-// replicated data.
+// replicated data. It streams, holding only the set of seen identities.
 type Dedup struct {
 	Input Op
 	Col   int
+
+	seen map[storage.ElemID]bool
 }
 
-// Run implements Op.
-func (o *Dedup) Run(ctx *Ctx) ([]Row, error) {
-	rows, err := o.Input.Run(ctx)
-	if err != nil {
-		return nil, err
-	}
-	seen := make(map[storage.ElemID]bool, len(rows))
-	out := rows[:0:0]
-	for _, r := range rows {
+// Open implements Op.
+func (o *Dedup) Open(ctx *Ctx) error {
+	o.seen = make(map[storage.ElemID]bool)
+	return o.Input.Open(ctx)
+}
+
+// Next implements Op.
+func (o *Dedup) Next(ctx *Ctx) (Row, bool, error) {
+	for {
+		r, ok, err := pull(ctx, o.Input)
+		if err != nil || !ok {
+			return nil, false, err
+		}
 		id := r[o.Col].Elem
-		if !seen[id] {
-			seen[id] = true
-			out = append(out, r)
+		if !o.seen[id] {
+			o.seen[id] = true
+			return r, true, nil
 		}
 	}
-	return out, nil
 }
+
+// Close implements Op.
+func (o *Dedup) Close(ctx *Ctx) error {
+	o.seen = nil
+	return o.Input.Close(ctx)
+}
+
+// Children implements Op.
+func (o *Dedup) Children() []Op { return []Op{o.Input} }
 
 func (o *Dedup) String() string { return fmt.Sprintf("Dedup[col %d]", o.Col) }
 
@@ -491,28 +866,43 @@ func (o *Dedup) String() string { return fmt.Sprintf("Dedup[col %d]", o.Col) }
 type DedupContent struct {
 	Input Op
 	Col   int
+
+	seen map[string]bool
 }
 
-// Run implements Op.
-func (o *DedupContent) Run(ctx *Ctx) ([]Row, error) {
-	rows, err := o.Input.Run(ctx)
-	if err != nil {
-		return nil, err
-	}
-	seen := make(map[string]bool, len(rows))
-	out := rows[:0:0]
-	for _, r := range rows {
-		c, err := ContentOf(ctx, r, o.Col)
-		if err != nil {
-			return nil, err
-		}
-		if !seen[c] {
-			seen[c] = true
-			out = append(out, r)
-		}
-	}
-	return out, nil
+// Open implements Op.
+func (o *DedupContent) Open(ctx *Ctx) error {
+	o.seen = make(map[string]bool)
+	return o.Input.Open(ctx)
 }
+
+// Next implements Op.
+func (o *DedupContent) Next(ctx *Ctx) (Row, bool, error) {
+	for {
+		r, ok, err := pull(ctx, o.Input)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		ctx.addContentReads(o, 1)
+		c, err := ctx.S.ContentOf(r[o.Col].Elem)
+		if err != nil {
+			return nil, false, err
+		}
+		if !o.seen[c] {
+			o.seen[c] = true
+			return r, true, nil
+		}
+	}
+}
+
+// Close implements Op.
+func (o *DedupContent) Close(ctx *Ctx) error {
+	o.seen = nil
+	return o.Input.Close(ctx)
+}
+
+// Children implements Op.
+func (o *DedupContent) Children() []Op { return []Op{o.Input} }
 
 func (o *DedupContent) String() string { return fmt.Sprintf("DedupContent[col %d]", o.Col) }
 
@@ -523,30 +913,44 @@ type DedupAttr struct {
 	Input Op
 	Col   int
 	Name  string
+
+	seen map[string]bool
 }
 
-// Run implements Op.
-func (o *DedupAttr) Run(ctx *Ctx) ([]Row, error) {
-	rows, err := o.Input.Run(ctx)
-	if err != nil {
-		return nil, err
-	}
-	seen := make(map[string]bool, len(rows))
-	out := rows[:0:0]
-	for _, r := range rows {
-		ctx.M.ContentReads++
+// Open implements Op.
+func (o *DedupAttr) Open(ctx *Ctx) error {
+	o.seen = make(map[string]bool)
+	return o.Input.Open(ctx)
+}
+
+// Next implements Op.
+func (o *DedupAttr) Next(ctx *Ctx) (Row, bool, error) {
+	for {
+		r, ok, err := pull(ctx, o.Input)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		ctx.addContentReads(o, 1)
 		e, err := ctx.S.Elem(r[o.Col].Elem)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		k := e.Attr(o.Name)
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, r)
+		if !o.seen[k] {
+			o.seen[k] = true
+			return r, true, nil
 		}
 	}
-	return out, nil
 }
+
+// Close implements Op.
+func (o *DedupAttr) Close(ctx *Ctx) error {
+	o.seen = nil
+	return o.Input.Close(ctx)
+}
+
+// Children implements Op.
+func (o *DedupAttr) Children() []Op { return []Op{o.Input} }
 
 func (o *DedupAttr) String() string { return fmt.Sprintf("DedupAttr[col %d @%s]", o.Col, o.Name) }
 
@@ -556,73 +960,83 @@ type Project struct {
 	Cols  []int
 }
 
-// Run implements Op.
-func (o *Project) Run(ctx *Ctx) ([]Row, error) {
-	rows, err := o.Input.Run(ctx)
-	if err != nil {
-		return nil, err
+// Open implements Op.
+func (o *Project) Open(ctx *Ctx) error { return o.Input.Open(ctx) }
+
+// Next implements Op.
+func (o *Project) Next(ctx *Ctx) (Row, bool, error) {
+	r, ok, err := pull(ctx, o.Input)
+	if err != nil || !ok {
+		return nil, false, err
 	}
-	out := make([]Row, len(rows))
-	for i, r := range rows {
-		nr := make(Row, len(o.Cols))
-		for j, c := range o.Cols {
-			nr[j] = r[c]
-		}
-		out[i] = nr
+	nr := make(Row, len(o.Cols))
+	for j, c := range o.Cols {
+		nr[j] = r[c]
 	}
-	return out, nil
+	return nr, true, nil
 }
+
+// Close implements Op.
+func (o *Project) Close(ctx *Ctx) error { return o.Input.Close(ctx) }
+
+// Children implements Op.
+func (o *Project) Children() []Op { return []Op{o.Input} }
 
 func (o *Project) String() string { return fmt.Sprintf("Project%v", o.Cols) }
 
-// SortStart orders rows by the start position of one column.
+// SortStart orders rows by the start position of one column. A full pipeline
+// breaker: the input is materialized and sorted at Open.
 type SortStart struct {
 	Input Op
 	Col   int
+
+	rows []Row
+	pos  int
+	held int
 }
 
-// Run implements Op.
-func (o *SortStart) Run(ctx *Ctx) ([]Row, error) {
-	rows, err := o.Input.Run(ctx)
+// Open implements Op.
+func (o *SortStart) Open(ctx *Ctx) error {
+	rows, err := gather(ctx, o, o.Input)
 	if err != nil {
-		return nil, err
+		return err
 	}
+	o.held = len(rows)
 	sort.SliceStable(rows, func(i, j int) bool {
 		return rows[i][o.Col].Start < rows[j][o.Col].Start
 	})
-	return rows, nil
+	o.rows = rows
+	o.pos = 0
+	return nil
 }
+
+// Next implements Op.
+func (o *SortStart) Next(ctx *Ctx) (Row, bool, error) {
+	if o.pos >= len(o.rows) {
+		return nil, false, nil
+	}
+	r := o.rows[o.pos]
+	o.pos++
+	return r, true, nil
+}
+
+// Close implements Op.
+func (o *SortStart) Close(ctx *Ctx) error {
+	ctx.release(o.held)
+	o.held = 0
+	o.rows = nil
+	return o.Input.Close(ctx)
+}
+
+// Children implements Op.
+func (o *SortStart) Children() []Op { return []Op{o.Input} }
 
 func (o *SortStart) String() string { return fmt.Sprintf("SortStart[col %d]", o.Col) }
 
 // --- helpers -------------------------------------------------------------
 
-func wrap(ns []storage.SNode) []Row {
-	rows := make([]Row, len(ns))
-	for i, n := range ns {
-		rows[i] = Row{n}
-	}
-	return rows
-}
-
 func concat(a, b Row) Row {
 	out := make(Row, 0, len(a)+len(b))
 	out = append(out, a...)
 	return append(out, b...)
-}
-
-// column extracts one column as a deduplicated, start-sorted node list plus
-// a start -> rows map for recombination after a node-level join.
-func column(rows []Row, col int) ([]storage.SNode, map[int64][]Row) {
-	byStart := make(map[int64][]Row, len(rows))
-	var nodes []storage.SNode
-	for _, r := range rows {
-		sn := r[col]
-		if _, ok := byStart[sn.Start]; !ok {
-			nodes = append(nodes, sn)
-		}
-		byStart[sn.Start] = append(byStart[sn.Start], r)
-	}
-	join.SortByStart(nodes)
-	return nodes, byStart
 }

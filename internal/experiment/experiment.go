@@ -7,12 +7,14 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"strings"
 	"time"
 
+	"colorfulxml/internal/plan"
 	"colorfulxml/internal/storage"
 	"colorfulxml/internal/workload"
 )
@@ -359,3 +361,124 @@ func FormatFigure(rows []FigureRow, paths bool) string {
 
 // StoreFor exposes a loaded store for ablation benchmarks.
 func StoreFor(st *workload.Stores, v workload.Variant) *storage.Store { return st.Of(v) }
+
+// CompiledRow compares the automatic plan compiler (internal/plan) against
+// the hand-specified plan for one query and representation.
+type CompiledRow struct {
+	ID      string
+	Variant workload.Variant
+	// Supported is false when the text is outside the compilable subset
+	// (distinct-values deep formulations); the remaining fields are zero.
+	Supported bool
+	// Results is the distinct result count; Agree whether compiled and hand
+	// result sets are identical.
+	Results int
+	Agree   bool
+	// HandMs and CompiledMs are run times in milliseconds; CompiledMs
+	// includes parsing, plan compilation and costing on every run.
+	HandMs     float64
+	CompiledMs float64
+}
+
+// CompiledAgreement compiles every Table 2 query text on every
+// representation, checks result-set agreement with the hand plan, and times
+// both. It is the experiment-layer view of the differential harness: the hand
+// plans stay as the measured baseline, the compiler is the default path.
+func CompiledAgreement(cfg Config, runs int) ([]CompiledRow, error) {
+	tp, err := workload.LoadTPCW(cfg.TPCWScale, cfg.Seed, cfg.PoolPages)
+	if err != nil {
+		return nil, err
+	}
+	sg, err := workload.LoadSigmod(cfg.SigmodScale, cfg.Seed, cfg.PoolPages)
+	if err != nil {
+		return nil, err
+	}
+	var rows []CompiledRow
+	for _, g := range []struct {
+		qs []*workload.Query
+		st *workload.Stores
+	}{{workload.TPCWQueries(), tp}, {workload.SigmodQueries(), sg}} {
+		for _, q := range g.qs {
+			for _, v := range workload.Variants {
+				row := CompiledRow{ID: q.ID, Variant: v}
+				_, handVals, _, err := workload.RunCompiled(q, g.st, v)
+				if err != nil {
+					if errors.Is(err, plan.ErrUnsupported) {
+						rows = append(rows, row)
+						continue
+					}
+					return nil, fmt.Errorf("%s/%s compiled: %w", q.ID, v, err)
+				}
+				hand, _, err := workload.RunQuery(q, g.st, v)
+				if err != nil {
+					return nil, err
+				}
+				cs, hs := distinctSorted(handVals), distinctSorted(hand)
+				row.Supported = true
+				row.Results = len(cs)
+				row.Agree = stringSetsEqual(cs, hs)
+				if row.HandMs, err = trimmedMean(runs, func() error {
+					_, _, err := workload.RunQuery(q, g.st, v)
+					return err
+				}); err != nil {
+					return nil, err
+				}
+				if row.CompiledMs, err = trimmedMean(runs, func() error {
+					_, _, _, err := workload.RunCompiled(q, g.st, v)
+					return err
+				}); err != nil {
+					return nil, err
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// FormatCompiled renders the compiler-vs-hand-plan comparison.
+func FormatCompiled(rows []CompiledRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-8s %8s %7s %10s %12s\n",
+		"Query", "Variant", "Results", "Agree", "Hand ms", "Compiled ms")
+	agreed, supported := 0, 0
+	for _, r := range rows {
+		if !r.Supported {
+			fmt.Fprintf(&b, "%-6s %-8s %8s %7s %10s %12s\n", r.ID, r.Variant, "-", "-", "-", "unsupported")
+			continue
+		}
+		supported++
+		if r.Agree {
+			agreed++
+		}
+		fmt.Fprintf(&b, "%-6s %-8s %8d %7v %10.2f %12.2f\n",
+			r.ID, r.Variant, r.Results, r.Agree, r.HandMs, r.CompiledMs)
+	}
+	fmt.Fprintf(&b, "%d/%d supported plans agree with the hand-specified plans\n", agreed, supported)
+	return b.String()
+}
+
+func distinctSorted(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := make([]string, 0, len(in))
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func stringSetsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,397 @@
+package plan
+
+import (
+	"math"
+	"sort"
+
+	"colorfulxml/internal/core"
+	"colorfulxml/internal/engine"
+	"colorfulxml/internal/join"
+	"colorfulxml/internal/mcxquery"
+	"colorfulxml/internal/pathexpr"
+)
+
+// Compile analyzes and lowers a parsed query into a physical plan.
+func Compile(e pathexpr.Expr, opt Options) (*Compiled, error) {
+	lg, err := Analyze(e, opt.DefaultColor)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(lg, opt)
+}
+
+// CompileQuery parses query text and compiles it.
+func CompileQuery(src string, opt Options) (*Compiled, error) {
+	e, err := mcxquery.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(e, opt)
+}
+
+// chain is one connected component of the plan under construction: an
+// operator tree, the layout of its rows, the variables bound to columns, and
+// an estimated output cardinality.
+type chain struct {
+	op     engine.Op
+	cols   []ColInfo
+	varCol map[string]int
+	card   float64
+}
+
+type lowerer struct {
+	cat    Catalog
+	chains []*chain
+	of     map[string]*chain
+}
+
+// Lower emits the physical plan for an analyzed query.
+func Lower(lg *Logical, opt Options) (*Compiled, error) {
+	lw := &lowerer{cat: opt.Catalog, of: map[string]*chain{}}
+	for _, vp := range lg.Vars {
+		var ch *chain
+		anchor := -1
+		if vp.Base != "" {
+			ch = lw.of[vp.Base]
+			anchor = ch.varCol[vp.Base]
+		} else {
+			ch = &chain{varCol: map[string]int{}}
+			lw.chains = append(lw.chains, ch)
+		}
+		var err error
+		for _, st := range vp.Steps {
+			if anchor, err = lw.applyStep(ch, anchor, st); err != nil {
+				return nil, err
+			}
+		}
+		ch.varCol[vp.Name] = anchor
+		ch.cols[anchor].Var = vp.Name
+		lw.of[vp.Name] = ch
+	}
+	// Hash-equality joins (identity, attribute) connect components cheaply;
+	// inequality joins run as nested loops and go last, over the already
+	// restricted inputs.
+	joins := append([]LJoin{}, lg.Joins...)
+	sort.SliceStable(joins, func(i, j int) bool {
+		return joins[i].Kind != JoinPath && joins[j].Kind == JoinPath
+	})
+	for _, j := range joins {
+		if err := lw.applyJoin(j); err != nil {
+			return nil, err
+		}
+	}
+	if len(lw.chains) != 1 {
+		return nil, unsupportedf("where clause leaves %d unjoined query components", len(lw.chains))
+	}
+	ch := lw.chains[0]
+	if lw.of[lg.Out.Var] != ch {
+		return nil, unsupportedf("returned variable $%s is in an unjoined component", lg.Out.Var)
+	}
+	col := ch.varCol[lg.Out.Var]
+	var err error
+	for _, st := range lg.Out.Path {
+		if col, err = lw.applyStep(ch, col, st); err != nil {
+			return nil, err
+		}
+	}
+	// Results are the distinct nodes of the output column: binding tuples
+	// that select the same node (e.g. via different join partners) collapse.
+	root := engine.Op(&engine.Dedup{Input: ch.op, Col: col})
+	return &Compiled{
+		Root:    root,
+		Cols:    ch.cols,
+		VarCols: ch.varCol,
+		OutCol:  col,
+		OutAttr: lg.Out.Attr,
+		Logical: lg,
+	}, nil
+}
+
+// --- cost model -----------------------------------------------------------
+
+func (lw *lowerer) tagCard(c core.Color, tag string) float64 {
+	if lw.cat == nil {
+		return 1000
+	}
+	v := lw.cat.TagCard(c, tag)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+func (lw *lowerer) eqSel(c core.Color, tag, value string) float64 {
+	if lw.cat == nil {
+		return 0.1
+	}
+	tc := lw.cat.TagCard(c, tag)
+	if tc < 1 {
+		return 1
+	}
+	return clamp01(lw.cat.EqCard(c, tag, value) / tc)
+}
+
+// predSel estimates the selectivity of one pushed-down predicate on a step.
+func (lw *lowerer) predSel(st LStep, p LPred) float64 {
+	c, tag := st.Color, st.Tag
+	if len(p.Path) > 0 {
+		last := p.Path[len(p.Path)-1]
+		c, tag = last.Color, last.Tag
+	}
+	if p.Attr != "" {
+		if p.Pred.Kind == "eq" {
+			return 0.1
+		}
+		return 1.0 / 3
+	}
+	if p.Pred.Kind == "eq" {
+		return lw.eqSel(c, tag, p.Pred.Value)
+	}
+	return 1.0 / 3
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// --- step lowering --------------------------------------------------------
+
+// axisOf maps a navigation axis to the structural-join axis; the direction
+// (who is the ancestor) is the caller's choice of Anc/Desc inputs.
+func axisOf(a pathexpr.Axis) join.Axis {
+	if a == pathexpr.AxisChild || a == pathexpr.AxisParent {
+		return join.ParentChild
+	}
+	return join.AncestorDescendant
+}
+
+// stepAccess picks the access path for one step's element population: the
+// content index when a predicate on the node's own content is an equality,
+// a filtering tag scan for other self-content predicates, and a plain tag
+// index scan otherwise. It returns the chosen scan, its estimated
+// cardinality, and the predicates still to apply.
+func (lw *lowerer) stepAccess(st LStep) (engine.Op, float64, []LPred) {
+	for i, p := range st.Preds {
+		if len(p.Path) != 0 || p.Attr != "" {
+			continue
+		}
+		rest := append(append([]LPred{}, st.Preds[:i]...), st.Preds[i+1:]...)
+		if p.Pred.Kind == "eq" {
+			card := lw.tagCard(st.Color, st.Tag) * lw.eqSel(st.Color, st.Tag, p.Pred.Value)
+			return &engine.EqContent{Color: st.Color, Tag: st.Tag, Value: p.Pred.Value}, card, rest
+		}
+		return &engine.ContainsScan{Color: st.Color, Tag: st.Tag, Pred: p.Pred}, lw.tagCard(st.Color, st.Tag) / 3, rest
+	}
+	return &engine.ScanTag{Color: st.Color, Tag: st.Tag}, lw.tagCard(st.Color, st.Tag), st.Preds
+}
+
+// crossTo inserts a cross-tree color transition so column anchor is
+// available in color to, returning the column holding that color.
+func (lw *lowerer) crossTo(ch *chain, anchor int, to core.Color) int {
+	if ch.cols[anchor].Color == to {
+		return anchor
+	}
+	ch.op = &engine.CrossColor{Input: ch.op, Col: anchor, To: to}
+	ch.cols = append(ch.cols, ColInfo{Tag: ch.cols[anchor].Tag, Color: to})
+	return len(ch.cols) - 1
+}
+
+// applyStep extends a chain by one location step anchored at column anchor
+// (anchor < 0: the step roots the chain) and returns the new step's column.
+func (lw *lowerer) applyStep(ch *chain, anchor int, st LStep) (int, error) {
+	var rest []LPred
+	if ch.op == nil {
+		if st.Axis == pathexpr.AxisParent || st.Axis == pathexpr.AxisAncestor {
+			return 0, unsupportedf("path begins with reverse axis %s", st.Axis)
+		}
+		var op engine.Op
+		op, ch.card, rest = lw.stepAccess(st)
+		ch.op = op
+		ch.cols = []ColInfo{{Tag: st.Tag, Color: st.Color}}
+		anchor = 0
+	} else {
+		anchor = lw.crossTo(ch, anchor, st.Color)
+		prev := ch.cols[anchor]
+		scan, scanCard, r := lw.stepAccess(st)
+		rest = r
+		switch st.Axis {
+		case pathexpr.AxisChild, pathexpr.AxisDescendant:
+			ch.op = &engine.StructJoin{Anc: ch.op, Desc: scan, AncCol: anchor, DescCol: 0, Axis: axisOf(st.Axis)}
+			ch.cols = append(ch.cols, ColInfo{Tag: st.Tag, Color: st.Color})
+			anchor = len(ch.cols) - 1
+			// The step keeps the fraction of the tag's population whose
+			// ancestor survived the chain so far.
+			frac := math.Min(1, ch.card/lw.tagCard(prev.Color, prev.Tag))
+			ch.card = scanCard * frac
+		case pathexpr.AxisParent, pathexpr.AxisAncestor:
+			// Reverse step: the new nodes are the ancestors; structural join
+			// output is anc columns then desc columns, so existing columns
+			// shift right by one.
+			ch.op = &engine.StructJoin{Anc: scan, Desc: ch.op, AncCol: 0, DescCol: anchor, Axis: axisOf(st.Axis)}
+			ch.cols = append([]ColInfo{{Tag: st.Tag, Color: st.Color}}, ch.cols...)
+			for v := range ch.varCol {
+				ch.varCol[v]++
+			}
+			anchor = 0
+			ch.card = math.Min(ch.card, scanCard)
+		default:
+			return 0, unsupportedf("axis %s", st.Axis)
+		}
+	}
+	// Most selective predicates first.
+	sort.SliceStable(rest, func(i, j int) bool {
+		return lw.predSel(st, rest[i]) < lw.predSel(st, rest[j])
+	})
+	for _, p := range rest {
+		var err error
+		if anchor, err = lw.applyPred(ch, anchor, st, p); err != nil {
+			return 0, err
+		}
+	}
+	return anchor, nil
+}
+
+// applyPred applies one pushed-down predicate to the chain. Path predicates
+// lower to a structural semijoin (ExistsJoin) against a probe chain built
+// over the predicate's relative path; the probe's first-step column is the
+// probe key, so nested predicates compile recursively. The anchored column
+// may move when a cross-tree transition is needed.
+func (lw *lowerer) applyPred(ch *chain, anchor int, st LStep, p LPred) (int, error) {
+	sel := lw.predSel(st, p)
+	switch {
+	case len(p.Path) == 0 && p.Attr != "":
+		ch.op = &engine.AttrFilter{Input: ch.op, Col: anchor, Name: p.Attr, Pred: p.Pred}
+	case len(p.Path) == 0:
+		ch.op = &engine.Filter{Input: ch.op, Col: anchor, Pred: p.Pred}
+	default:
+		probe, err := lw.predChain(p)
+		if err != nil {
+			return 0, err
+		}
+		col := anchor
+		if pc := p.Path[0].Color; ch.cols[col].Color != pc {
+			// The predicate navigates another hierarchy: transition first
+			// (elements not in that hierarchy cannot satisfy it).
+			ch.op = &engine.CrossColor{Input: ch.op, Col: col, To: pc}
+			ch.cols = append(ch.cols, ColInfo{Tag: ch.cols[col].Tag, Color: pc})
+			col = len(ch.cols) - 1
+			anchor = col
+		}
+		ch.op = &engine.ExistsJoin{
+			Input: ch.op, Probe: probe.op,
+			Col: col, ProbeCol: 0,
+			Axis: axisOf(p.Path[0].Axis),
+		}
+	}
+	ch.card *= sel
+	return anchor, nil
+}
+
+// predChain builds the probe plan for a path predicate: the chain of the
+// relative path with the terminal comparison folded onto its last step.
+// Column 0 remains the first step of the path, which is what the enclosing
+// ExistsJoin probes against.
+func (lw *lowerer) predChain(p LPred) (*chain, error) {
+	steps := append([]LStep{}, p.Path...)
+	last := steps[len(steps)-1]
+	last.Preds = append(append([]LPred{}, last.Preds...), LPred{Attr: p.Attr, Pred: p.Pred})
+	steps[len(steps)-1] = last
+	ch := &chain{varCol: map[string]int{}}
+	anchor := -1
+	var err error
+	for _, st := range steps {
+		if anchor, err = lw.applyStep(ch, anchor, st); err != nil {
+			return nil, err
+		}
+	}
+	return ch, nil
+}
+
+// --- join lowering --------------------------------------------------------
+
+// applyJoin merges the two chains a where-clause join relates. The smaller
+// side (by estimated cardinality) becomes the hash-join build side; for
+// inequality joins it becomes the materialized inner of the nested loop.
+func (lw *lowerer) applyJoin(j LJoin) error {
+	lch, rch := lw.of[j.LeftVar], lw.of[j.RightVar]
+	if lch == rch {
+		return unsupportedf("join between already-connected variables $%s and $%s", j.LeftVar, j.RightVar)
+	}
+	// Extend each side down its comparison path first (inequality joins
+	// compare content reached by relative paths).
+	lCol, rCol := lch.varCol[j.LeftVar], rch.varCol[j.RightVar]
+	var err error
+	for _, st := range j.LeftPath {
+		if lCol, err = lw.applyStep(lch, lCol, st); err != nil {
+			return err
+		}
+	}
+	for _, st := range j.RightPath {
+		if rCol, err = lw.applyStep(rch, rCol, st); err != nil {
+			return err
+		}
+	}
+	big, bigCol, small, smallCol, op := lch, lCol, rch, rCol, j.Op
+	if big.card < small.card {
+		big, bigCol, small, smallCol = small, smallCol, big, bigCol
+		op = flipCmp(op)
+	}
+	var joined engine.Op
+	var card float64
+	switch j.Kind {
+	case JoinID:
+		joined = &engine.IDJoin{Left: big.op, Right: small.op, LeftCol: bigCol, RightCol: smallCol}
+		card = math.Min(big.card, small.card)
+	case JoinAttr:
+		lKey, rKey := engine.Key{Attr: j.LeftAttr}, engine.Key{Attr: j.RightAttr}
+		if big != lch {
+			lKey, rKey = rKey, lKey
+		}
+		joined = &engine.ValueJoin{
+			Left: big.op, Right: small.op,
+			LeftCol: bigCol, RightCol: smallCol,
+			LeftKey: lKey, RightKey: rKey,
+		}
+		card = math.Max(big.card, small.card)
+	case JoinPath:
+		joined = &engine.NLJoin{
+			Left: big.op, Right: small.op,
+			LeftCol: bigCol, RightCol: smallCol,
+			Kind: op, Numeric: j.Numeric,
+		}
+		card = big.card * small.card / 3
+	default:
+		return unsupportedf("join kind %d", j.Kind)
+	}
+	lw.merge(big, small, joined, card)
+	return nil
+}
+
+// merge fuses the right chain's columns after the left's and repoints its
+// variables.
+func (lw *lowerer) merge(left, right *chain, op engine.Op, card float64) {
+	off := len(left.cols)
+	left.op = op
+	left.cols = append(left.cols, right.cols...)
+	for v, c := range right.varCol {
+		left.varCol[v] = c + off
+	}
+	left.card = card
+	for v, ch := range lw.of {
+		if ch == right {
+			lw.of[v] = left
+		}
+	}
+	for i, ch := range lw.chains {
+		if ch == right {
+			lw.chains = append(lw.chains[:i], lw.chains[i+1:]...)
+			break
+		}
+	}
+}

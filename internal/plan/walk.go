@@ -1,0 +1,25 @@
+package plan
+
+import (
+	"colorfulxml/internal/mcxquery"
+	"colorfulxml/internal/pathexpr"
+)
+
+// HasConstructors reports whether evaluating e would construct new nodes —
+// element or text constructors, or createColor/createCopy calls. Such queries
+// mutate the database (the paper's next-color constructor semantics) and must
+// run on the reference evaluator; the plan compiler only reads.
+func HasConstructors(e pathexpr.Expr) bool {
+	found := false
+	pathexpr.Walk(e, func(x pathexpr.Expr) {
+		switch c := x.(type) {
+		case *mcxquery.ElementCtor, *mcxquery.TextCtor:
+			found = true
+		case *pathexpr.Call:
+			if c.Name == "createColor" || c.Name == "createCopy" {
+				found = true
+			}
+		}
+	})
+	return found
+}

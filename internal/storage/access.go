@@ -17,6 +17,26 @@ func (s *Store) readStructRef(ref uint64, c core.Color) (SNode, error) {
 	return decodeStruct(buf, c), nil
 }
 
+// TagRefs returns the tag index posting list for (c, tag) without reading
+// any records: packed structural record refs in start order. Callers resolve
+// individual refs with StructByRef, which lets iterators stream one record at
+// a time instead of materializing the whole scan.
+func (s *Store) TagRefs(c core.Color, tag string) []uint64 {
+	return s.tagIdx.Get(tagKey(c, tag))
+}
+
+// ContentRefs returns the content index posting list for (c, tag, value)
+// without reading any records (start order).
+func (s *Store) ContentRefs(c core.Color, tag, value string) []uint64 {
+	return s.contentIdx.Get(contentKey(c, tag, value))
+}
+
+// StructByRef resolves one packed structural record ref (from TagRefs or
+// ContentRefs) through the buffer pool.
+func (s *Store) StructByRef(ref uint64, c core.Color) (SNode, error) {
+	return s.readStructRef(ref, c)
+}
+
 // ScanTag returns all structural nodes with the given tag in color c, in
 // start (local document) order.
 func (s *Store) ScanTag(c core.Color, tag string) ([]SNode, error) {
@@ -36,6 +56,13 @@ func (s *Store) ScanTag(c core.Color, tag string) ([]SNode, error) {
 // without reading them (index-only).
 func (s *Store) CountTag(c core.Color, tag string) int {
 	return len(s.tagIdx.Get(tagKey(c, tag)))
+}
+
+// CountContent returns the number of structural nodes with a tag whose
+// content equals value in color c without reading them (index-only), the
+// equality-selectivity statistic of the plan compiler's cost model.
+func (s *Store) CountContent(c core.Color, tag, value string) int {
+	return len(s.contentIdx.Get(contentKey(c, tag, value)))
 }
 
 // ElemInfo is a decoded element record.

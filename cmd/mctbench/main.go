@@ -7,6 +7,13 @@
 //
 //	mctbench [-table1] [-table2] [-fig11] [-fig12] [-compiled] [-all]
 //	         [-tpcw-scale N] [-sigmod-scale N] [-seed N] [-runs N]
+//
+// A separate concurrent-serving mode measures multi-client throughput
+// against the colorful facade (snapshot readers plus one writer) and emits a
+// machine-readable "BENCH {...}" JSON line:
+//
+//	mctbench -clients N [-client-ops N] [-concurrent-scale N]
+//	         [-parallel] [-parallel-workers N]
 package main
 
 import (
@@ -30,17 +37,41 @@ func main() {
 		seed   = flag.Int64("seed", experiment.DefaultConfig.Seed, "generator seed")
 		runs   = flag.Int("runs", 5, "timed runs per query (5 = paper's trimmed mean)")
 		cold   = flag.Bool("cold", false, "flush the buffer pool before each run (cold cache)")
+
+		clients   = flag.Int("clients", 0, "run the concurrent-serving benchmark with N reader clients")
+		clientOps = flag.Int("client-ops", experiment.DefaultConcurrent.Ops, "queries per client in concurrent mode")
+		concScale = flag.Int("concurrent-scale", experiment.DefaultConcurrent.Scale, "catalog items in concurrent mode")
+		parallel  = flag.Bool("parallel", false, "enable intra-query parallelism in concurrent mode")
+		parWork   = flag.Int("parallel-workers", 0, "exchange fan-out with -parallel (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if !*table1 && !*table2 && !*fig11 && !*fig12 && !*comp {
-		*all = true
-	}
-	cfg := experiment.Config{TPCWScale: *tpcw, SigmodScale: *sigmod, Seed: *seed, Cold: *cold}
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "mctbench:", err)
 		os.Exit(1)
 	}
+
+	if *clients > 0 {
+		res, err := experiment.Concurrent(experiment.ConcurrentConfig{
+			Clients:  *clients,
+			Ops:      *clientOps,
+			Scale:    *concScale,
+			Parallel: *parallel,
+			Workers:  *parWork,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("=== Concurrent serving throughput ===")
+		fmt.Print(experiment.FormatConcurrent(res))
+		fmt.Println(res.BenchJSON())
+		return
+	}
+
+	if !*table1 && !*table2 && !*fig11 && !*fig12 && !*comp {
+		*all = true
+	}
+	cfg := experiment.Config{TPCWScale: *tpcw, SigmodScale: *sigmod, Seed: *seed, Cold: *cold}
 
 	if *all || *table1 {
 		rows, err := experiment.Table1(cfg)

@@ -21,8 +21,11 @@
 package colorful
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"colorfulxml/internal/core"
 	"colorfulxml/internal/engine"
@@ -30,7 +33,6 @@ import (
 	"colorfulxml/internal/pathexpr"
 	"colorfulxml/internal/plan"
 	"colorfulxml/internal/serialize"
-	"colorfulxml/internal/storage"
 	"colorfulxml/internal/update"
 	"colorfulxml/internal/xmlenc"
 )
@@ -47,15 +49,36 @@ type (
 )
 
 // DB is an MCT database with attached query and update processors.
+//
+// DB is safe for concurrent use by multiple goroutines. Queries in the
+// compilable subset run lock-free against an immutable snapshot of the
+// database; mutations (the DB-level wrappers in this package — Update,
+// AddElement, SetText, ...) serialize behind a writer lock, and the next
+// query publishes a fresh snapshot, usually by incremental change-log
+// replay rather than a full rebuild (see MaintStats). Mixing DB wrappers
+// with direct method calls on the embedded core.Database forfeits that
+// safety: the embedded methods take no locks.
 type DB struct {
 	*core.Database
 	ev *mcxquery.Evaluator
 	ex *update.Executor
 
-	// Compiled query path: a Timber-style store snapshot of the database,
-	// rebuilt lazily whenever the database generation moves.
-	st    *storage.Store
-	stGen uint64
+	// mu guards the core database: mutators hold it exclusively, evaluator
+	// runs and result mapping hold it shared. Compiled execution holds no
+	// lock at all — it touches only an immutable snapshot.
+	mu sync.RWMutex
+	// maintMu serializes snapshot maintenance (see currentSnapshot).
+	maintMu sync.Mutex
+	// snap is the published store snapshot for lock-free readers.
+	snap atomic.Pointer[snapshot]
+
+	incrementalApplies atomic.Uint64
+	fullRebuilds       atomic.Uint64
+	publishes          atomic.Uint64
+
+	parallel          atomic.Bool
+	parallelWorkers   atomic.Int64
+	parallelThreshold atomic.Int64
 }
 
 // New creates an empty database with the given colors. Colors can also be
@@ -85,14 +108,33 @@ type Item struct {
 // mutate the database (new nodes, new colors), per the paper's semantics.
 //
 // Constructor-free queries in the compilable subset run through the automatic
-// plan compiler (internal/plan) and the streaming engine over an indexed
-// snapshot of the database, returning distinct result nodes; everything else
-// falls back to the reference tree-walking evaluator.
+// plan compiler (internal/plan) and the streaming engine over an immutable
+// indexed snapshot of the database — lock-free, so any number of such
+// queries run concurrently with each other and with at most brief contact
+// with writers. Only queries the compiler rejects (plan.ErrUnsupported)
+// fall back to the reference tree-walking evaluator; genuine execution
+// errors surface to the caller.
 func (d *DB) Query(src string) ([]Item, error) {
-	if e, err := mcxquery.ParseQuery(src); err == nil && !plan.HasConstructors(e) {
-		if out, cerr := d.queryCompiled(e); cerr == nil {
+	e, perr := mcxquery.ParseQuery(src)
+	readOnly := perr == nil && !plan.HasConstructors(e)
+	if readOnly {
+		out, cerr := d.queryCompiled(e)
+		if cerr == nil {
 			return out, nil
 		}
+		if !errors.Is(cerr, plan.ErrUnsupported) {
+			return nil, cerr
+		}
+	}
+	// Evaluator path. Constructor queries mutate the database and need the
+	// writer lock; unsupported-but-read-only queries (and parse errors,
+	// which the evaluator re-reports with its own diagnostics) share it.
+	if readOnly || perr != nil {
+		d.mu.RLock()
+		defer d.mu.RUnlock()
+	} else {
+		d.mu.Lock()
+		defer d.mu.Unlock()
 	}
 	seq, err := d.ev.Query(src)
 	if err != nil {
@@ -105,31 +147,34 @@ func (d *DB) Query(src string) ([]Item, error) {
 	return out, nil
 }
 
-// queryCompiled lowers a parsed constructor-free query to a physical plan and
-// executes it on the cached store snapshot. Any error (including
-// plan.ErrUnsupported) makes the caller fall back to the evaluator.
+// queryCompiled lowers a parsed constructor-free query to a physical plan
+// and executes it on the current snapshot. A plan.ErrUnsupported return
+// makes the caller fall back to the evaluator; other errors are real.
 func (d *DB) queryCompiled(e pathexpr.Expr) ([]Item, error) {
-	if d.st == nil || d.stGen != d.Generation() {
-		s, err := storage.Load(d.Database, 0)
-		if err != nil {
-			return nil, err
-		}
-		d.st, d.stGen = s, d.Generation()
-	}
-	c, err := plan.Compile(e, plan.Options{Catalog: plan.StoreCatalog{Store: d.st}})
+	sp, err := d.currentSnapshot()
 	if err != nil {
 		return nil, err
 	}
-	rows, _, err := engine.Exec(d.st, c.Root)
+	c, err := plan.Compile(e, d.planOptions(sp.st))
 	if err != nil {
 		return nil, err
 	}
+	rows, _, err := engine.Exec(sp.st, c.Root)
+	if err != nil {
+		return nil, err
+	}
+	// Map structural nodes back to live core nodes under one shared lock, so
+	// all returned values come from a single statement-boundary state even
+	// when writers run concurrently. Nodes deleted since the snapshot was
+	// taken contribute no item.
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	out := make([]Item, 0, len(rows))
 	for _, r := range rows {
 		sn := r[c.OutCol]
-		n := d.NodeByID(core.NodeID(sn.Elem))
+		n := d.Database.NodeByID(core.NodeID(sn.Elem))
 		if n == nil {
-			return nil, fmt.Errorf("colorful: compiled plan returned unknown node %d", sn.Elem)
+			continue
 		}
 		if c.OutAttr != "" {
 			// The output designator projects an attribute; nodes lacking it
@@ -154,6 +199,8 @@ func (d *DB) Path(src string, vars map[string]*Node) ([]Item, error) {
 	if err != nil {
 		return nil, err
 	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	env := &pathexpr.Env{DB: d.Database, Ext: d.ev.ExtEval()}
 	if len(vars) > 0 {
 		env.Vars = map[string]pathexpr.Sequence{}
@@ -191,18 +238,15 @@ func (d *DB) Explain(src string) (string, error) {
 	if plan.HasConstructors(e) {
 		return "", fmt.Errorf("colorful: query constructs nodes and runs on the evaluator; %w", plan.ErrUnsupported)
 	}
-	if d.st == nil || d.stGen != d.Generation() {
-		s, err := storage.Load(d.Database, 0)
-		if err != nil {
-			return "", err
-		}
-		d.st, d.stGen = s, d.Generation()
-	}
-	c, err := plan.Compile(e, plan.Options{Catalog: plan.StoreCatalog{Store: d.st}})
+	sp, err := d.currentSnapshot()
 	if err != nil {
 		return "", err
 	}
-	an, err := engine.ExplainAnalyze(d.st, c.Root)
+	c, err := plan.Compile(e, d.planOptions(sp.st))
+	if err != nil {
+		return "", err
+	}
+	an, err := engine.ExplainAnalyze(sp.st, c.Root)
 	if err != nil {
 		return "", err
 	}
@@ -217,12 +261,20 @@ type UpdateResult struct {
 }
 
 // Update parses and applies an MCT update expression
-// (for/where/update{insert,delete,replace,rename}).
+// (for/where/update{insert,delete,replace,rename}). Updates serialize
+// behind the writer lock; after the update commits, the snapshot is
+// refreshed eagerly so the maintenance cost is paid by the writer, not by
+// the next reader.
 func (d *DB) Update(src string) (UpdateResult, error) {
+	d.mu.Lock()
 	res, err := d.ex.Apply(src)
+	d.mu.Unlock()
 	if err != nil {
 		return UpdateResult{}, err
 	}
+	// A refresh failure is not an update failure: the mutation is committed,
+	// and the next query retries the rebuild.
+	_ = d.Refresh()
 	return UpdateResult{Tuples: res.Tuples, NodesTouched: res.NodesTouched}, nil
 }
 
@@ -230,7 +282,9 @@ func (d *DB) Update(src string) (UpdateResult, error) {
 // format); every element nests in its first (sorted-lowest) color. For
 // cost-optimal nesting use internal/serialize.OptSerialize with a schema.
 func (d *DB) WriteXML(w io.Writer, indent bool) error {
+	d.mu.RLock()
 	doc, err := serialize.Serialize(d.Database, nil)
+	d.mu.RUnlock()
 	if err != nil {
 		return err
 	}
@@ -243,7 +297,9 @@ func (d *DB) WriteXML(w io.Writer, indent bool) error {
 
 // XMLString is WriteXML to a string.
 func (d *DB) XMLString(indent bool) (string, error) {
+	d.mu.RLock()
 	doc, err := serialize.Serialize(d.Database, nil)
+	d.mu.RUnlock()
 	if err != nil {
 		return "", err
 	}

@@ -18,8 +18,8 @@ func TestQueryUsesCompiledPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if db.st == nil {
-		t.Fatal("constructor-free query should populate the store snapshot")
+	if db.snap.Load() == nil {
+		t.Fatal("constructor-free query should publish a store snapshot")
 	}
 	got := map[string]bool{}
 	for _, it := range out {
@@ -32,7 +32,7 @@ func TestQueryUsesCompiledPath(t *testing.T) {
 	}
 
 	// Mutating the database must invalidate the snapshot on the next query.
-	gen := db.stGen
+	gen := db.snap.Load().gen
 	if _, err := db.Query(`for $m in document("db")/{red}descendant::movie
 	  return createColor(black, <m>{ $m/{red}child::name }</m>)`); err != nil {
 		t.Fatal(err)
@@ -40,8 +40,8 @@ func TestQueryUsesCompiledPath(t *testing.T) {
 	if _, err := db.Query(q); err != nil {
 		t.Fatal(err)
 	}
-	if db.stGen == gen {
-		t.Fatal("snapshot should be rebuilt after the constructor query mutated the database")
+	if db.snap.Load().gen == gen {
+		t.Fatal("snapshot should be republished after the constructor query mutated the database")
 	}
 
 	// Constructor queries and unsupported constructs still answer via the

@@ -1,0 +1,251 @@
+package colorful
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"colorfulxml/internal/fixtures"
+	"colorfulxml/internal/mcxquery"
+	"colorfulxml/internal/pathexpr"
+)
+
+const votesQuery = `for $m in document("db")/{green}descendant::movie return $m/{green}child::votes`
+
+// epochUpdate rewrites every green votes counter to the same epoch marker in
+// ONE update statement, so any statement-boundary-consistent view shows all
+// counters equal.
+func epochUpdate(e int) string {
+	return fmt.Sprintf(`
+for $m in document("db")/{green}descendant::movie,
+    $v in $m/{green}child::votes
+update $m { replace $v with "epoch%d" }`, e)
+}
+
+// TestConcurrentReadersWriterStress runs 8 readers against a writer that
+// flips all vote counters between epochs, one update statement per flip.
+// Readers must always observe a consistent epoch — every votes value equal —
+// whether the pre- or post-state of any in-flight update, never a torn mix.
+// Run under -race this also checks the locking discipline of the facade.
+func TestConcurrentReadersWriterStress(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	db := wrap(m.DB)
+	if _, err := db.Update(epochUpdate(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A mix of Table 2-style read queries: compiled structural navigation,
+	// cross-color transition, content predicate, and an order-by that runs on
+	// the evaluator (exercising the shared-lock fallback path).
+	sideQueries := []string{
+		`document("db")/{red}descendant::movie[{red}child::name = "Duck Soup"]/{red}child::name`,
+		`for $m in document("db")/{red}descendant::movie return $m/{green}child::votes`,
+		`document("db")/{blue}descendant::movie-role/{red}parent::movie/{red}child::name`,
+		`for $m in document("db")/{red}descendant::movie
+		 order by $m/{red}child::name return $m/{red}child::name`,
+	}
+
+	const readers = 8
+	const epochs = 30
+	stop := make(chan struct{})
+	errc := make(chan error, readers+1)
+	var wg sync.WaitGroup
+
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				out, err := db.Query(votesQuery)
+				if err != nil {
+					errc <- fmt.Errorf("reader %d: %v", seed, err)
+					return
+				}
+				if len(out) == 0 {
+					errc <- fmt.Errorf("reader %d: votes query returned nothing", seed)
+					return
+				}
+				for _, it := range out {
+					if it.Value != out[0].Value {
+						errc <- fmt.Errorf("reader %d: torn epoch: %q vs %q",
+							seed, it.Value, out[0].Value)
+						return
+					}
+				}
+				if _, err := db.Query(sideQueries[(seed+n)%len(sideQueries)]); err != nil {
+					errc <- fmt.Errorf("reader %d side query: %v", seed, err)
+					return
+				}
+			}
+		}(i)
+	}
+
+	go func() {
+		defer close(stop)
+		for e := 1; e <= epochs; e++ {
+			if _, err := db.Update(epochUpdate(e)); err != nil {
+				errc <- fmt.Errorf("writer: %v", err)
+				return
+			}
+			// Interleave direct mutators through the locked wrappers too.
+			if _, err := db.SetAttribute(m.Node("eve"), "epoch", fmt.Sprint(e)); err != nil {
+				errc <- fmt.Errorf("writer attr: %v", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	// Final state: the last epoch everywhere.
+	out, err := db.Query(votesQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range out {
+		if want := fmt.Sprintf("epoch%d", epochs); it.Value != want {
+			t.Fatalf("final votes = %q, want %q", it.Value, want)
+		}
+	}
+}
+
+// evaluatorSet answers a query on the raw evaluator and returns the distinct
+// value set, the reference for differential checks.
+func evaluatorSet(t *testing.T, db *DB, q string) map[string]bool {
+	t.Helper()
+	seq, err := mcxquery.NewEvaluator(db.Database).Query(q)
+	if err != nil {
+		t.Fatalf("evaluator: %v", err)
+	}
+	set := map[string]bool{}
+	for _, it := range seq {
+		set[pathexpr.ItemString(it)] = true
+	}
+	return set
+}
+
+func querySet(t *testing.T, db *DB, q string) map[string]bool {
+	t.Helper()
+	out, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := map[string]bool{}
+	for _, it := range out {
+		set[it.Value] = true
+	}
+	return set
+}
+
+func setString(s map[string]bool) string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+// TestIncrementalMaintenanceServesUpdates: point updates between compiled
+// queries are folded into the snapshot by change-log replay — the full-load
+// counter stays at the initial build — and after every update the maintained
+// snapshot answers the workload queries exactly like the evaluator on the
+// live database.
+func TestIncrementalMaintenanceServesUpdates(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	db := wrap(m.DB)
+	workload := []string{
+		votesQuery,
+		`document("db")/{red}descendant::movie[{red}child::name = "Duck Soup"]/{red}child::name`,
+		`document("db")/{blue}descendant::movie-role/{red}parent::movie/{red}child::name`,
+	}
+
+	check := func(step string) {
+		t.Helper()
+		for _, q := range workload {
+			got, want := querySet(t, db, q), evaluatorSet(t, db, q)
+			if setString(got) != setString(want) {
+				t.Fatalf("%s: query %s\nmaintained snapshot: %v\nevaluator: %v",
+					step, q, setString(got), setString(want))
+			}
+		}
+	}
+
+	check("initial")
+	if got := db.MaintStats(); got.FullRebuilds != 1 {
+		t.Fatalf("initial build: %+v, want exactly one full rebuild", got)
+	}
+
+	updates := []string{
+		`for $m in document("db")/{green}descendant::movie,
+		     $v in $m/{green}child::votes
+		 where $v < 10 update $m { replace $v with "90" }`,
+		`for $a in document("db")/{blue}descendant::actor[{blue}child::name = "Bette Davis"]
+		 update $a { insert <birthDate>1908-04-05</birthDate> }`,
+		`for $y in document("db")/{green}descendant::year,
+		     $m in $y/{green}child::movie[contains({green}child::name, "Eve")]
+		 update $y { delete $m }`,
+		epochUpdate(7),
+	}
+	for i, u := range updates {
+		if _, err := db.Update(u); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+		check(fmt.Sprintf("after update %d", i))
+	}
+
+	st := db.MaintStats()
+	if st.FullRebuilds != 1 {
+		t.Fatalf("maintenance fell back to full rebuilds: %+v", st)
+	}
+	if st.IncrementalApplies < uint64(len(updates)) {
+		t.Fatalf("expected >= %d incremental applies: %+v", len(updates), st)
+	}
+}
+
+// TestParallelExplainShowsExchange: on a database large enough to clear the
+// default threshold, a parallel-enabled DB compiles descendant scans into a
+// multi-way exchange, visible in Explain's analyzed plan.
+func TestParallelExplainShowsExchange(t *testing.T) {
+	db := New("red")
+	root, err := db.AddElement(db.Document(), "lib", "red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if _, err := db.AddElementText(root, "item", "red", fmt.Sprintf("v%d", i%7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.SetParallel(true)
+	db.SetParallelWorkers(4) // independent of the host's core count
+	text, err := db.Explain(`document("db")/{red}descendant::item`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "Exchange[") {
+		t.Fatalf("explain lacks an exchange:\n%s", text)
+	}
+	if !strings.Contains(text, "part 2/") {
+		t.Fatalf("explain lacks worker partitions:\n%s", text)
+	}
+	// The same query must return every item when executed.
+	out, err := db.Query(`document("db")/{red}descendant::item`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2000 {
+		t.Fatalf("parallel query returned %d items, want 2000", len(out))
+	}
+}

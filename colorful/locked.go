@@ -1,0 +1,235 @@
+package colorful
+
+import "colorfulxml/internal/core"
+
+// This file shadows the embedded core.Database methods with locked
+// wrappers, making the DB facade safe for concurrent use: mutators take the
+// writer lock (serializing with each other, with constructor queries and
+// with snapshot maintenance), readers take the shared lock. The embedded
+// methods themselves stay available via d.Database for single-goroutine
+// code that wants to skip the locking, at its own risk.
+//
+// Mutations are NOT applied to the published query snapshot here — they
+// land in the core database and its change log, and the next query (or an
+// explicit Refresh) publishes a fresh snapshot incrementally.
+
+// --- mutators -------------------------------------------------------------
+
+// AddElement creates an element and appends it under parent in color c.
+func (d *DB) AddElement(parent *Node, name string, c Color) (*Node, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.Database.AddElement(parent, name, c)
+}
+
+// AddElementText is AddElement plus a text child.
+func (d *DB) AddElementText(parent *Node, name string, c Color, text string) (*Node, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.Database.AddElementText(parent, name, c, text)
+}
+
+// Adopt gives an existing node an additional parent in color c.
+func (d *DB) Adopt(parent, n *Node, c Color) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.Database.Adopt(parent, n, c)
+}
+
+// SetText replaces an element's text content.
+func (d *DB) SetText(elem *Node, value string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.Database.SetText(elem, value)
+}
+
+// CopySubtree deep-copies a node's subtree in color c.
+func (d *DB) CopySubtree(n *Node, c Color) (*Node, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.Database.CopySubtree(n, c)
+}
+
+// AddDatabaseColor registers a new color.
+func (d *DB) AddDatabaseColor(c Color) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.Database.AddDatabaseColor(c)
+}
+
+// NewElement creates a detached element in color c.
+func (d *DB) NewElement(name string, c Color) (*Node, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.Database.NewElement(name, c)
+}
+
+// MustElement is NewElement panicking on error.
+func (d *DB) MustElement(name string, c Color) *Node {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.Database.MustElement(name, c)
+}
+
+// NewComment creates a detached comment node.
+func (d *DB) NewComment(value string, c Color) (*Node, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.Database.NewComment(value, c)
+}
+
+// NewPI creates a detached processing-instruction node.
+func (d *DB) NewPI(target, value string, c Color) (*Node, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.Database.NewPI(target, value, c)
+}
+
+// SetAttribute sets (or replaces) an attribute on an element.
+func (d *DB) SetAttribute(elem *Node, name, value string) (*Node, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.Database.SetAttribute(elem, name, value)
+}
+
+// Rename changes a node's name.
+func (d *DB) Rename(n *Node, name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.Database.Rename(n, name)
+}
+
+// RemoveAttribute removes an attribute if present.
+func (d *DB) RemoveAttribute(elem *Node, name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.Database.RemoveAttribute(elem, name)
+}
+
+// AppendText appends a text node to an element.
+func (d *DB) AppendText(elem *Node, value string) (*Node, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.Database.AppendText(elem, value)
+}
+
+// AddColor adds a node to color c (keeping its position rules).
+func (d *DB) AddColor(n *Node, c Color) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.Database.AddColor(n, c)
+}
+
+// RemoveColor removes a node (and its subtree participation) from color c.
+func (d *DB) RemoveColor(n *Node, c Color) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.Database.RemoveColor(n, c)
+}
+
+// Append attaches child as parent's last child in color c.
+func (d *DB) Append(parent, child *Node, c Color) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.Database.Append(parent, child, c)
+}
+
+// InsertBefore attaches child before ref under parent in color c.
+func (d *DB) InsertBefore(parent, child, ref *Node, c Color) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.Database.InsertBefore(parent, child, ref, c)
+}
+
+// Detach removes child from its parent in color c.
+func (d *DB) Detach(child *Node, c Color) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.Database.Detach(child, c)
+}
+
+// Delete removes a node from the database entirely.
+func (d *DB) Delete(n *Node) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.Database.Delete(n)
+}
+
+// DeleteSubtree deletes a node's subtree in color c.
+func (d *DB) DeleteSubtree(n *Node, c Color) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.Database.DeleteSubtree(n, c)
+}
+
+// --- readers --------------------------------------------------------------
+
+// NodeByID resolves a node by its stable identity.
+func (d *DB) NodeByID(id NodeID) *Node {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.Database.NodeByID(id)
+}
+
+// Colors lists the database's colors.
+func (d *DB) Colors() []Color {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.Database.Colors()
+}
+
+// HasColor reports whether a color is registered.
+func (d *DB) HasColor(c Color) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.Database.HasColor(c)
+}
+
+// NumNodes counts the database's nodes.
+func (d *DB) NumNodes() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.Database.NumNodes()
+}
+
+// TreeNodes returns the nodes of one colored tree in document order.
+func (d *DB) TreeNodes(c Color) []*Node {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.Database.TreeNodes(c)
+}
+
+// LocalOrder returns a node's position in color c's document order.
+func (d *DB) LocalOrder(n *Node, c Color) (int, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.Database.LocalOrder(n, c)
+}
+
+// CompareLocal orders two nodes by color c's document order.
+func (d *DB) CompareLocal(a, b *Node, c Color) int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.Database.CompareLocal(a, b, c)
+}
+
+// SortLocal sorts nodes in color c's document order.
+func (d *DB) SortLocal(nodes []*Node, c Color) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	d.Database.SortLocal(nodes, c)
+}
+
+// Validate checks the MCT invariants.
+func (d *DB) Validate() error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.Database.Validate()
+}
+
+// ComputeStats gathers the Table 1-style database statistics.
+func (d *DB) ComputeStats() core.Stats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.Database.ComputeStats()
+}

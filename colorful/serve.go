@@ -1,0 +1,128 @@
+package colorful
+
+import (
+	"colorfulxml/internal/plan"
+	"colorfulxml/internal/storage"
+)
+
+// This file implements the concurrent-serving discipline of the DB facade.
+//
+// Readers are lock-free: a query loads the current immutable store snapshot
+// from an atomic pointer and runs entirely against it. Writers serialize
+// behind the DB's writer lock, mutate the core database, and the next
+// snapshot request publishes a fresh snapshot — incrementally, by replaying
+// the core change log onto a copy-on-write clone of the previous snapshot,
+// or by a full storage.Load when the delta is too large, overflowed, or
+// contains a change with no incremental counterpart.
+
+// incrementalMaxDelta caps the change-log length replayed incrementally; a
+// longer delta means enough of the database moved that a bulk Load (which
+// also re-packs interval gaps) is the better rebuild.
+const incrementalMaxDelta = 4096
+
+// snapshot pairs an immutable store with the database generation it
+// reflects. Both fields are write-once; a published snapshot is never
+// mutated again.
+type snapshot struct {
+	st  *storage.Store
+	gen uint64
+}
+
+// MaintStats counts snapshot maintenance activity: how many snapshots were
+// produced by incremental change-log replay versus full rebuilds, and how
+// many were published in total (the first build counts as a full rebuild).
+type MaintStats struct {
+	IncrementalApplies uint64
+	FullRebuilds       uint64
+	Publishes          uint64
+}
+
+// MaintStats returns a point-in-time copy of the maintenance counters.
+func (d *DB) MaintStats() MaintStats {
+	return MaintStats{
+		IncrementalApplies: d.incrementalApplies.Load(),
+		FullRebuilds:       d.fullRebuilds.Load(),
+		Publishes:          d.publishes.Load(),
+	}
+}
+
+// SetParallel toggles intra-query parallelism for compiled queries: large
+// index-scan leaves are partitioned across worker goroutines by an exchange
+// operator (see internal/engine.Exchange). Safe to call at any time.
+func (d *DB) SetParallel(on bool) { d.parallel.Store(on) }
+
+// SetParallelThreshold overrides the estimated scan cardinality above which
+// a parallel plan partitions a scan (<= 0: plan.DefaultParallelThreshold).
+func (d *DB) SetParallelThreshold(n int) { d.parallelThreshold.Store(int64(n)) }
+
+// SetParallelWorkers fixes the partition fan-out of parallel scans (<= 0:
+// GOMAXPROCS — which also means no parallelism on a single-core runtime).
+func (d *DB) SetParallelWorkers(n int) { d.parallelWorkers.Store(int64(n)) }
+
+// planOptions assembles compile options against one snapshot's catalog.
+func (d *DB) planOptions(st *storage.Store) plan.Options {
+	opt := plan.Options{Catalog: plan.StoreCatalog{Store: st}}
+	if d.parallel.Load() {
+		opt.Parallel = true
+		opt.ParallelWorkers = int(d.parallelWorkers.Load())
+		opt.ParallelThreshold = int(d.parallelThreshold.Load())
+	}
+	return opt
+}
+
+// Refresh brings the published snapshot up to date with the database,
+// building it if necessary. Queries refresh lazily on their own; Refresh is
+// for callers that want the maintenance cost paid up front.
+func (d *DB) Refresh() error {
+	_, err := d.currentSnapshot()
+	return err
+}
+
+// currentSnapshot returns a snapshot at the database's current generation.
+//
+// Fast path: the published snapshot is current — return it without any
+// lock. Slow path: serialize maintainers behind maintMu, then take the read
+// lock (holding off writers, so the generation and change log cannot move
+// mid-refresh), drain the change log and either replay it onto a clone of
+// the previous snapshot or rebuild from scratch.
+//
+// A query that loses the race with a concurrent writer may serve the
+// just-superseded snapshot; that is exactly the pre-state of an update that
+// has not been observed yet, so readers always see some statement-boundary
+// state.
+func (d *DB) currentSnapshot() (*snapshot, error) {
+	if sp := d.snap.Load(); sp != nil && sp.gen == d.Database.Generation() {
+		return sp, nil
+	}
+	d.maintMu.Lock()
+	defer d.maintMu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	gen := d.Database.Generation()
+	if sp := d.snap.Load(); sp != nil && sp.gen == gen {
+		return sp, nil
+	}
+	changes, overflow := d.Database.DrainChanges()
+	if old := d.snap.Load(); old != nil && !overflow && len(changes) <= incrementalMaxDelta {
+		clone := old.st.Clone()
+		if err := clone.ApplyChanges(changes); err == nil {
+			d.incrementalApplies.Add(1)
+			return d.publish(clone, gen), nil
+		}
+		// Replay failed (e.g. a ChangeComplex entry): discard the clone and
+		// rebuild from the authoritative core state below.
+	}
+	st, err := storage.Load(d.Database, 0)
+	if err != nil {
+		return nil, err
+	}
+	d.fullRebuilds.Add(1)
+	return d.publish(st, gen), nil
+}
+
+func (d *DB) publish(st *storage.Store, gen uint64) *snapshot {
+	sp := &snapshot{st: st, gen: gen}
+	d.snap.Store(sp)
+	d.publishes.Add(1)
+	return sp
+}

@@ -5,9 +5,13 @@
 // element tag name and attribute id ... and on element content and attribute
 // value, where needed").
 //
-// Leaves are linked for ordered and range iteration; keys are unique with
-// multi-value postings, matching the index usage where one tag or value maps
-// to many structural node references.
+// Keys are unique with multi-value postings, matching the index usage where
+// one tag or value maps to many structural node references.
+//
+// Trees are copy-on-write: Clone is O(1) and the two trees share all nodes
+// until one of them mutates. Mutations path-copy any node not owned by the
+// mutating tree, so a cloned (frozen) snapshot is never modified and may be
+// read concurrently from many goroutines while its clones evolve.
 package btree
 
 import "sort"
@@ -15,53 +19,131 @@ import "sort"
 // degree is the maximum number of keys per node.
 const degree = 64
 
+// owner is an identity token: a node may be mutated in place only by the
+// tree whose owner token it carries.
+type owner struct{ _ byte }
+
 // Tree is a B+-tree from string keys to postings lists of uint64.
 type Tree struct {
 	root   node
 	height int
 	keys   int
+	own    *owner
 }
 
 type node interface {
-	// insert returns a new right sibling and its first key when the node
-	// splits.
-	insert(key string, val uint64) (node, string)
 	// find returns the postings for a key, or nil.
 	find(key string) []uint64
-	// firstLeafFrom descends to the leaf that may contain key.
-	firstLeafFrom(key string) *leaf
-	firstLeaf() *leaf
 }
 
 type leaf struct {
+	own  *owner
 	keys []string
 	vals [][]uint64
-	next *leaf
+	// sharedVals marks postings lists that may still be referenced by a
+	// frozen clone: they must be copied before the first in-place change.
+	sharedVals bool
 }
 
 type inner struct {
+	own      *owner
 	keys     []string // separator keys: child[i] holds keys < keys[i]
 	children []node
 }
 
 // New creates an empty tree.
 func New() *Tree {
-	return &Tree{root: &leaf{}}
+	own := &owner{}
+	return &Tree{root: &leaf{own: own}, own: own}
+}
+
+// Clone returns a copy-on-write snapshot of the tree in O(1). Both trees
+// keep working: each path-copies shared nodes on its next mutation, so
+// neither ever observes the other's changes. The receiver must not be
+// mutated concurrently with Clone.
+func (t *Tree) Clone() *Tree {
+	// Orphan the shared nodes from both trees so either side copies on
+	// write.
+	t.own = &owner{}
+	return &Tree{root: t.root, height: t.height, keys: t.keys, own: &owner{}}
 }
 
 // Len returns the number of distinct keys.
 func (t *Tree) Len() int { return t.keys }
+
+// mutable returns n if owned by own, else a shallow path-copy carrying own.
+func mutable(n node, own *owner) node {
+	switch x := n.(type) {
+	case *leaf:
+		if x.own == own {
+			return x
+		}
+		return &leaf{
+			own:        own,
+			keys:       append([]string(nil), x.keys...),
+			vals:       append([][]uint64(nil), x.vals...),
+			sharedVals: true,
+		}
+	case *inner:
+		if x.own == own {
+			return x
+		}
+		return &inner{
+			own:      own,
+			keys:     append([]string(nil), x.keys...),
+			children: append([]node(nil), x.children...),
+		}
+	}
+	return n
+}
 
 // Insert appends val to key's postings (creating the key if absent).
 func (t *Tree) Insert(key string, val uint64) {
 	if t.root.find(key) == nil {
 		t.keys++
 	}
-	right, sep := t.root.insert(key, val)
+	t.root = mutable(t.root, t.own)
+	right, sep := t.insertAt(t.root, key, val)
 	if right != nil {
-		t.root = &inner{keys: []string{sep}, children: []node{t.root, right}}
+		t.root = &inner{own: t.own, keys: []string{sep}, children: []node{t.root, right}}
 		t.height++
 	}
+}
+
+// insertAt inserts into an already-mutable node, returning a new right
+// sibling and its separator key when the node splits.
+func (t *Tree) insertAt(n node, key string, val uint64) (node, string) {
+	switch x := n.(type) {
+	case *leaf:
+		return x.insert(key, val)
+	case *inner:
+		i := x.childFor(key)
+		x.children[i] = mutable(x.children[i], t.own)
+		right, sep := t.insertAt(x.children[i], key, val)
+		if right == nil {
+			return nil, ""
+		}
+		x.keys = append(x.keys, "")
+		copy(x.keys[i+1:], x.keys[i:])
+		x.keys[i] = sep
+		x.children = append(x.children, nil)
+		copy(x.children[i+2:], x.children[i+1:])
+		x.children[i+1] = right
+		if len(x.keys) <= degree {
+			return nil, ""
+		}
+		mid := len(x.keys) / 2
+		sepUp := x.keys[mid]
+		r := &inner{
+			own:      x.own,
+			keys:     append([]string(nil), x.keys[mid+1:]...),
+			children: append([]node(nil), x.children[mid+1:]...),
+		}
+		x.keys = x.keys[:mid]
+		x.children = x.children[:mid+1]
+		return r, sepUp
+	}
+	return nil, ""
 }
 
 // Get returns the postings for key (shared storage; do not modify), or nil.
@@ -70,25 +152,28 @@ func (t *Tree) Get(key string) []uint64 { return t.root.find(key) }
 // Delete removes one occurrence of val from key's postings. It returns true
 // when something was removed.
 func (t *Tree) Delete(key string, val uint64) bool {
-	lf := t.root.firstLeafFrom(key)
+	lf, i := t.mutableLeafFor(key)
 	if lf == nil {
-		return false
-	}
-	i := sort.SearchStrings(lf.keys, key)
-	if i >= len(lf.keys) || lf.keys[i] != key {
 		return false
 	}
 	vals := lf.vals[i]
 	for j, v := range vals {
-		if v == val {
-			lf.vals[i] = append(vals[:j], vals[j+1:]...)
-			if len(lf.vals[i]) == 0 {
-				lf.keys = append(lf.keys[:i], lf.keys[i+1:]...)
-				lf.vals = append(lf.vals[:i], lf.vals[i+1:]...)
-				t.keys--
-			}
-			return true
+		if v != val {
+			continue
 		}
+		if lf.sharedVals {
+			nv := make([]uint64, 0, len(vals)-1)
+			nv = append(nv, vals[:j]...)
+			nv = append(nv, vals[j+1:]...)
+			lf.vals[i] = nv
+		} else {
+			lf.vals[i] = append(vals[:j], vals[j+1:]...)
+		}
+		if len(lf.vals[i]) == 0 {
+			lf.removeAt(i)
+			t.keys--
+		}
+		return true
 	}
 	return false
 }
@@ -97,69 +182,103 @@ func (t *Tree) Delete(key string, val uint64) bool {
 // existed. (Underflow is tolerated: nodes may become sparse but remain
 // correct; this matches the append-mostly usage of the MCT store.)
 func (t *Tree) DeleteKey(key string) bool {
-	lf := t.root.firstLeafFrom(key)
+	lf, i := t.mutableLeafFor(key)
 	if lf == nil {
 		return false
 	}
-	i := sort.SearchStrings(lf.keys, key)
-	if i >= len(lf.keys) || lf.keys[i] != key {
-		return false
-	}
-	lf.keys = append(lf.keys[:i], lf.keys[i+1:]...)
-	lf.vals = append(lf.vals[:i], lf.vals[i+1:]...)
+	lf.removeAt(i)
 	t.keys--
 	return true
+}
+
+// mutableLeafFor path-copies down to the leaf holding key and returns it
+// with the key's slot, or (nil, 0) when the key is absent. The tree is left
+// untouched when the key does not exist.
+func (t *Tree) mutableLeafFor(key string) (*leaf, int) {
+	if t.root.find(key) == nil {
+		return nil, 0
+	}
+	t.root = mutable(t.root, t.own)
+	n := t.root
+	for {
+		switch x := n.(type) {
+		case *leaf:
+			i := sort.SearchStrings(x.keys, key)
+			if i >= len(x.keys) || x.keys[i] != key {
+				return nil, 0
+			}
+			return x, i
+		case *inner:
+			i := x.childFor(key)
+			x.children[i] = mutable(x.children[i], t.own)
+			n = x.children[i]
+		}
+	}
+}
+
+// removeAt drops slot i from an already-mutable leaf. The outer keys/vals
+// arrays are private to this leaf (mutable copies them); only the inner
+// postings lists may be shared with a frozen clone.
+func (l *leaf) removeAt(i int) {
+	l.keys = append(l.keys[:i], l.keys[i+1:]...)
+	l.vals = append(l.vals[:i], l.vals[i+1:]...)
 }
 
 // Ascend iterates all (key, postings) pairs in key order; fn returning false
 // stops.
 func (t *Tree) Ascend(fn func(key string, vals []uint64) bool) {
-	for lf := t.root.firstLeaf(); lf != nil; lf = lf.next {
-		for i, k := range lf.keys {
-			if !fn(k, lf.vals[i]) {
-				return
-			}
-		}
-	}
+	ascendFrom(t.root, "", fn)
 }
 
 // Range iterates keys in [lo, hi] inclusive; fn returning false stops.
 func (t *Tree) Range(lo, hi string, fn func(key string, vals []uint64) bool) {
-	lf := t.root.firstLeafFrom(lo)
-	for ; lf != nil; lf = lf.next {
-		for i, k := range lf.keys {
-			if k < lo {
-				continue
-			}
-			if k > hi {
-				return
-			}
-			if !fn(k, lf.vals[i]) {
-				return
-			}
+	ascendFrom(t.root, lo, func(k string, v []uint64) bool {
+		if k > hi {
+			return false
 		}
-	}
+		return fn(k, v)
+	})
 }
 
 // Prefix iterates keys with the given prefix in order.
 func (t *Tree) Prefix(prefix string, fn func(key string, vals []uint64) bool) {
-	lf := t.root.firstLeafFrom(prefix)
-	for ; lf != nil; lf = lf.next {
-		for i, k := range lf.keys {
-			if k < prefix {
-				continue
-			}
-			if len(k) < len(prefix) || k[:len(prefix)] != prefix {
-				if k > prefix {
-					return
-				}
-				continue
-			}
-			if !fn(k, lf.vals[i]) {
-				return
+	ascendFrom(t.root, prefix, func(k string, v []uint64) bool {
+		if len(k) < len(prefix) || k[:len(prefix)] != prefix {
+			return false
+		}
+		return fn(k, v)
+	})
+}
+
+// ascendFrom walks keys >= lo in order without relying on sibling links
+// (clones share subtrees, so leaves cannot be chained). It returns false
+// when fn stopped the iteration.
+func ascendFrom(n node, lo string, fn func(key string, vals []uint64) bool) bool {
+	switch x := n.(type) {
+	case *leaf:
+		i := 0
+		if lo != "" {
+			i = sort.SearchStrings(x.keys, lo)
+		}
+		for ; i < len(x.keys); i++ {
+			if !fn(x.keys[i], x.vals[i]) {
+				return false
 			}
 		}
+		return true
+	case *inner:
+		i := 0
+		if lo != "" {
+			i = x.childFor(lo)
+		}
+		for ; i < len(x.children); i++ {
+			if !ascendFrom(x.children[i], lo, fn) {
+				return false
+			}
+		}
+		return true
 	}
+	return true
 }
 
 // --- leaf ---------------------------------------------------------------
@@ -172,10 +291,17 @@ func (l *leaf) find(key string) []uint64 {
 	return nil
 }
 
+// insert assumes the leaf is already mutable (owned by the inserting tree).
 func (l *leaf) insert(key string, val uint64) (node, string) {
 	i := sort.SearchStrings(l.keys, key)
 	if i < len(l.keys) && l.keys[i] == key {
-		l.vals[i] = append(l.vals[i], val)
+		if l.sharedVals {
+			nv := make([]uint64, 0, len(l.vals[i])+1)
+			nv = append(nv, l.vals[i]...)
+			l.vals[i] = append(nv, val)
+		} else {
+			l.vals[i] = append(l.vals[i], val)
+		}
 		return nil, ""
 	}
 	l.keys = append(l.keys, "")
@@ -190,19 +316,15 @@ func (l *leaf) insert(key string, val uint64) (node, string) {
 	// Split.
 	mid := len(l.keys) / 2
 	right := &leaf{
-		keys: append([]string(nil), l.keys[mid:]...),
-		vals: append([][]uint64(nil), l.vals[mid:]...),
-		next: l.next,
+		own:        l.own,
+		keys:       append([]string(nil), l.keys[mid:]...),
+		vals:       append([][]uint64(nil), l.vals[mid:]...),
+		sharedVals: l.sharedVals,
 	}
 	l.keys = l.keys[:mid]
 	l.vals = l.vals[:mid]
-	l.next = right
 	return right, right.keys[0]
 }
-
-func (l *leaf) firstLeafFrom(string) *leaf { return l }
-
-func (l *leaf) firstLeaf() *leaf { return l }
 
 // --- inner ---------------------------------------------------------------
 
@@ -213,35 +335,3 @@ func (in *inner) childFor(key string) int {
 func (in *inner) find(key string) []uint64 {
 	return in.children[in.childFor(key)].find(key)
 }
-
-func (in *inner) insert(key string, val uint64) (node, string) {
-	i := in.childFor(key)
-	right, sep := in.children[i].insert(key, val)
-	if right == nil {
-		return nil, ""
-	}
-	in.keys = append(in.keys, "")
-	copy(in.keys[i+1:], in.keys[i:])
-	in.keys[i] = sep
-	in.children = append(in.children, nil)
-	copy(in.children[i+2:], in.children[i+1:])
-	in.children[i+1] = right
-	if len(in.keys) <= degree {
-		return nil, ""
-	}
-	mid := len(in.keys) / 2
-	sepUp := in.keys[mid]
-	r := &inner{
-		keys:     append([]string(nil), in.keys[mid+1:]...),
-		children: append([]node(nil), in.children[mid+1:]...),
-	}
-	in.keys = in.keys[:mid]
-	in.children = in.children[:mid+1]
-	return r, sepUp
-}
-
-func (in *inner) firstLeafFrom(key string) *leaf {
-	return in.children[in.childFor(key)].firstLeafFrom(key)
-}
-
-func (in *inner) firstLeaf() *leaf { return in.children[0].firstLeaf() }

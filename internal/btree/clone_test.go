@@ -1,0 +1,140 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func snapshot(tr *Tree) map[string][]uint64 {
+	out := map[string][]uint64{}
+	tr.Ascend(func(k string, vals []uint64) bool {
+		out[k] = append([]uint64(nil), vals...)
+		return true
+	})
+	return out
+}
+
+func sameContents(t *testing.T, got *Tree, want map[string][]uint64) {
+	t.Helper()
+	n := 0
+	got.Ascend(func(k string, vals []uint64) bool {
+		w, ok := want[k]
+		if !ok {
+			t.Fatalf("unexpected key %q", k)
+		}
+		if len(vals) != len(w) {
+			t.Fatalf("key %q: postings %v, want %v", k, vals, w)
+		}
+		for i := range w {
+			if vals[i] != w[i] {
+				t.Fatalf("key %q: postings %v, want %v", k, vals, w)
+			}
+		}
+		n++
+		return true
+	})
+	if n != len(want) {
+		t.Fatalf("iterated %d keys, want %d", n, len(want))
+	}
+}
+
+// TestCloneIsolation: mutations on either side of a Clone are invisible to
+// the other side, across inserts, posting deletes and key deletes.
+func TestCloneIsolation(t *testing.T) {
+	tr := New()
+	for i := 0; i < 3000; i++ {
+		tr.Insert(fmt.Sprintf("k%05d", i), uint64(i))
+		tr.Insert(fmt.Sprintf("k%05d", i), uint64(i+100000))
+	}
+	frozen := snapshot(tr)
+
+	cl := tr.Clone()
+	// Mutate the clone heavily.
+	for i := 0; i < 3000; i += 2 {
+		if !cl.Delete(fmt.Sprintf("k%05d", i), uint64(i)) {
+			t.Fatalf("clone delete %d failed", i)
+		}
+	}
+	for i := 0; i < 1000; i += 3 {
+		cl.DeleteKey(fmt.Sprintf("k%05d", i))
+	}
+	for i := 3000; i < 4000; i++ {
+		cl.Insert(fmt.Sprintf("k%05d", i), uint64(i))
+	}
+	sameContents(t, tr, frozen)
+
+	// Mutating the original must not disturb the clone either.
+	cloneState := snapshot(cl)
+	for i := 0; i < 500; i++ {
+		tr.Insert(fmt.Sprintf("x%05d", i), uint64(i))
+		tr.Delete(fmt.Sprintf("k%05d", i*2+1), uint64(i*2+1))
+	}
+	sameContents(t, cl, cloneState)
+}
+
+// TestCloneChain: repeated clone-then-mutate keeps every generation intact,
+// matching the snapshot lifecycle of the serving path.
+func TestCloneChain(t *testing.T) {
+	cur := New()
+	var states []map[string][]uint64
+	var trees []*Tree
+	rng := rand.New(rand.NewSource(7))
+	for g := 0; g < 8; g++ {
+		for i := 0; i < 400; i++ {
+			cur.Insert(fmt.Sprintf("g%02d-%04d", g, rng.Intn(300)), uint64(i))
+		}
+		if g%2 == 1 {
+			for i := 0; i < 100; i++ {
+				cur.DeleteKey(fmt.Sprintf("g%02d-%04d", g-1, i))
+			}
+		}
+		trees = append(trees, cur)
+		states = append(states, snapshot(cur))
+		cur = cur.Clone()
+	}
+	for i, tr := range trees {
+		sameContents(t, tr, states[i])
+	}
+}
+
+// TestCloneConcurrentReads: a frozen tree serves concurrent readers while
+// its clone is being mutated (run under -race to be meaningful).
+func TestCloneConcurrentReads(t *testing.T) {
+	tr := New()
+	for i := 0; i < 5000; i++ {
+		tr.Insert(fmt.Sprintf("k%05d", i), uint64(i))
+	}
+	cl := tr.Clone()
+
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for n := 0; n < 200; n++ {
+				k := fmt.Sprintf("k%05d", rng.Intn(5000))
+				if got := tr.Get(k); len(got) != 1 {
+					t.Errorf("Get(%s) = %v", k, got)
+					return
+				}
+				count := 0
+				tr.Range("k00100", "k00199", func(string, []uint64) bool {
+					count++
+					return true
+				})
+				if count != 100 {
+					t.Errorf("range count = %d", count)
+					return
+				}
+			}
+		}(int64(r))
+	}
+	for i := 0; i < 5000; i++ {
+		cl.Delete(fmt.Sprintf("k%05d", i), uint64(i))
+		cl.Insert(fmt.Sprintf("n%05d", i), uint64(i))
+	}
+	wg.Wait()
+}

@@ -1,0 +1,186 @@
+package core
+
+import "sync"
+
+// This file implements the logical change log that makes incremental
+// maintenance of derived store snapshots possible. Every mutation of the
+// database appends a Change describing its store-visible effect; the serving
+// layer (colorful.DB) drains the log and replays it against a copy-on-write
+// clone of the previous storage.Store snapshot instead of rebuilding from
+// scratch. Changes with no incremental store operation (positional inserts,
+// renames, whole-subtree arrivals) are recorded as ChangeComplex, telling
+// the maintainer to fall back to a full load.
+//
+// Mutations of detached fragments are store-invisible and record nothing:
+// the store materializes exactly the rooted colored trees, so a change only
+// matters once it happens inside (or moves nodes into/out of) a rooted tree.
+
+// ChangeKind classifies one logical change to the rooted colored trees.
+type ChangeKind uint8
+
+const (
+	// ChangeContent: element Elem's direct text content became Content.
+	ChangeContent ChangeKind = iota
+	// ChangeInsertLeaf: element Elem (not previously stored) was attached
+	// as the last child of Parent in Color, with no element children in
+	// Color. Tag, Content and Attrs carry its state at attach time.
+	ChangeInsertLeaf
+	// ChangeAddColor: already-stored element Elem was attached as the last
+	// child of Parent in Color (the next-color constructor's attach).
+	ChangeAddColor
+	// ChangeDeleteSubtree: element Elem's subtree in Color left the rooted
+	// tree (delete, remove-color or detach).
+	ChangeDeleteSubtree
+	// ChangeAttrs: element Elem's attribute list became Attrs.
+	ChangeAttrs
+	// ChangeAddDatabaseColor: the database gained color Color.
+	ChangeAddDatabaseColor
+	// ChangeComplex: a structural change with no incremental counterpart;
+	// the snapshot maintainer must rebuild.
+	ChangeComplex
+)
+
+// Change is one entry of the logical change log. Parent is 0 when the
+// parent is the document node (node IDs start at 1).
+type Change struct {
+	Kind    ChangeKind
+	Elem    NodeID
+	Parent  NodeID
+	Color   Color
+	Tag     string
+	Content string
+	Attrs   [][2]string
+}
+
+// maxChangeLog bounds the change log; once exceeded the log is dropped and
+// DrainChanges reports overflow, forcing consumers to rebuild. This keeps
+// databases whose log is never drained from accumulating memory.
+const maxChangeLog = 1 << 14
+
+type changeLog struct {
+	mu       sync.Mutex
+	entries  []Change
+	overflow bool
+}
+
+func (db *Database) record(ch Change) {
+	db.clog.mu.Lock()
+	if !db.clog.overflow {
+		if len(db.clog.entries) >= maxChangeLog {
+			db.clog.overflow = true
+			db.clog.entries = nil
+		} else {
+			db.clog.entries = append(db.clog.entries, ch)
+		}
+	}
+	db.clog.mu.Unlock()
+}
+
+// DrainChanges returns and clears the change log accumulated since the last
+// drain (or since construction). overflow reports that the log was dropped
+// because it grew past its bound; the drained prefix is then incomplete and
+// consumers must treat the database as arbitrarily changed.
+func (db *Database) DrainChanges() (changes []Change, overflow bool) {
+	db.clog.mu.Lock()
+	defer db.clog.mu.Unlock()
+	changes, overflow = db.clog.entries, db.clog.overflow
+	db.clog.entries, db.clog.overflow = nil, false
+	return changes, overflow
+}
+
+// reachable reports whether n belongs to the rooted colored tree c (i.e. its
+// parent chain in c ends at the document node). Detached fragments are not
+// reachable and have no store representation.
+func (db *Database) reachable(n *Node, c Color) bool {
+	for cur := n; cur != nil; {
+		if cur == db.doc {
+			return true
+		}
+		l := cur.link(c)
+		if l == nil {
+			return false
+		}
+		cur = l.parent
+	}
+	return false
+}
+
+// reachableAny reports whether n (or its owner, for owned nodes) is part of
+// any rooted colored tree.
+func (db *Database) reachableAny(n *Node) bool {
+	t := n
+	if t.owner != nil {
+		t = t.owner
+	}
+	for _, c := range t.Colors() {
+		if db.reachable(t, c) {
+			return true
+		}
+	}
+	return false
+}
+
+// changeParent encodes a parent node for the log (0 = document).
+func (db *Database) changeParent(parent *Node) NodeID {
+	if parent == db.doc {
+		return 0
+	}
+	return parent.id
+}
+
+// attrSnapshot captures an element's attributes as (name, value) pairs.
+func attrSnapshot(elem *Node) [][2]string {
+	if len(elem.attrs) == 0 {
+		return nil
+	}
+	out := make([][2]string, len(elem.attrs))
+	for i, a := range elem.attrs {
+		out[i] = [2]string{a.name, a.value}
+	}
+	return out
+}
+
+// logAttach records the store-visible effect of attaching child under parent
+// in color c. atEnd reports whether the child became the last child.
+func (db *Database) logAttach(parent, child *Node, c Color, atEnd bool) {
+	if child.kind != KindElement {
+		return // comments and PIs are not materialized in the store
+	}
+	if !db.reachable(parent, c) {
+		return // still a detached fragment; no store effect
+	}
+	if !atEnd {
+		db.record(Change{Kind: ChangeComplex})
+		return
+	}
+	// A child that brings element children of its own lands a whole subtree
+	// at once; the incremental ops only insert leaves.
+	for _, ch := range child.link(c).children {
+		if ch.kind == KindElement {
+			db.record(Change{Kind: ChangeComplex})
+			return
+		}
+	}
+	for _, oc := range child.Colors() {
+		if oc != c && db.reachable(child, oc) {
+			// Already stored under another color: this attach adds one
+			// structural node.
+			db.record(Change{Kind: ChangeAddColor, Elem: child.id,
+				Parent: db.changeParent(parent), Color: c})
+			return
+		}
+	}
+	db.record(Change{Kind: ChangeInsertLeaf, Elem: child.id,
+		Parent: db.changeParent(parent), Color: c,
+		Tag: child.name, Content: Text(child), Attrs: attrSnapshot(child)})
+}
+
+// logContent records that elem's direct text content changed.
+func (db *Database) logContent(elem *Node) {
+	db.record(Change{Kind: ChangeContent, Elem: elem.id, Content: Text(elem)})
+}
+
+// logAttrs records that elem's attribute list changed.
+func (db *Database) logAttrs(elem *Node) {
+	db.record(Change{Kind: ChangeAttrs, Elem: elem.id, Attrs: attrSnapshot(elem)})
+}

@@ -3,13 +3,18 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Database is an MCT database: a node set, a color set, and one colored tree
 // per color, all rooted at a single shared document node (Definition 3.2).
 //
 // A Database is not safe for concurrent mutation; concurrent readers are safe
-// once construction is complete.
+// while no mutation is in progress (callers such as colorful.DB enforce this
+// with a reader/writer lock). Generation, the change log and the local-order
+// cache are internally synchronized so that readers may consult them without
+// extra coordination.
 type Database struct {
 	doc    *Node
 	colors map[Color]bool
@@ -17,8 +22,16 @@ type Database struct {
 	byID   map[NodeID]*Node
 
 	// order caches per-color local document order; invalidated on mutation.
-	order map[Color]map[NodeID]int
-	gen   uint64 // mutation generation, bumped on every structural change
+	// Guarded by orderMu: the cache is lazily filled on read paths, which
+	// may run concurrently.
+	orderMu sync.Mutex
+	order   map[Color]map[NodeID]int
+
+	gen uint64 // mutation generation (atomic), bumped on every structural change
+
+	// clog accumulates the store-visible effects of mutations for
+	// incremental snapshot maintenance (see changelog.go).
+	clog changeLog
 }
 
 // NewDatabase creates an empty MCT database whose document node carries all
@@ -61,6 +74,7 @@ func (db *Database) AddDatabaseColor(c Color) {
 	db.colors[c] = true
 	db.doc.ensureLink(c)
 	db.invalidate()
+	db.record(Change{Kind: ChangeAddDatabaseColor, Color: c})
 }
 
 // NodeByID returns the node with the given identity, or nil.
@@ -72,8 +86,9 @@ func (db *Database) NumNodes() int { return len(db.byID) }
 // Generation returns a counter that increases on every mutation of the
 // database. Callers that derive secondary structures (such as a physical
 // store loaded from the database) can cache them keyed on the generation and
-// rebuild only when it changes.
-func (db *Database) Generation() uint64 { return db.gen }
+// rebuild only when it changes. It is safe to call concurrently with
+// mutations.
+func (db *Database) Generation() uint64 { return atomic.LoadUint64(&db.gen) }
 
 func (db *Database) newNode(kind Kind) *Node {
 	db.nextID++
@@ -83,10 +98,12 @@ func (db *Database) newNode(kind Kind) *Node {
 }
 
 func (db *Database) invalidate() {
-	db.gen++
+	atomic.AddUint64(&db.gen, 1)
+	db.orderMu.Lock()
 	for c := range db.order {
 		delete(db.order, c)
 	}
+	db.orderMu.Unlock()
 }
 
 // --- First-color constructors (Section 3.3) ---------------------------------
@@ -150,6 +167,8 @@ func (db *Database) SetAttribute(elem *Node, name, value string) (*Node, error) 
 	}
 	if a := elem.Attribute(name); a != nil {
 		a.value = value
+		db.invalidate()
+		db.logAttrs(elem)
 		return a, nil
 	}
 	a := db.newNode(KindAttribute)
@@ -157,6 +176,8 @@ func (db *Database) SetAttribute(elem *Node, name, value string) (*Node, error) 
 	a.value = value
 	a.owner = elem
 	elem.attrs = append(elem.attrs, a)
+	db.invalidate()
+	db.logAttrs(elem)
 	return a, nil
 }
 
@@ -164,8 +185,18 @@ func (db *Database) SetAttribute(elem *Node, name, value string) (*Node, error) 
 // other kinds cannot be set.
 func (db *Database) Rename(n *Node, name string) error {
 	switch n.kind {
-	case KindElement, KindAttribute, KindPI:
+	case KindElement, KindAttribute:
 		n.name = name
+		db.invalidate()
+		if db.reachableAny(n) {
+			// Renames re-key the tag or attribute index; there is no
+			// incremental store op for that.
+			db.record(Change{Kind: ChangeComplex})
+		}
+		return nil
+	case KindPI:
+		n.name = name
+		db.invalidate() // PIs are not materialized in the store
 		return nil
 	default:
 		return fmt.Errorf("core: Rename on %v: %w", n, ErrNotElement)
@@ -178,6 +209,8 @@ func (db *Database) RemoveAttribute(elem *Node, name string) {
 		if a.name == name {
 			elem.attrs = append(elem.attrs[:i], elem.attrs[i+1:]...)
 			delete(db.byID, a.id)
+			db.invalidate()
+			db.logAttrs(elem)
 			return
 		}
 	}
@@ -198,6 +231,7 @@ func (db *Database) AppendText(elem *Node, value string) (*Node, error) {
 		l.children = append(l.children, t)
 	}
 	db.invalidate()
+	db.logContent(elem)
 	return t, nil
 }
 
@@ -258,6 +292,7 @@ func (db *Database) RemoveColor(n *Node, c Color) error {
 	if n.kind == KindDocument {
 		return fmt.Errorf("core: cannot remove color from the document node")
 	}
+	wasReachable := n.kind == KindElement && db.reachable(n, c)
 	// Detach from parent in c.
 	if l.parent != nil {
 		db.detach(n, c)
@@ -272,6 +307,12 @@ func (db *Database) RemoveColor(n *Node, c Color) error {
 	}
 	delete(n.links, c)
 	db.invalidate()
+	if wasReachable {
+		// The store drops the whole stored subtree of n in c; descendants
+		// that kept color c are now detached fragments, which the store
+		// does not materialize either, so the effects agree.
+		db.record(Change{Kind: ChangeDeleteSubtree, Elem: n.id, Color: c})
+	}
 	return nil
 }
 
@@ -338,7 +379,8 @@ func (db *Database) insert(parent, child *Node, c Color, at int) error {
 		}
 		a = al.parent
 	}
-	if at < 0 || at >= len(pl.children) {
+	atEnd := at < 0 || at >= len(pl.children)
+	if atEnd {
 		pl.children = append(pl.children, child)
 	} else {
 		pl.children = append(pl.children, nil)
@@ -347,6 +389,7 @@ func (db *Database) insert(parent, child *Node, c Color, at int) error {
 	}
 	cl.parent = parent
 	db.invalidate()
+	db.logAttach(parent, child, c, atEnd)
 	return nil
 }
 
@@ -379,7 +422,11 @@ func (db *Database) Detach(child *Node, c Color) error {
 	if cl.parent == nil {
 		return fmt.Errorf("core: Detach(%v, %q): %w", child, c, ErrNotAttached)
 	}
+	wasReachable := child.kind == KindElement && db.reachable(child, c)
 	db.detach(child, c)
+	if wasReachable {
+		db.record(Change{Kind: ChangeDeleteSubtree, Elem: child.id, Color: c})
+	}
 	return nil
 }
 
@@ -411,7 +458,18 @@ func (db *Database) Delete(n *Node) error {
 		}
 		delete(db.byID, n.id)
 		db.invalidate()
+		if n.owner != nil {
+			db.logContent(n.owner)
+		}
 		return nil
+	}
+	var storedIn []Color
+	if n.kind == KindElement {
+		for _, c := range n.Colors() {
+			if db.reachable(n, c) {
+				storedIn = append(storedIn, c)
+			}
+		}
 	}
 	for _, c := range n.Colors() {
 		l := n.link(c)
@@ -436,6 +494,9 @@ func (db *Database) Delete(n *Node) error {
 	n.attrs = nil
 	delete(db.byID, n.id)
 	db.invalidate()
+	for _, c := range storedIn {
+		db.record(Change{Kind: ChangeDeleteSubtree, Elem: n.id, Color: c})
+	}
 	return nil
 }
 

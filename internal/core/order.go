@@ -10,7 +10,13 @@ import "sort"
 // orderIndex returns (building and caching if needed) the map from node ID to
 // pre-order position in the colored tree c rooted at the document node.
 // Attribute nodes order immediately after their owner element.
+//
+// The cache is guarded by orderMu because order lookups happen on read paths
+// that may run from several goroutines at once; a cached index map itself is
+// immutable once published (invalidation drops it rather than clearing it).
 func (db *Database) orderIndex(c Color) map[NodeID]int {
+	db.orderMu.Lock()
+	defer db.orderMu.Unlock()
 	if idx, ok := db.order[c]; ok {
 		return idx
 	}

@@ -16,6 +16,9 @@ import (
 type ScanTag struct {
 	Color core.Color
 	Tag   string
+	// Part/Of select the Part-th of Of contiguous slices of the posting list
+	// for parallel scans under an Exchange. Of <= 1 scans the whole list.
+	Part, Of int
 
 	refs []uint64
 	pos  int
@@ -23,7 +26,7 @@ type ScanTag struct {
 
 // Open implements Op.
 func (o *ScanTag) Open(ctx *Ctx) error {
-	o.refs = ctx.S.TagRefs(o.Color, o.Tag)
+	o.refs = partition(ctx.S.TagRefs(o.Color, o.Tag), o.Part, o.Of)
 	o.pos = 0
 	return nil
 }
@@ -50,7 +53,13 @@ func (o *ScanTag) Close(ctx *Ctx) error {
 // Children implements Op.
 func (o *ScanTag) Children() []Op { return nil }
 
-func (o *ScanTag) String() string { return fmt.Sprintf("ScanTag{%s}%s", o.Color, o.Tag) }
+func (o *ScanTag) String() string {
+	s := fmt.Sprintf("ScanTag{%s}%s", o.Color, o.Tag)
+	if o.Of > 1 {
+		s += fmt.Sprintf(" part %d/%d", o.Part+1, o.Of)
+	}
+	return s
+}
 
 // EqContent is a content-index lookup: nodes of a tag whose content equals a
 // value, streamed off the content index posting list.
@@ -103,6 +112,8 @@ type ContainsScan struct {
 	Color core.Color
 	Tag   string
 	Pred  Pred
+	// Part/Of partition the scan for an Exchange, as in ScanTag.
+	Part, Of int
 
 	refs []uint64
 	pos  int
@@ -110,7 +121,7 @@ type ContainsScan struct {
 
 // Open implements Op.
 func (o *ContainsScan) Open(ctx *Ctx) error {
-	o.refs = ctx.S.TagRefs(o.Color, o.Tag)
+	o.refs = partition(ctx.S.TagRefs(o.Color, o.Tag), o.Part, o.Of)
 	o.pos = 0
 	return nil
 }
@@ -149,7 +160,11 @@ func (o *ContainsScan) Close(ctx *Ctx) error {
 func (o *ContainsScan) Children() []Op { return nil }
 
 func (o *ContainsScan) String() string {
-	return fmt.Sprintf("ContainsScan{%s}%s[%s]", o.Color, o.Tag, o.Pred)
+	s := fmt.Sprintf("ContainsScan{%s}%s[%s]", o.Color, o.Tag, o.Pred)
+	if o.Of > 1 {
+		s += fmt.Sprintf(" part %d/%d", o.Part+1, o.Of)
+	}
+	return s
 }
 
 // AttrEq is an attribute-index lookup producing the matching elements'
@@ -386,9 +401,9 @@ type ExistsJoin struct {
 	// ANCESTOR in Probe.
 	InputIsDesc bool
 
-	ix            *ancIndex        // when InputIsDesc: probe nodes as ancestors
-	probeNodes    []storage.SNode  // otherwise: distinct probe nodes, start order
-	probeByParent map[int64][]int  // otherwise, ParentChild: probe indexes by ParentStart
+	ix            *ancIndex       // when InputIsDesc: probe nodes as ancestors
+	probeNodes    []storage.SNode // otherwise: distinct probe nodes, start order
+	probeByParent map[int64][]int // otherwise, ParentChild: probe indexes by ParentStart
 	decided       map[int64]bool
 	held          int
 }

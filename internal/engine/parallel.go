@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// exchangeBuf is the per-partition row channel depth: deep enough to keep
+// workers busy across consumer stalls, small enough that an exchange never
+// materializes a meaningful fraction of a scan.
+const exchangeBuf = 128
+
+// partition returns the part-th of of contiguous slices of a posting list.
+// Slicing start-ordered postings into contiguous runs means concatenating the
+// parts in order reproduces the original global start order exactly.
+func partition(refs []uint64, part, of int) []uint64 {
+	if of <= 1 {
+		return refs
+	}
+	lo := len(refs) * part / of
+	hi := len(refs) * (part + 1) / of
+	return refs[lo:hi]
+}
+
+// Exchange runs its Parts concurrently, one worker goroutine per part, and
+// merges their output streams by draining the parts in order. Parts are
+// expected to be contiguous start-order partitions of one logical scan (see
+// ScanTag.Part/Of), so the in-order concatenation preserves the global
+// document order every downstream operator relies on.
+//
+// Each worker runs against its own Ctx over the same (immutable snapshot)
+// store; metrics and per-operator stats are folded back into the parent Ctx
+// when the exchange closes, so Exec totals and ExplainAnalyze attribution are
+// unaffected by parallelism. Rows flow through bounded channels; Close
+// cancels still-running workers via a done channel and waits for them, so no
+// goroutine outlives the exchange.
+type Exchange struct {
+	Parts []Op
+
+	workers []*exchangeWorker
+	cur     int
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+type exchangeWorker struct {
+	op   Op
+	rows chan Row
+	ctx  *Ctx
+	// err is written by the worker goroutine before it closes rows and read
+	// by the consumer only after observing the close, so it needs no lock.
+	err error
+}
+
+func (w *exchangeWorker) run(done chan struct{}) {
+	defer close(w.rows)
+	if err := w.op.Open(w.ctx); err != nil {
+		w.op.Close(w.ctx)
+		w.err = err
+		return
+	}
+	for {
+		r, ok, err := pull(w.ctx, w.op)
+		if err != nil {
+			w.op.Close(w.ctx)
+			w.err = err
+			return
+		}
+		if !ok {
+			break
+		}
+		select {
+		case w.rows <- r:
+		case <-done:
+			w.op.Close(w.ctx)
+			return
+		}
+	}
+	w.err = w.op.Close(w.ctx)
+}
+
+// Open implements Op.
+func (o *Exchange) Open(ctx *Ctx) error {
+	o.done = make(chan struct{})
+	o.cur = 0
+	o.workers = make([]*exchangeWorker, len(o.Parts))
+	for i, p := range o.Parts {
+		w := &exchangeWorker{op: p, rows: make(chan Row, exchangeBuf), ctx: &Ctx{S: ctx.S}}
+		if ctx.stats != nil {
+			w.ctx.stats = map[Op]*OpStats{}
+		}
+		o.workers[i] = w
+		o.wg.Add(1)
+		go func() {
+			defer o.wg.Done()
+			w.run(o.done)
+		}()
+	}
+	return nil
+}
+
+// Next implements Op: it drains the partitions in order, so the merged
+// stream is the in-order concatenation of the parts.
+func (o *Exchange) Next(ctx *Ctx) (Row, bool, error) {
+	for o.cur < len(o.workers) {
+		w := o.workers[o.cur]
+		r, ok := <-w.rows
+		if ok {
+			return r, true, nil
+		}
+		if w.err != nil {
+			return nil, false, w.err
+		}
+		o.cur++
+	}
+	return nil, false, nil
+}
+
+// Close implements Op: cancel outstanding workers, wait for them, and fold
+// their metrics and stats into the parent context.
+func (o *Exchange) Close(ctx *Ctx) error {
+	if o.done == nil {
+		return nil
+	}
+	close(o.done)
+	o.wg.Wait()
+	for _, w := range o.workers {
+		ctx.M.merge(w.ctx.M)
+		if ctx.stats != nil {
+			for op, st := range w.ctx.stats {
+				ctx.stats[op] = st
+			}
+		}
+	}
+	o.workers = nil
+	o.done = nil
+	o.cur = 0
+	return nil
+}
+
+// Children implements Op.
+func (o *Exchange) Children() []Op { return o.Parts }
+
+func (o *Exchange) String() string { return fmt.Sprintf("Exchange[%d ways]", len(o.Parts)) }
+
+// merge folds a worker's metric counters into the parent's. RowsOut is
+// excluded: it describes a whole execution and is set once by the executor.
+func (m *Metrics) merge(w Metrics) {
+	m.StructJoins += w.StructJoins
+	m.ValueJoins += w.ValueJoins
+	m.IDJoins += w.IDJoins
+	m.CrossJoins += w.CrossJoins
+	m.ContentReads += w.ContentReads
+}

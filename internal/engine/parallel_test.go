@@ -1,0 +1,146 @@
+package engine_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"colorfulxml/internal/core"
+	"colorfulxml/internal/engine"
+	"colorfulxml/internal/storage"
+)
+
+// bigStore builds a single-color database with n <item> leaves under a root,
+// large enough that exchange partitions are non-trivial.
+func bigStore(t *testing.T, n int) *storage.Store {
+	t.Helper()
+	db := core.NewDatabase("red")
+	root, err := db.AddElement(db.Document(), "lib", "red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := db.AddElementText(root, "item", "red", fmt.Sprintf("v%d", i%10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := storage.Load(db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func exchangeOver(parts int, mk func(part, of int) engine.Op) *engine.Exchange {
+	ex := &engine.Exchange{}
+	for i := 0; i < parts; i++ {
+		ex.Parts = append(ex.Parts, mk(i, parts))
+	}
+	return ex
+}
+
+func TestExchangePreservesScanOrder(t *testing.T) {
+	s := bigStore(t, 1000)
+	serial, _ := run(t, s, &engine.ScanTag{Color: "red", Tag: "item"})
+	for _, parts := range []int{1, 2, 3, 4, 7} {
+		ex := exchangeOver(parts, func(part, of int) engine.Op {
+			return &engine.ScanTag{Color: "red", Tag: "item", Part: part, Of: of}
+		})
+		rows, _ := run(t, s, ex)
+		if !reflect.DeepEqual(rows, serial) {
+			t.Fatalf("%d-way exchange diverges from serial scan (%d vs %d rows)",
+				parts, len(rows), len(serial))
+		}
+	}
+}
+
+func TestExchangeMergesMetricsAndStats(t *testing.T) {
+	s := bigStore(t, 600)
+	mk := func(part, of int) engine.Op {
+		return &engine.ContainsScan{Color: "red", Tag: "item",
+			Pred: engine.Pred{Kind: "eq", Value: "v3"}, Part: part, Of: of}
+	}
+	serialRows, serialM := run(t, s, mk(0, 1))
+	ex := exchangeOver(4, mk)
+	an, err := engine.ExplainAnalyze(s, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(an.Rows, serialRows) {
+		t.Fatalf("parallel rows diverge: %d vs %d", len(an.Rows), len(serialRows))
+	}
+	// Every candidate is read exactly once across the partitions.
+	if an.Metrics.ContentReads != serialM.ContentReads {
+		t.Fatalf("merged ContentReads = %d, serial = %d", an.Metrics.ContentReads, serialM.ContentReads)
+	}
+	if !strings.Contains(an.Text, "Exchange[4 ways]") {
+		t.Fatalf("analyze output lacks exchange header:\n%s", an.Text)
+	}
+	for i := 1; i <= 4; i++ {
+		if !strings.Contains(an.Text, fmt.Sprintf("part %d/4", i)) {
+			t.Fatalf("analyze output lacks partition %d:\n%s", i, an.Text)
+		}
+	}
+	// Per-partition row attribution must be present (rows split across parts).
+	if strings.Count(an.Text, "rows=15") != 4 { // 600 items, 60 v3s, 4 even parts
+		t.Fatalf("expected 4 partitions with rows=15:\n%s", an.Text)
+	}
+}
+
+func TestExchangeEarlyClose(t *testing.T) {
+	// More rows than the exchange buffers can hold, so workers are still
+	// blocked on their channels when the consumer abandons the scan.
+	s := bigStore(t, 3000)
+	ex := exchangeOver(4, func(part, of int) engine.Op {
+		return &engine.ScanTag{Color: "red", Tag: "item", Part: part, Of: of}
+	})
+	ctx := &engine.Ctx{S: s}
+	if err := ex.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := ex.Next(ctx); err != nil || !ok {
+		t.Fatalf("first row: ok=%v err=%v", ok, err)
+	}
+	if err := ex.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Re-open after close: the exchange must be reusable like any operator.
+	rows, _ := run(t, s, ex)
+	if len(rows) != 3000 {
+		t.Fatalf("rows after reopen = %d, want 3000", len(rows))
+	}
+}
+
+// failOp emits a few rows and then fails.
+type failOp struct {
+	n   int
+	pos int
+}
+
+var errBoom = errors.New("boom")
+
+func (o *failOp) Open(ctx *engine.Ctx) error { o.pos = 0; return nil }
+func (o *failOp) Next(ctx *engine.Ctx) (engine.Row, bool, error) {
+	if o.pos >= o.n {
+		return nil, false, errBoom
+	}
+	o.pos++
+	return engine.Row{{}}, true, nil
+}
+func (o *failOp) Close(ctx *engine.Ctx) error { return nil }
+func (o *failOp) Children() []engine.Op       { return nil }
+func (o *failOp) String() string              { return "failOp" }
+
+func TestExchangePropagatesWorkerError(t *testing.T) {
+	s := bigStore(t, 10)
+	ex := &engine.Exchange{Parts: []engine.Op{
+		&engine.ScanTag{Color: "red", Tag: "item", Part: 0, Of: 2},
+		&failOp{n: 3},
+	}}
+	_, _, err := engine.Exec(s, ex)
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("Exec error = %v, want errBoom", err)
+	}
+}

@@ -142,8 +142,8 @@ func TestPeakMaterialization(t *testing.T) {
 	}
 
 	breaker := &engine.IDJoin{
-		Left:  &engine.ScanTag{Color: "red", Tag: "movie"},
-		Right: &engine.ScanTag{Color: "green", Tag: "movie"},
+		Left:    &engine.ScanTag{Color: "red", Tag: "movie"},
+		Right:   &engine.ScanTag{Color: "green", Tag: "movie"},
 		LeftCol: 0, RightCol: 0,
 	}
 	an, err = engine.ExplainAnalyze(s, breaker)

@@ -1,0 +1,224 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"colorfulxml/colorful"
+)
+
+// This file implements the concurrent-serving throughput experiment: a
+// synthetic two-hierarchy catalog served through the colorful facade, C
+// client goroutines issuing compiled queries lock-free against published
+// snapshots while a writer applies point updates that are folded in by
+// incremental snapshot maintenance.
+
+// ConcurrentConfig parameterizes the experiment.
+type ConcurrentConfig struct {
+	// Clients is the number of reader goroutines.
+	Clients int
+	// Ops is the number of queries each client issues.
+	Ops int
+	// Scale is the number of catalog items (every third is also "featured"
+	// in the green hierarchy and carries a votes counter).
+	Scale int
+	// Parallel turns on intra-query parallelism; Workers fixes the exchange
+	// fan-out (0: GOMAXPROCS).
+	Parallel bool
+	Workers  int
+}
+
+// DefaultConcurrent mirrors the CLI defaults.
+var DefaultConcurrent = ConcurrentConfig{Clients: 8, Ops: 200, Scale: 2000}
+
+// ConcurrentResult is the measured outcome.
+type ConcurrentResult struct {
+	Clients  int     `json:"clients"`
+	Ops      int     `json:"ops_per_client"`
+	Scale    int     `json:"scale"`
+	Parallel bool    `json:"parallel"`
+	Workers  int     `json:"workers"`
+	Millis   float64 `json:"millis"`
+	Queries  int64   `json:"queries"`
+	Updates  int64   `json:"updates"`
+	QPS      float64 `json:"qps"`
+
+	IncrementalApplies uint64 `json:"incremental_applies"`
+	FullRebuilds       uint64 `json:"full_rebuilds"`
+	Publishes          uint64 `json:"publishes"`
+}
+
+// buildCatalog constructs the benchmark database through the public facade:
+// a red catalog of items with names; every third item is adopted under the
+// green featured root and given a green votes counter.
+func buildCatalog(scale int) (*colorful.DB, error) {
+	db := colorful.New("red", "green")
+	root, err := db.AddElement(db.Document(), "catalog", "red")
+	if err != nil {
+		return nil, err
+	}
+	featured, err := db.AddElement(db.Document(), "featured", "green")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < scale; i++ {
+		item, err := db.AddElement(root, "item", "red")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := db.AddElementText(item, "name", "red", fmt.Sprintf("Item %d", i)); err != nil {
+			return nil, err
+		}
+		if i%3 == 0 {
+			if err := db.Adopt(featured, item, "green"); err != nil {
+				return nil, err
+			}
+			if _, err := db.AddElementText(item, "votes", "green", fmt.Sprint(i%50)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}
+
+// concurrentQueries is the read mix: a full descendant scan (the parallel
+// candidate), an equality lookup, and a cross-hierarchy navigation.
+var concurrentQueries = []string{
+	`document("db")/{red}descendant::item/{red}child::name`,
+	`document("db")/{red}descendant::item[{red}child::name = "Item 7"]/{red}child::name`,
+	`for $i in document("db")/{green}descendant::item return $i/{green}child::votes`,
+}
+
+// Concurrent runs the experiment and returns throughput plus maintenance
+// counters.
+func Concurrent(cfg ConcurrentConfig) (*ConcurrentResult, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = DefaultConcurrent.Clients
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = DefaultConcurrent.Ops
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = DefaultConcurrent.Scale
+	}
+	db, err := buildCatalog(cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Parallel {
+		db.SetParallel(true)
+		db.SetParallelWorkers(cfg.Workers)
+	}
+	// Publish the initial snapshot outside the timed region.
+	if err := db.Refresh(); err != nil {
+		return nil, err
+	}
+
+	var (
+		readers sync.WaitGroup
+		writer  sync.WaitGroup
+		queries atomic.Int64
+		updates atomic.Int64
+		stop    = make(chan struct{})
+		errMu   sync.Mutex
+		runErr  error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if runErr == nil {
+			runErr = err
+		}
+		errMu.Unlock()
+	}
+
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		readers.Add(1)
+		go func(seed int) {
+			defer readers.Done()
+			for n := 0; n < cfg.Ops; n++ {
+				q := concurrentQueries[(seed+n)%len(concurrentQueries)]
+				if _, err := db.Query(q); err != nil {
+					fail(fmt.Errorf("client %d: %w", seed, err))
+					return
+				}
+				queries.Add(1)
+			}
+		}(c)
+	}
+	// One writer flips vote counters with single-statement point updates
+	// until the readers finish; each commit is folded into the next
+	// published snapshot by incremental maintenance.
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for e := 0; ; e++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			u := fmt.Sprintf(`
+for $i in document("db")/{green}descendant::item,
+    $v in $i/{green}child::votes
+update $i { replace $v with "%d" }`, e%100)
+			if _, err := db.Update(u); err != nil {
+				fail(fmt.Errorf("writer: %w", err))
+				return
+			}
+			updates.Add(1)
+		}
+	}()
+
+	readers.Wait()
+	close(stop)
+	writer.Wait()
+	elapsed := time.Since(start)
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	st := db.MaintStats()
+	res := &ConcurrentResult{
+		Clients:            cfg.Clients,
+		Ops:                cfg.Ops,
+		Scale:              cfg.Scale,
+		Parallel:           cfg.Parallel,
+		Workers:            cfg.Workers,
+		Millis:             float64(elapsed.Microseconds()) / 1000,
+		Queries:            queries.Load(),
+		Updates:            updates.Load(),
+		QPS:                float64(queries.Load()) / elapsed.Seconds(),
+		IncrementalApplies: st.IncrementalApplies,
+		FullRebuilds:       st.FullRebuilds,
+		Publishes:          st.Publishes,
+	}
+	return res, nil
+}
+
+// BenchJSON renders the machine-readable result line, prefixed with "BENCH"
+// so harnesses can grep it out of mixed output.
+func (r *ConcurrentResult) BenchJSON() string {
+	type named struct {
+		Name string `json:"name"`
+		*ConcurrentResult
+	}
+	b, _ := json.Marshal(named{Name: "concurrent", ConcurrentResult: r})
+	return "BENCH " + string(b)
+}
+
+// FormatConcurrent renders the human-readable report.
+func FormatConcurrent(r *ConcurrentResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "clients=%d ops/client=%d scale=%d parallel=%v workers=%d\n",
+		r.Clients, r.Ops, r.Scale, r.Parallel, r.Workers)
+	fmt.Fprintf(&b, "total queries:  %d in %.1f ms (%.0f queries/s)\n", r.Queries, r.Millis, r.QPS)
+	fmt.Fprintf(&b, "writer commits: %d\n", r.Updates)
+	fmt.Fprintf(&b, "snapshots:      %d published, %d incremental, %d full rebuilds\n",
+		r.Publishes, r.IncrementalApplies, r.FullRebuilds)
+	return b.String()
+}

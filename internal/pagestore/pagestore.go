@@ -210,6 +210,45 @@ func NewStore(poolPages int) *Store {
 	}
 }
 
+// Clone returns a copy-on-write snapshot of the store. Page images are
+// shared with the receiver and never mutated in place: Pin copies an image
+// into a fresh frame and eviction writes back a freshly allocated image, so
+// writes through either store leave the other's disk layer untouched. The
+// clone starts with an empty (cold) buffer pool and zeroed statistics.
+//
+// The intended discipline is that the receiver is a frozen snapshot serving
+// readers while the clone absorbs updates; Clone itself only reads frame
+// data, so it is safe alongside concurrent record reads on the receiver.
+func (s *Store) Clone() *Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	disk := make(map[PageID][]byte, len(s.disk)+len(s.pool))
+	for id, img := range s.disk {
+		disk[id] = img
+	}
+	// Pooled frames may be newer than their disk image (or have none yet);
+	// materialize them so the clone sees current contents.
+	for id, fr := range s.pool {
+		img := make([]byte, PageSize)
+		copy(img, fr.page.Data[:])
+		disk[id] = img
+	}
+	files := make(map[FileID]*fileMeta, len(s.files))
+	for id, m := range s.files {
+		c := *m
+		files[id] = &c
+	}
+	return &Store{
+		poolCap:  s.poolCap,
+		pool:     make(map[PageID]*frame),
+		lru:      newLRUList(),
+		disk:     disk,
+		files:    files,
+		nextFile: s.nextFile,
+		coldMiss: s.coldMiss,
+	}
+}
+
 // CreateFile allocates a new, empty heap file.
 func (s *Store) CreateFile() FileID {
 	s.mu.Lock()

@@ -2,6 +2,7 @@ package plan
 
 import (
 	"math"
+	"runtime"
 	"sort"
 
 	"colorfulxml/internal/core"
@@ -43,11 +44,24 @@ type lowerer struct {
 	cat    Catalog
 	chains []*chain
 	of     map[string]*chain
+	// workers/threshold drive parallel leaf lowering; workers < 2 disables it.
+	workers   int
+	threshold float64
 }
 
 // Lower emits the physical plan for an analyzed query.
 func Lower(lg *Logical, opt Options) (*Compiled, error) {
 	lw := &lowerer{cat: opt.Catalog, of: map[string]*chain{}}
+	if opt.Parallel {
+		lw.workers = opt.ParallelWorkers
+		if lw.workers <= 0 {
+			lw.workers = runtime.GOMAXPROCS(0)
+		}
+		lw.threshold = float64(opt.ParallelThreshold)
+		if lw.threshold <= 0 {
+			lw.threshold = DefaultParallelThreshold
+		}
+	}
 	for _, vp := range lg.Vars {
 		var ch *chain
 		anchor := -1
@@ -186,9 +200,38 @@ func (lw *lowerer) stepAccess(st LStep) (engine.Op, float64, []LPred) {
 			card := lw.tagCard(st.Color, st.Tag) * lw.eqSel(st.Color, st.Tag, p.Pred.Value)
 			return &engine.EqContent{Color: st.Color, Tag: st.Tag, Value: p.Pred.Value}, card, rest
 		}
-		return &engine.ContainsScan{Color: st.Color, Tag: st.Tag, Pred: p.Pred}, lw.tagCard(st.Color, st.Tag) / 3, rest
+		// A contains scan reads every candidate of the tag regardless of its
+		// output cardinality, so the parallel decision uses the input size.
+		op := lw.maybeParallel(&engine.ContainsScan{Color: st.Color, Tag: st.Tag, Pred: p.Pred},
+			lw.tagCard(st.Color, st.Tag))
+		return op, lw.tagCard(st.Color, st.Tag) / 3, rest
 	}
-	return &engine.ScanTag{Color: st.Color, Tag: st.Tag}, lw.tagCard(st.Color, st.Tag), st.Preds
+	card := lw.tagCard(st.Color, st.Tag)
+	return lw.maybeParallel(&engine.ScanTag{Color: st.Color, Tag: st.Tag}, card), card, st.Preds
+}
+
+// maybeParallel partitions a scan leaf across an exchange when parallelism is
+// enabled and the estimated input cardinality clears the threshold. Only
+// partitionable leaves (tag and contains scans) qualify; everything else is
+// returned unchanged.
+func (lw *lowerer) maybeParallel(op engine.Op, card float64) engine.Op {
+	if lw.workers < 2 || card < lw.threshold {
+		return op
+	}
+	parts := make([]engine.Op, lw.workers)
+	switch o := op.(type) {
+	case *engine.ScanTag:
+		for i := range parts {
+			parts[i] = &engine.ScanTag{Color: o.Color, Tag: o.Tag, Part: i, Of: lw.workers}
+		}
+	case *engine.ContainsScan:
+		for i := range parts {
+			parts[i] = &engine.ContainsScan{Color: o.Color, Tag: o.Tag, Pred: o.Pred, Part: i, Of: lw.workers}
+		}
+	default:
+		return op
+	}
+	return &engine.Exchange{Parts: parts}
 }
 
 // crossTo inserts a cross-tree color transition so column anchor is

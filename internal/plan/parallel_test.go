@@ -1,0 +1,79 @@
+package plan_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"colorfulxml/internal/engine"
+	"colorfulxml/internal/fixtures"
+	"colorfulxml/internal/plan"
+	"colorfulxml/internal/storage"
+)
+
+// TestParallelLoweringPartitionsLargeScans: with parallelism on and the
+// threshold low enough for the fixture, big scan leaves become exchanges and
+// the result is unchanged.
+func TestParallelLoweringPartitionsLargeScans(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	s, err := storage.Load(m.DB, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `document("db")/{red}descendant::movie[{red}child::name = "Duck Soup"]/{red}child::name`
+	serial, err := plan.CompileQuery(src, plan.Options{Catalog: plan.StoreCatalog{Store: s}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := plan.CompileQuery(src, plan.Options{
+		Catalog:           plan.StoreCatalog{Store: s},
+		Parallel:          true,
+		ParallelWorkers:   3,
+		ParallelThreshold: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := engine.Explain(par.Root)
+	if !strings.Contains(ex, "Exchange[3 ways]") {
+		t.Fatalf("parallel compile should partition the movie scan:\n%s", ex)
+	}
+	if !strings.Contains(ex, "part 3/3") {
+		t.Fatalf("exchange should list its partitions:\n%s", ex)
+	}
+	sr, _, err := engine.Exec(s, serial.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, _, err := engine.Exec(s, par.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sr, pr) {
+		t.Fatalf("parallel rows diverge: %v vs %v", pr, sr)
+	}
+}
+
+// TestParallelLoweringRespectsThreshold: scans below the threshold stay
+// serial even when parallelism is enabled.
+func TestParallelLoweringRespectsThreshold(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	s, err := storage.Load(m.DB, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := plan.CompileQuery(
+		`document("db")/{red}descendant::movie/{red}child::name`,
+		plan.Options{
+			Catalog:         plan.StoreCatalog{Store: s},
+			Parallel:        true,
+			ParallelWorkers: 4,
+			// The fixture's biggest tag population is far below the default.
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(engine.Explain(c.Root), "Exchange") {
+		t.Fatalf("tiny scans must not be parallelized:\n%s", engine.Explain(c.Root))
+	}
+}

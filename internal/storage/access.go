@@ -159,11 +159,7 @@ func (s *Store) EqAttr(name, value string) []ElemID {
 // the element's back-link to its structural node in the target color. ok is
 // false when the element does not participate in that colored tree.
 func (s *Store) CrossTree(id ElemID, to core.Color) (SNode, bool, error) {
-	locs, ok := s.structLoc[id]
-	if !ok {
-		return SNode{}, false, nil
-	}
-	rid, ok := locs[to]
+	rid, ok := s.structLoc[structKey{id, to}]
 	if !ok {
 		return SNode{}, false, nil
 	}
@@ -176,10 +172,9 @@ func (s *Store) CrossTree(id ElemID, to core.Color) (SNode, bool, error) {
 
 // ColorsOf returns the colors an element participates in.
 func (s *Store) ColorsOf(id ElemID) []core.Color {
-	locs := s.structLoc[id]
-	out := make([]core.Color, 0, len(locs))
+	var out []core.Color
 	for _, c := range s.colors {
-		if _, ok := locs[c]; ok {
+		if _, ok := s.structLoc[structKey{id, c}]; ok {
 			out = append(out, c)
 		}
 	}

@@ -1,0 +1,44 @@
+package storage
+
+import (
+	"testing"
+
+	"colorfulxml/internal/fixtures"
+)
+
+// TestIndexBytesCoversAllIndexes pins IndexBytes to the sum of all four
+// index trees; the start index in particular was once omitted from the
+// Table 1 accounting.
+func TestIndexBytesCoversAllIndexes(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	s, err := Load(m.DB, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := []struct {
+		name  string
+		bytes int64
+	}{
+		{"tag", approxBytes(s.tagIdx)},
+		{"content", approxBytes(s.contentIdx)},
+		{"attr", approxBytes(s.attrIdx)},
+		{"start", approxBytes(s.startIdx)},
+	}
+	var sum int64
+	for _, p := range parts {
+		sum += p.bytes
+	}
+	if got := s.IndexBytes(); got != sum {
+		t.Fatalf("IndexBytes() = %d, want sum of all four indexes = %d", got, sum)
+	}
+	// Populated indexes must contribute; the start index covers every
+	// structural node, so it can never be empty on a loaded store.
+	for _, p := range parts {
+		if p.name == "attr" {
+			continue // the movie fixture carries no attributes
+		}
+		if p.bytes <= 0 {
+			t.Errorf("%s index contributes %d bytes, want > 0", p.name, p.bytes)
+		}
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"colorfulxml/internal/core"
-	"colorfulxml/internal/pagestore"
 )
 
 // Load bulk-loads a logical MCT database into a physical store: element
@@ -101,10 +100,7 @@ func (s *Store) insertStruct(tag, content string, sn SNode) error {
 	if err != nil {
 		return err
 	}
-	if s.structLoc[sn.Elem] == nil {
-		s.structLoc[sn.Elem] = map[core.Color]pagestore.RecordID{}
-	}
-	s.structLoc[sn.Elem][sn.Color] = rid
+	s.structLoc[structKey{sn.Elem, sn.Color}] = rid
 	ref := packRID(rid)
 	s.tagIdx.Insert(tagKey(sn.Color, tag), ref)
 	if content != "" {

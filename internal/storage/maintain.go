@@ -1,0 +1,140 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+
+	"colorfulxml/internal/core"
+	"colorfulxml/internal/pagestore"
+)
+
+// This file implements incremental snapshot maintenance: Clone produces a
+// copy-on-write sibling of a frozen store snapshot, and ApplyChanges replays
+// a logical change log (core.Change, drained from core.Database) against it
+// using the store-level update operations. Together they let the serving
+// layer publish a fresh snapshot after a point update without an O(N)
+// storage.Load rebuild.
+
+// ErrDeltaUnsupported reports a change-log entry with no incremental store
+// counterpart (ChangeComplex); the caller must rebuild the snapshot with a
+// full Load instead.
+var ErrDeltaUnsupported = errors.New("storage: change delta unsupported for incremental maintenance")
+
+// Clone returns a copy-on-write snapshot sibling of the store. The page
+// store shares immutable page images, the B+-tree indexes share nodes via
+// path-copying, and the in-memory directories are copied flat. Cloning is
+// O(directory size) with no record copying; subsequent mutations of either
+// side never become visible to the other.
+//
+// The intended discipline: the receiver is a frozen snapshot that keeps
+// serving readers; the clone absorbs updates and is published in its place.
+func (s *Store) Clone() *Store {
+	ns := &Store{
+		pages:      s.pages.Clone(),
+		elemFile:   s.elemFile,
+		structFile: make(map[core.Color]pagestore.FileID, len(s.structFile)),
+		elemLoc:    make(map[ElemID]pagestore.RecordID, len(s.elemLoc)),
+		structLoc:  make(map[structKey]pagestore.RecordID, len(s.structLoc)),
+		tagIdx:     s.tagIdx.Clone(),
+		contentIdx: s.contentIdx.Clone(),
+		attrIdx:    s.attrIdx.Clone(),
+		startIdx:   s.startIdx.Clone(),
+		colors:     append([]core.Color(nil), s.colors...),
+		nextID:     s.nextID,
+		maxStart:   make(map[core.Color]int64, len(s.maxStart)),
+		counts:     s.counts,
+	}
+	for c, f := range s.structFile {
+		ns.structFile[c] = f
+	}
+	for id, rid := range s.elemLoc {
+		ns.elemLoc[id] = rid
+	}
+	for k, rid := range s.structLoc {
+		ns.structLoc[k] = rid
+	}
+	for c, v := range s.maxStart {
+		ns.maxStart[c] = v
+	}
+	return ns
+}
+
+// ApplyChanges replays a drained change log in order. On ErrDeltaUnsupported
+// (or any other error) the store may be left mid-replay and must be
+// discarded in favor of a full Load; the frozen snapshot it was cloned from
+// is unaffected.
+func (s *Store) ApplyChanges(changes []core.Change) error {
+	for i, ch := range changes {
+		if err := s.applyChange(ch); err != nil {
+			return fmt.Errorf("storage: applying change %d/%d (kind %d, elem %d): %w",
+				i+1, len(changes), ch.Kind, ch.Elem, err)
+		}
+	}
+	return nil
+}
+
+func (s *Store) applyChange(ch core.Change) error {
+	switch ch.Kind {
+	case core.ChangeAddDatabaseColor:
+		s.addColor(ch.Color)
+		return nil
+
+	case core.ChangeContent:
+		id := ElemID(ch.Elem)
+		if _, ok := s.elemLoc[id]; !ok {
+			return nil // detached fragment; not materialized
+		}
+		return s.UpdateContent(id, ch.Content)
+
+	case core.ChangeAttrs:
+		id := ElemID(ch.Elem)
+		if _, ok := s.elemLoc[id]; !ok {
+			return nil
+		}
+		return s.SetElemAttrs(id, ch.Attrs)
+
+	case core.ChangeInsertLeaf:
+		if ch.Parent == 0 {
+			_, err := s.InsertLeafRootID(ElemID(ch.Elem), ch.Color, ch.Tag, ch.Content, ch.Attrs)
+			return err
+		}
+		parent, ok, err := s.StructOf(ElemID(ch.Parent), ch.Color)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("parent %d not in color %q: %w", ch.Parent, ch.Color, ErrDeltaUnsupported)
+		}
+		_, err = s.InsertLeafChildID(ElemID(ch.Elem), parent, ch.Tag, ch.Content, ch.Attrs)
+		return err
+
+	case core.ChangeAddColor:
+		if ch.Parent == 0 {
+			_, err := s.AddColorRoot(ElemID(ch.Elem), ch.Color)
+			return err
+		}
+		parent, ok, err := s.StructOf(ElemID(ch.Parent), ch.Color)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("parent %d not in color %q: %w", ch.Parent, ch.Color, ErrDeltaUnsupported)
+		}
+		_, err = s.AddColorTo(ElemID(ch.Elem), parent)
+		return err
+
+	case core.ChangeDeleteSubtree:
+		sn, ok, err := s.StructOf(ElemID(ch.Elem), ch.Color)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil // already gone (e.g. removed with an ancestor)
+		}
+		return s.DeleteSubtree(sn)
+
+	case core.ChangeComplex:
+		return ErrDeltaUnsupported
+	}
+	return fmt.Errorf("unknown change kind %d: %w", ch.Kind, ErrDeltaUnsupported)
+}

@@ -30,6 +30,13 @@ import (
 // nodes).
 type ElemID uint64
 
+// structKey addresses one structural record: an element within one colored
+// tree.
+type structKey struct {
+	Elem  ElemID
+	Color core.Color
+}
+
 // SNode is a structural node: the physical representation of one element's
 // participation in one colored tree, with interval encoding.
 type SNode struct {
@@ -66,10 +73,11 @@ type Store struct {
 	structFile map[core.Color]pagestore.FileID
 
 	// Directories (in-memory, like Timber's node directories): element
-	// record locations and per-color structural record locations (the
-	// Figure 10 back-link "attributes").
+	// record locations and per-(element, color) structural record locations
+	// (the Figure 10 back-link "attributes"). structLoc is a flat map so
+	// that Clone copies it in one pass without per-element allocations.
 	elemLoc   map[ElemID]pagestore.RecordID
-	structLoc map[ElemID]map[core.Color]pagestore.RecordID
+	structLoc map[structKey]pagestore.RecordID
 
 	// Indexes.
 	tagIdx     *btree.Tree // color|tag -> struct record refs (start order)
@@ -101,7 +109,7 @@ func NewStore(poolPages int, colors ...core.Color) *Store {
 		pages:      pagestore.NewStore(poolPages),
 		structFile: map[core.Color]pagestore.FileID{},
 		elemLoc:    map[ElemID]pagestore.RecordID{},
-		structLoc:  map[ElemID]map[core.Color]pagestore.RecordID{},
+		structLoc:  map[structKey]pagestore.RecordID{},
 		tagIdx:     btree.New(),
 		contentIdx: btree.New(),
 		attrIdx:    btree.New(),
@@ -152,9 +160,12 @@ func (s *Store) DataBytes() (int64, error) {
 	return total, nil
 }
 
-// IndexBytes returns the approximate in-memory size of the indexes.
+// IndexBytes returns the approximate in-memory size of the indexes: tag,
+// content, attribute and start (all four are part of the Table 1 index
+// accounting).
 func (s *Store) IndexBytes() int64 {
-	return approxBytes(s.tagIdx) + approxBytes(s.contentIdx) + approxBytes(s.attrIdx)
+	return approxBytes(s.tagIdx) + approxBytes(s.contentIdx) +
+		approxBytes(s.attrIdx) + approxBytes(s.startIdx)
 }
 
 func approxBytes(t *btree.Tree) int64 {

@@ -40,7 +40,11 @@ func (s *Store) UpdateContent(id ElemID, content string) error {
 		s.elemLoc[id] = newRID
 	}
 	// Re-key the content index for every colored structural node.
-	for c, srid := range s.structLoc[id] {
+	for _, c := range s.colors {
+		srid, ok := s.structLoc[structKey{id, c}]
+		if !ok {
+			continue
+		}
 		ref := packRID(srid)
 		if oldContent != "" {
 			s.contentIdx.Delete(contentKey(c, tag, oldContent), ref)
@@ -59,10 +63,30 @@ func (s *Store) UpdateContent(id ElemID, content string) error {
 }
 
 // InsertLeafChild creates a new element with one structural node, as the
-// last child of parent in parent's color.
+// last child of parent in parent's color. The element id is allocated by the
+// store.
 func (s *Store) InsertLeafChild(parent SNode, tag, content string, attrs [][2]string) (SNode, error) {
+	id := s.nextID
+	s.nextID++
+	return s.insertLeafChild(id, parent, tag, content, attrs)
+}
+
+// InsertLeafChildID is InsertLeafChild with a caller-chosen element id, used
+// by incremental snapshot maintenance where store element ids must equal
+// logical core node ids.
+func (s *Store) InsertLeafChildID(id ElemID, parent SNode, tag, content string, attrs [][2]string) (SNode, error) {
+	if _, ok := s.elemLoc[id]; ok {
+		return SNode{}, fmt.Errorf("storage: element %d already stored: %w", id, core.ErrAlreadyColored)
+	}
+	if id >= s.nextID {
+		s.nextID = id + 1
+	}
+	return s.insertLeafChild(id, parent, tag, content, attrs)
+}
+
+func (s *Store) insertLeafChild(id ElemID, parent SNode, tag, content string, attrs [][2]string) (SNode, error) {
 	for attempt := 0; ; attempt++ {
-		sn, ok, err := s.tryInsertLeaf(parent, tag, content, attrs)
+		sn, ok, err := s.tryInsertLeaf(id, parent, tag, content, attrs)
 		if err != nil {
 			return SNode{}, err
 		}
@@ -80,7 +104,7 @@ func (s *Store) InsertLeafChild(parent SNode, tag, content string, attrs [][2]st
 	}
 }
 
-func (s *Store) tryInsertLeaf(parent SNode, tag, content string, attrs [][2]string) (SNode, bool, error) {
+func (s *Store) tryInsertLeaf(id ElemID, parent SNode, tag, content string, attrs [][2]string) (SNode, bool, error) {
 	desc, err := s.Subtree(parent)
 	if err != nil {
 		return SNode{}, false, err
@@ -96,8 +120,6 @@ func (s *Store) tryInsertLeaf(parent SNode, tag, content string, attrs [][2]stri
 	if end >= parent.End {
 		return SNode{}, false, nil // no gap left
 	}
-	id := s.nextID
-	s.nextID++
 	rid, err := s.pages.AppendRecord(s.elemFile, encodeElem(id, tag, content, attrs))
 	if err != nil {
 		return SNode{}, false, err
@@ -125,11 +147,115 @@ func (s *Store) tryInsertLeaf(parent SNode, tag, content string, attrs [][2]stri
 	return sn, true, nil
 }
 
+// rootSlot allocates an interval for a new last root (child of the document)
+// in color c. Root positions are unbounded above, so no renumbering is ever
+// needed.
+func (s *Store) rootSlot(c core.Color) (start, end int64) {
+	start = s.maxStart[c]
+	if start < gap {
+		start = gap
+	}
+	end = start + 1
+	s.maxStart[c] = end + gap
+	return start, end
+}
+
+// InsertLeafRootID creates a new element with a caller-chosen id as the last
+// root of colored tree c (a child of the document node).
+func (s *Store) InsertLeafRootID(id ElemID, c core.Color, tag, content string, attrs [][2]string) (SNode, error) {
+	if _, ok := s.structFile[c]; !ok {
+		return SNode{}, fmt.Errorf("storage: unknown color %q", c)
+	}
+	if _, ok := s.elemLoc[id]; ok {
+		return SNode{}, fmt.Errorf("storage: element %d already stored: %w", id, core.ErrAlreadyColored)
+	}
+	if id >= s.nextID {
+		s.nextID = id + 1
+	}
+	rid, err := s.pages.AppendRecord(s.elemFile, encodeElem(id, tag, content, attrs))
+	if err != nil {
+		return SNode{}, err
+	}
+	s.elemLoc[id] = rid
+	s.counts.Elements++
+	s.counts.Attributes += len(attrs)
+	if content != "" {
+		s.counts.ContentNodes++
+	}
+	for _, a := range attrs {
+		s.attrIdx.Insert(attrKey(a[0], a[1]), uint64(id))
+	}
+	start, end := s.rootSlot(c)
+	sn := SNode{Elem: id, Color: c, Start: start, End: end, Level: 0, ParentStart: -1}
+	if err := s.insertStruct(tag, content, sn); err != nil {
+		return SNode{}, err
+	}
+	return sn, nil
+}
+
+// AddColorRoot attaches an existing element into colored tree c as its last
+// root (the next-color constructor with the document as parent).
+func (s *Store) AddColorRoot(id ElemID, c core.Color) (SNode, error) {
+	if _, ok := s.structFile[c]; !ok {
+		return SNode{}, fmt.Errorf("storage: unknown color %q", c)
+	}
+	if _, ok := s.structLoc[structKey{id, c}]; ok {
+		return SNode{}, fmt.Errorf("storage: element %d already in color %q: %w", id, c, core.ErrAlreadyColored)
+	}
+	e, err := s.Elem(id)
+	if err != nil {
+		return SNode{}, err
+	}
+	start, end := s.rootSlot(c)
+	sn := SNode{Elem: id, Color: c, Start: start, End: end, Level: 0, ParentStart: -1}
+	if err := s.insertStruct(e.Tag, e.Content, sn); err != nil {
+		return SNode{}, err
+	}
+	return sn, nil
+}
+
+// SetElemAttrs replaces an element's attribute list, re-keying the attribute
+// index (the physical counterpart of attribute set/remove).
+func (s *Store) SetElemAttrs(id ElemID, attrs [][2]string) error {
+	rid, ok := s.elemLoc[id]
+	if !ok {
+		return fmt.Errorf("storage: element %d: %w", id, pagestore.ErrNoSuchRecord)
+	}
+	old, err := s.pages.ReadRecord(rid)
+	if err != nil {
+		return err
+	}
+	_, tag, content, oldAttrs := decodeElem(old)
+	rec := encodeElem(id, tag, content, attrs)
+	if len(rec) <= len(old) {
+		if err := s.pages.OverwriteRecord(rid, rec); err != nil {
+			return err
+		}
+	} else {
+		newRID, err := s.pages.AppendRecord(s.elemFile, rec)
+		if err != nil {
+			return err
+		}
+		if err := s.pages.DeleteRecord(rid); err != nil {
+			return err
+		}
+		s.elemLoc[id] = newRID
+	}
+	for _, a := range oldAttrs {
+		s.attrIdx.Delete(attrKey(a[0], a[1]), uint64(id))
+	}
+	for _, a := range attrs {
+		s.attrIdx.Insert(attrKey(a[0], a[1]), uint64(id))
+	}
+	s.counts.Attributes += len(attrs) - len(oldAttrs)
+	return nil
+}
+
 // AddColorTo attaches an existing element into another colored tree as the
 // last child of parent (the physical counterpart of the next-color
 // constructor).
 func (s *Store) AddColorTo(id ElemID, parent SNode) (SNode, error) {
-	if _, ok := s.structLoc[id][parent.Color]; ok {
+	if _, ok := s.structLoc[structKey{id, parent.Color}]; ok {
 		return SNode{}, fmt.Errorf("storage: element %d already in color %q: %w", id, parent.Color, core.ErrAlreadyColored)
 	}
 	e, err := s.Elem(id)
@@ -186,7 +312,7 @@ func (s *Store) DeleteSubtree(sn SNode) error {
 		if err != nil {
 			return err
 		}
-		rid := s.structLoc[d.Elem][d.Color]
+		rid := s.structLoc[structKey{d.Elem, d.Color}]
 		ref := packRID(rid)
 		if err := s.pages.DeleteRecord(rid); err != nil {
 			return err
@@ -196,14 +322,13 @@ func (s *Store) DeleteSubtree(sn SNode) error {
 			s.contentIdx.Delete(contentKey(d.Color, e.Tag, e.Content), ref)
 		}
 		s.startIdx.DeleteKey(startKey(d.Color, d.Start))
-		delete(s.structLoc[d.Elem], d.Color)
+		delete(s.structLoc, structKey{d.Elem, d.Color})
 		s.counts.StructNodes--
-		if len(s.structLoc[d.Elem]) == 0 {
+		if len(s.ColorsOf(d.Elem)) == 0 {
 			if err := s.pages.DeleteRecord(s.elemLoc[d.Elem]); err != nil {
 				return err
 			}
 			delete(s.elemLoc, d.Elem)
-			delete(s.structLoc, d.Elem)
 			for _, a := range e.Attrs {
 				s.attrIdx.Delete(attrKey(a[0], a[1]), uint64(d.Elem))
 			}

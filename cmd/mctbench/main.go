@@ -14,6 +14,12 @@
 //
 //	mctbench -clients N [-client-ops N] [-concurrent-scale N]
 //	         [-parallel] [-parallel-workers N]
+//	         [-durable DIR] [-nosync]
+//
+// With -durable the concurrent benchmark runs against a database opened in
+// DIR: every writer commit goes through the write-ahead log, and the BENCH
+// line additionally reports checkpoint activity and the cost and statistics
+// of recovering the directory after the run.
 package main
 
 import (
@@ -43,6 +49,8 @@ func main() {
 		concScale = flag.Int("concurrent-scale", experiment.DefaultConcurrent.Scale, "catalog items in concurrent mode")
 		parallel  = flag.Bool("parallel", false, "enable intra-query parallelism in concurrent mode")
 		parWork   = flag.Int("parallel-workers", 0, "exchange fan-out with -parallel (0 = GOMAXPROCS)")
+		durable   = flag.String("durable", "", "durable concurrent mode: database directory (WAL + checkpoints)")
+		nosync    = flag.Bool("nosync", false, "with -durable: skip the per-commit fsync")
 	)
 	flag.Parse()
 
@@ -58,6 +66,8 @@ func main() {
 			Scale:    *concScale,
 			Parallel: *parallel,
 			Workers:  *parWork,
+			Dir:      *durable,
+			NoSync:   *nosync,
 		})
 		if err != nil {
 			fail(err)

@@ -21,6 +21,7 @@
 package colorful
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -33,6 +34,7 @@ import (
 	"colorfulxml/internal/pathexpr"
 	"colorfulxml/internal/plan"
 	"colorfulxml/internal/serialize"
+	"colorfulxml/internal/storage"
 	"colorfulxml/internal/update"
 	"colorfulxml/internal/xmlenc"
 )
@@ -79,6 +81,19 @@ type DB struct {
 	parallel          atomic.Bool
 	parallelWorkers   atomic.Int64
 	parallelThreshold atomic.Int64
+
+	// Durability (nil/zero for in-memory databases; see durable.go). dur
+	// and durErr are guarded by mu; a non-nil durErr poisons all further
+	// durable commits.
+	dur         *storage.Durable
+	durOpts     Options
+	durErr      error
+	recovery    storage.RecoveryStats
+	checkpoints atomic.Uint64
+	ckptBusy    atomic.Bool
+	ckptWG      sync.WaitGroup
+	ckptErrMu   sync.Mutex
+	ckptErr     error
 }
 
 // New creates an empty database with the given colors. Colors can also be
@@ -115,10 +130,18 @@ type Item struct {
 // fall back to the reference tree-walking evaluator; genuine execution
 // errors surface to the caller.
 func (d *DB) Query(src string) ([]Item, error) {
+	return d.QueryContext(context.Background(), src)
+}
+
+// QueryContext is Query under a context deadline or cancellation: compiled
+// executions poll ctx periodically (every few dozen operator pulls) and
+// abort with the context's error; the evaluator path honors the context at
+// entry. A canceled read-only query leaves the database untouched.
+func (d *DB) QueryContext(ctx context.Context, src string) ([]Item, error) {
 	e, perr := mcxquery.ParseQuery(src)
 	readOnly := perr == nil && !plan.HasConstructors(e)
 	if readOnly {
-		out, cerr := d.queryCompiled(e)
+		out, cerr := d.queryCompiled(ctx, e)
 		if cerr == nil {
 			return out, nil
 		}
@@ -126,16 +149,32 @@ func (d *DB) Query(src string) ([]Item, error) {
 			return nil, cerr
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Evaluator path. Constructor queries mutate the database and need the
 	// writer lock; unsupported-but-read-only queries (and parse errors,
 	// which the evaluator re-reports with its own diagnostics) share it.
 	if readOnly || perr != nil {
 		d.mu.RLock()
 		defer d.mu.RUnlock()
-	} else {
-		d.mu.Lock()
-		defer d.mu.Unlock()
+		return d.evalItems(src)
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// The evaluator may mutate the database even on a failing query, so the
+	// durable commit runs regardless of the query's outcome — the on-disk
+	// state must track whatever the in-memory state became.
+	m := d.beginCommit()
+	out, err := d.evalItems(src)
+	if cerr := d.commitChanges(m); err == nil && cerr != nil {
+		err = cerr
+	}
+	return out, err
+}
+
+// evalItems runs the reference evaluator under a lock the caller holds.
+func (d *DB) evalItems(src string) ([]Item, error) {
 	seq, err := d.ev.Query(src)
 	if err != nil {
 		return nil, err
@@ -150,8 +189,8 @@ func (d *DB) Query(src string) ([]Item, error) {
 // queryCompiled lowers a parsed constructor-free query to a physical plan
 // and executes it on the current snapshot. A plan.ErrUnsupported return
 // makes the caller fall back to the evaluator; other errors are real.
-func (d *DB) queryCompiled(e pathexpr.Expr) ([]Item, error) {
-	sp, err := d.currentSnapshot()
+func (d *DB) queryCompiled(ctx context.Context, e pathexpr.Expr) ([]Item, error) {
+	sp, err := d.snapshotForQuery()
 	if err != nil {
 		return nil, err
 	}
@@ -159,7 +198,7 @@ func (d *DB) queryCompiled(e pathexpr.Expr) ([]Item, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, _, err := engine.Exec(sp.st, c.Root)
+	rows, _, err := engine.ExecContext(ctx, sp.st, c.Root)
 	if err != nil {
 		return nil, err
 	}
@@ -267,7 +306,11 @@ type UpdateResult struct {
 // the next reader.
 func (d *DB) Update(src string) (UpdateResult, error) {
 	d.mu.Lock()
+	m := d.beginCommit()
 	res, err := d.ex.Apply(src)
+	if cerr := d.commitChanges(m); err == nil && cerr != nil {
+		err = cerr
+	}
 	d.mu.Unlock()
 	if err != nil {
 		return UpdateResult{}, err

@@ -1,0 +1,288 @@
+package colorful
+
+import (
+	"errors"
+	"fmt"
+
+	"colorfulxml/internal/core"
+	"colorfulxml/internal/storage"
+	"colorfulxml/internal/vfs"
+	"colorfulxml/internal/wal"
+)
+
+// This file is the durable lifecycle of the DB facade: Open recovers a
+// database from a directory (checkpoint + write-ahead log), every mutation
+// that commits through the DB wrappers is appended to the WAL before the
+// mutator returns, and checkpoints — explicit or triggered by WAL growth —
+// compact the log. See internal/storage's durable.go for the on-disk
+// protocol.
+//
+// Durability covers exactly the store-visible state: the rooted colored
+// trees with their tags, attributes and text. Detached fragments, comments
+// and processing instructions have no store representation and do not
+// survive a restart; code that needs them must re-create them after Open.
+
+// ErrClosed is reported by operations on a closed durable database.
+var ErrClosed = errors.New("colorful: database is closed")
+
+// defaultCheckpointBytes is the WAL size at which a checkpoint is taken
+// automatically.
+const defaultCheckpointBytes = 4 << 20
+
+// Options configures a durable database directory.
+type Options struct {
+	// PoolPages sizes the recovered store's buffer pool (0: default).
+	PoolPages int
+	// NoSync disables the per-commit fsync. Commits then survive process
+	// crashes (the OS still has the data) but not machine crashes.
+	NoSync bool
+	// CheckpointBytes is the WAL size that triggers an automatic
+	// checkpoint (0: a 4 MiB default; negative: never automatically).
+	CheckpointBytes int64
+	// FS overrides the filesystem, for tests and fault injection.
+	FS vfs.FS
+}
+
+// Open opens (creating if necessary) a durable database in dir, recovering
+// any previously committed state and registering the given colors if they
+// are not already present. Every mutation made through the DB wrappers is
+// written ahead to a checksummed log and survives a crash; Close seals the
+// log cleanly but an unclean exit loses nothing committed.
+func Open(dir string, colors ...Color) (*DB, error) {
+	return OpenOptions(dir, Options{}, colors...)
+}
+
+// OpenOptions is Open with explicit durability options.
+func OpenOptions(dir string, opts Options, colors ...Color) (*DB, error) {
+	policy := wal.SyncAlways
+	if opts.NoSync {
+		policy = wal.SyncNever
+	}
+	dur, st, stats, err := storage.OpenDurable(dir, storage.DurableOptions{
+		FS: opts.FS, PoolPages: opts.PoolPages, Sync: policy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cdb, err := storage.Reconstruct(st)
+	if err != nil {
+		dur.Close()
+		return nil, fmt.Errorf("colorful: reconstructing recovered store: %w", err)
+	}
+	d := wrap(cdb)
+	d.dur = dur
+	d.durOpts = opts
+	if d.durOpts.CheckpointBytes == 0 {
+		d.durOpts.CheckpointBytes = defaultCheckpointBytes
+	}
+	d.recovery = stats
+
+	// Register any missing colors; like every other mutation this commits
+	// through the WAL (AddDatabaseColor is a no-op for existing colors, so
+	// reopening with the same colors appends nothing).
+	m := d.Database.Mark()
+	for _, c := range colors {
+		d.Database.AddDatabaseColor(c)
+	}
+	if err := d.commitChanges(m); err != nil {
+		dur.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// Recovery returns what opening this database found and replayed (zero for
+// databases not created by Open).
+func (d *DB) Recovery() storage.RecoveryStats { return d.recovery }
+
+// DurabilityStats is a point-in-time view of the durability machinery.
+type DurabilityStats struct {
+	// Durable reports whether the database was created by Open and is
+	// still accepting durable commits.
+	Durable bool
+	// WALBytes is the size of the open WAL segment.
+	WALBytes int64
+	// Checkpoints counts checkpoints installed since Open.
+	Checkpoints uint64
+	// Recovery is what Open recovered.
+	Recovery storage.RecoveryStats
+}
+
+// DurabilityStats returns the durability counters; Durable is false for
+// in-memory databases and for closed or failed durable ones.
+func (d *DB) DurabilityStats() DurabilityStats {
+	s := DurabilityStats{
+		Checkpoints: d.checkpoints.Load(),
+		Recovery:    d.recovery,
+	}
+	d.mu.RLock()
+	if d.dur != nil && d.durErr == nil {
+		s.Durable = true
+		s.WALBytes = d.dur.LogBytes()
+	}
+	d.mu.RUnlock()
+	return s
+}
+
+// Checkpoint synchronously captures the current state as a checkpoint and
+// truncates the WAL. Commits made after Checkpoint returns land in a fresh
+// log segment.
+func (d *DB) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.durErr != nil {
+		return d.durErr
+	}
+	if d.dur == nil {
+		return errors.New("colorful: Checkpoint on a non-durable database")
+	}
+	return d.checkpointLocked()
+}
+
+// Close seals the write-ahead log and releases the directory. The database
+// remains readable in memory, but further mutations report ErrClosed; a
+// later Open recovers everything committed. Close is idempotent.
+func (d *DB) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dur == nil {
+		return nil
+	}
+	d.ckptWG.Wait()
+	err := d.dur.Close()
+	d.dur = nil
+	d.durErr = ErrClosed
+	if cerr := d.takeCkptErr(); err == nil && cerr != nil {
+		err = cerr
+	}
+	return err
+}
+
+// beginCommit opens a durable commit scope. The caller must hold d.mu
+// exclusively across beginCommit, the mutation, and commitChanges.
+func (d *DB) beginCommit() core.ChangeMark {
+	if d.dur == nil {
+		return core.ChangeMark{}
+	}
+	return d.Database.Mark()
+}
+
+// commitChanges makes the mutation performed since the mark durable: its
+// change-log entries are appended (checksummed, and fsynced unless NoSync)
+// to the WAL before the mutator returns to its caller. Batches the log
+// cannot carry — a ChangeComplex entry, or a mark invalidated by change-log
+// overflow — force a synchronous full checkpoint instead.
+//
+// A durability failure poisons the database: the in-memory state may
+// already include the mutation, so rather than silently diverging from the
+// on-disk state, every further commit reports the original error.
+func (d *DB) commitChanges(m core.ChangeMark) error {
+	if d.dur == nil {
+		return d.durErr // nil for purely in-memory databases
+	}
+	if d.durErr != nil {
+		return d.durErr
+	}
+	if err := d.takeCkptErr(); err != nil {
+		d.durErr = fmt.Errorf("colorful: background checkpoint failed, database is no longer durable: %w", err)
+		return d.durErr
+	}
+	changes, ok := d.Database.ChangesSince(m)
+	if ok {
+		if len(changes) == 0 {
+			return nil
+		}
+		complex := false
+		for _, ch := range changes {
+			if ch.Kind == core.ChangeComplex {
+				complex = true
+				break
+			}
+		}
+		if !complex {
+			if err := d.dur.Append(changes); err != nil {
+				d.durErr = fmt.Errorf("colorful: WAL append failed, database is no longer durable: %w", err)
+				return d.durErr
+			}
+			if t := d.durOpts.CheckpointBytes; t > 0 && d.dur.LogBytes() >= t {
+				d.autoCheckpointLocked()
+			}
+			return nil
+		}
+	}
+	return d.checkpointLocked()
+}
+
+// checkpointLocked rotates the WAL and synchronously installs a checkpoint
+// of the current state. Caller holds d.mu exclusively.
+func (d *DB) checkpointLocked() error {
+	d.ckptWG.Wait() // serialize with an in-flight background install
+	if err := d.takeCkptErr(); err != nil {
+		d.durErr = fmt.Errorf("colorful: background checkpoint failed, database is no longer durable: %w", err)
+		return d.durErr
+	}
+	epoch, err := d.dur.Rotate()
+	if err != nil {
+		d.durErr = fmt.Errorf("colorful: checkpoint failed, database is no longer durable: %w", err)
+		return d.durErr
+	}
+	st, err := storage.Load(d.Database, d.durOpts.PoolPages)
+	if err != nil {
+		d.durErr = fmt.Errorf("colorful: checkpoint failed, database is no longer durable: %w", err)
+		return d.durErr
+	}
+	if err := d.dur.InstallCheckpoint(epoch, st); err != nil {
+		d.durErr = fmt.Errorf("colorful: checkpoint failed, database is no longer durable: %w", err)
+		return d.durErr
+	}
+	d.checkpoints.Add(1)
+	return nil
+}
+
+// autoCheckpointLocked starts a background checkpoint: the WAL rotation and
+// the store image are taken synchronously (the caller holds d.mu, so the
+// image is exactly the commit's post-state), the page writing and manifest
+// installation proceed off the writer's critical path. At most one runs at
+// a time; WAL appends continue concurrently into the new segment.
+func (d *DB) autoCheckpointLocked() {
+	if !d.ckptBusy.CompareAndSwap(false, true) {
+		return
+	}
+	epoch, err := d.dur.Rotate()
+	if err != nil {
+		d.setCkptErr(err)
+		d.ckptBusy.Store(false)
+		return
+	}
+	st, err := storage.Load(d.Database, d.durOpts.PoolPages)
+	if err != nil {
+		d.setCkptErr(err)
+		d.ckptBusy.Store(false)
+		return
+	}
+	dur := d.dur
+	d.ckptWG.Add(1)
+	go func() {
+		defer d.ckptWG.Done()
+		defer d.ckptBusy.Store(false)
+		if err := dur.InstallCheckpoint(epoch, st); err != nil {
+			d.setCkptErr(err)
+			return
+		}
+		d.checkpoints.Add(1)
+	}()
+}
+
+func (d *DB) setCkptErr(err error) {
+	d.ckptErrMu.Lock()
+	if d.ckptErr == nil {
+		d.ckptErr = err
+	}
+	d.ckptErrMu.Unlock()
+}
+
+func (d *DB) takeCkptErr() error {
+	d.ckptErrMu.Lock()
+	defer d.ckptErrMu.Unlock()
+	return d.ckptErr
+}

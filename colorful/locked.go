@@ -9,6 +9,14 @@ import "colorfulxml/internal/core"
 // methods themselves stay available via d.Database for single-goroutine
 // code that wants to skip the locking, at its own risk.
 //
+// Every mutator is also a durable commit scope: for databases created by
+// Open, the change-log entries the mutation produced are appended to the
+// write-ahead log (beginCommit/commitChanges, see durable.go) before the
+// wrapper returns, so an acknowledged mutation survives a crash. A
+// durability failure is reported through the wrapper's error (and poisons
+// further commits); wrappers without an error result rely on the poisoning
+// to surface the failure on the next erroring call.
+//
 // Mutations are NOT applied to the published query snapshot here — they
 // land in the core database and its change log, and the next query (or an
 // explicit Refresh) publishes a fresh snapshot incrementally.
@@ -19,45 +27,73 @@ import "colorfulxml/internal/core"
 func (d *DB) AddElement(parent *Node, name string, c Color) (*Node, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.Database.AddElement(parent, name, c)
+	m := d.beginCommit()
+	n, err := d.Database.AddElement(parent, name, c)
+	if cerr := d.commitChanges(m); err == nil && cerr != nil {
+		err = cerr
+	}
+	return n, err
 }
 
 // AddElementText is AddElement plus a text child.
 func (d *DB) AddElementText(parent *Node, name string, c Color, text string) (*Node, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.Database.AddElementText(parent, name, c, text)
+	m := d.beginCommit()
+	n, err := d.Database.AddElementText(parent, name, c, text)
+	if cerr := d.commitChanges(m); err == nil && cerr != nil {
+		err = cerr
+	}
+	return n, err
 }
 
 // Adopt gives an existing node an additional parent in color c.
 func (d *DB) Adopt(parent, n *Node, c Color) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.Database.Adopt(parent, n, c)
+	m := d.beginCommit()
+	err := d.Database.Adopt(parent, n, c)
+	if cerr := d.commitChanges(m); err == nil && cerr != nil {
+		err = cerr
+	}
+	return err
 }
 
 // SetText replaces an element's text content.
 func (d *DB) SetText(elem *Node, value string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.Database.SetText(elem, value)
+	m := d.beginCommit()
+	err := d.Database.SetText(elem, value)
+	if cerr := d.commitChanges(m); err == nil && cerr != nil {
+		err = cerr
+	}
+	return err
 }
 
 // CopySubtree deep-copies a node's subtree in color c.
 func (d *DB) CopySubtree(n *Node, c Color) (*Node, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.Database.CopySubtree(n, c)
+	m := d.beginCommit()
+	cp, err := d.Database.CopySubtree(n, c)
+	if cerr := d.commitChanges(m); err == nil && cerr != nil {
+		err = cerr
+	}
+	return cp, err
 }
 
 // AddDatabaseColor registers a new color.
 func (d *DB) AddDatabaseColor(c Color) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	m := d.beginCommit()
 	d.Database.AddDatabaseColor(c)
+	_ = d.commitChanges(m) // a failure poisons the DB and surfaces later
 }
 
-// NewElement creates a detached element in color c.
+// NewElement creates a detached element in color c. Detached nodes are not
+// materialized in the store (and so not made durable) until attached.
 func (d *DB) NewElement(name string, c Color) (*Node, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -89,77 +125,129 @@ func (d *DB) NewPI(target, value string, c Color) (*Node, error) {
 func (d *DB) SetAttribute(elem *Node, name, value string) (*Node, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.Database.SetAttribute(elem, name, value)
+	m := d.beginCommit()
+	a, err := d.Database.SetAttribute(elem, name, value)
+	if cerr := d.commitChanges(m); err == nil && cerr != nil {
+		err = cerr
+	}
+	return a, err
 }
 
 // Rename changes a node's name.
 func (d *DB) Rename(n *Node, name string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.Database.Rename(n, name)
+	m := d.beginCommit()
+	err := d.Database.Rename(n, name)
+	if cerr := d.commitChanges(m); err == nil && cerr != nil {
+		err = cerr
+	}
+	return err
 }
 
 // RemoveAttribute removes an attribute if present.
 func (d *DB) RemoveAttribute(elem *Node, name string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	m := d.beginCommit()
 	d.Database.RemoveAttribute(elem, name)
+	_ = d.commitChanges(m) // a failure poisons the DB and surfaces later
 }
 
 // AppendText appends a text node to an element.
 func (d *DB) AppendText(elem *Node, value string) (*Node, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.Database.AppendText(elem, value)
+	m := d.beginCommit()
+	t, err := d.Database.AppendText(elem, value)
+	if cerr := d.commitChanges(m); err == nil && cerr != nil {
+		err = cerr
+	}
+	return t, err
 }
 
 // AddColor adds a node to color c (keeping its position rules).
 func (d *DB) AddColor(n *Node, c Color) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.Database.AddColor(n, c)
+	m := d.beginCommit()
+	err := d.Database.AddColor(n, c)
+	if cerr := d.commitChanges(m); err == nil && cerr != nil {
+		err = cerr
+	}
+	return err
 }
 
 // RemoveColor removes a node (and its subtree participation) from color c.
 func (d *DB) RemoveColor(n *Node, c Color) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.Database.RemoveColor(n, c)
+	m := d.beginCommit()
+	err := d.Database.RemoveColor(n, c)
+	if cerr := d.commitChanges(m); err == nil && cerr != nil {
+		err = cerr
+	}
+	return err
 }
 
 // Append attaches child as parent's last child in color c.
 func (d *DB) Append(parent, child *Node, c Color) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.Database.Append(parent, child, c)
+	m := d.beginCommit()
+	err := d.Database.Append(parent, child, c)
+	if cerr := d.commitChanges(m); err == nil && cerr != nil {
+		err = cerr
+	}
+	return err
 }
 
 // InsertBefore attaches child before ref under parent in color c.
 func (d *DB) InsertBefore(parent, child, ref *Node, c Color) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.Database.InsertBefore(parent, child, ref, c)
+	m := d.beginCommit()
+	err := d.Database.InsertBefore(parent, child, ref, c)
+	if cerr := d.commitChanges(m); err == nil && cerr != nil {
+		err = cerr
+	}
+	return err
 }
 
 // Detach removes child from its parent in color c.
 func (d *DB) Detach(child *Node, c Color) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.Database.Detach(child, c)
+	m := d.beginCommit()
+	err := d.Database.Detach(child, c)
+	if cerr := d.commitChanges(m); err == nil && cerr != nil {
+		err = cerr
+	}
+	return err
 }
 
 // Delete removes a node from the database entirely.
 func (d *DB) Delete(n *Node) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.Database.Delete(n)
+	m := d.beginCommit()
+	err := d.Database.Delete(n)
+	if cerr := d.commitChanges(m); err == nil && cerr != nil {
+		err = cerr
+	}
+	return err
 }
 
 // DeleteSubtree deletes a node's subtree in color c.
 func (d *DB) DeleteSubtree(n *Node, c Color) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.Database.DeleteSubtree(n, c)
+	m := d.beginCommit()
+	err := d.Database.DeleteSubtree(n, c)
+	if cerr := d.commitChanges(m); err == nil && cerr != nil {
+		err = cerr
+	}
+	return err
 }
 
 // --- readers --------------------------------------------------------------

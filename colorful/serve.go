@@ -1,6 +1,8 @@
 package colorful
 
 import (
+	"fmt"
+
 	"colorfulxml/internal/plan"
 	"colorfulxml/internal/storage"
 )
@@ -96,6 +98,31 @@ func (d *DB) currentSnapshot() (*snapshot, error) {
 	}
 	d.maintMu.Lock()
 	defer d.maintMu.Unlock()
+	return d.refreshSnapshotLocked()
+}
+
+// snapshotForQuery is currentSnapshot for the compiled-query path: when
+// another goroutine is mid-rebuild it does not queue behind maintMu but
+// reports errMaintInProgress (which wraps plan.ErrUnsupported), sending the
+// query to the reference evaluator instead of stalling it. Refresh and
+// Explain keep the blocking behavior.
+func (d *DB) snapshotForQuery() (*snapshot, error) {
+	if sp := d.snap.Load(); sp != nil && sp.gen == d.Database.Generation() {
+		return sp, nil
+	}
+	if !d.maintMu.TryLock() {
+		return nil, errMaintInProgress
+	}
+	defer d.maintMu.Unlock()
+	return d.refreshSnapshotLocked()
+}
+
+// errMaintInProgress wraps plan.ErrUnsupported so Query's compiled path
+// falls back to the evaluator while a snapshot rebuild is in flight.
+var errMaintInProgress = fmt.Errorf("colorful: snapshot maintenance in progress: %w", plan.ErrUnsupported)
+
+// refreshSnapshotLocked is the maintenance body; the caller holds maintMu.
+func (d *DB) refreshSnapshotLocked() (*snapshot, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	gen := d.Database.Generation()

@@ -61,6 +61,7 @@ type changeLog struct {
 	mu       sync.Mutex
 	entries  []Change
 	overflow bool
+	drains   uint64 // bumped by DrainChanges, invalidating outstanding marks
 }
 
 func (db *Database) record(ch Change) {
@@ -85,7 +86,44 @@ func (db *Database) DrainChanges() (changes []Change, overflow bool) {
 	defer db.clog.mu.Unlock()
 	changes, overflow = db.clog.entries, db.clog.overflow
 	db.clog.entries, db.clog.overflow = nil, false
+	db.clog.drains++
 	return changes, overflow
+}
+
+// ChangeMark is a position in the change log, taken before a mutation so the
+// mutation's own entries can be read back afterwards (see ChangesSince).
+type ChangeMark struct {
+	drains uint64
+	n      int
+}
+
+// Mark returns the current change-log position. The caller must hold the
+// database's writer lock across Mark, the mutation, and ChangesSince — a
+// concurrent DrainChanges invalidates the mark.
+func (db *Database) Mark() ChangeMark {
+	db.clog.mu.Lock()
+	defer db.clog.mu.Unlock()
+	return ChangeMark{drains: db.clog.drains, n: len(db.clog.entries)}
+}
+
+// ChangesSince returns a copy of the entries recorded after the mark. ok is
+// false when the mark is no longer valid: the log was drained or overflowed
+// in between, so the caller cannot know the exact entry set and must treat
+// the database as arbitrarily changed (the durable layer responds with a
+// full checkpoint).
+func (db *Database) ChangesSince(m ChangeMark) (changes []Change, ok bool) {
+	db.clog.mu.Lock()
+	defer db.clog.mu.Unlock()
+	if db.clog.drains != m.drains || db.clog.overflow || m.n > len(db.clog.entries) {
+		return nil, false
+	}
+	tail := db.clog.entries[m.n:]
+	if len(tail) == 0 {
+		return nil, true
+	}
+	out := make([]Change, len(tail))
+	copy(out, tail)
+	return out, true
 }
 
 // reachable reports whether n belongs to the rooted colored tree c (i.e. its

@@ -97,6 +97,28 @@ func (db *Database) newNode(kind Kind) *Node {
 	return n
 }
 
+// RestoreElement creates a detached, colorless element node with a fixed
+// identity. It is the recovery constructor: rebuilding a database from a
+// recovered physical store must preserve element identities, because the
+// write-ahead log (and the serving layer's snapshot result mapping) address
+// elements by NodeID. The id must be unused; colors are attached afterwards
+// with AddColor/Append exactly as the store's structural nodes dictate.
+func (db *Database) RestoreElement(id NodeID, name string) (*Node, error) {
+	if id == 0 {
+		return nil, fmt.Errorf("core: RestoreElement: zero id")
+	}
+	if _, taken := db.byID[id]; taken {
+		return nil, fmt.Errorf("core: RestoreElement: id %d already in use", id)
+	}
+	n := &Node{id: id, kind: KindElement, name: name, db: db}
+	db.byID[id] = n
+	if id > db.nextID {
+		db.nextID = id
+	}
+	db.invalidate()
+	return n, nil
+}
+
 func (db *Database) invalidate() {
 	atomic.AddUint64(&db.gen, 1)
 	db.orderMu.Lock()

@@ -17,6 +17,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -55,6 +56,13 @@ type OpStats struct {
 type Ctx struct {
 	S *storage.Store
 	M Metrics
+
+	// Cancel, when non-nil, is polled by pull every cancelCheckEvery row
+	// pulls; a canceled or expired context aborts the execution with its
+	// error. Exchange workers inherit it, so parallel scans stop too.
+	Cancel context.Context
+	// pulls counts row pulls since the last context poll.
+	pulls int
 
 	// stats is per-operator attribution, non-nil only under ExplainAnalyze.
 	stats map[Op]*OpStats
@@ -140,9 +148,23 @@ type Op interface {
 	String() string
 }
 
+// cancelCheckEvery is how many row pulls pass between polls of Ctx.Cancel:
+// frequent enough that a runaway query notices a deadline in microseconds,
+// rare enough that the check never shows up in a profile.
+const cancelCheckEvery = 64
+
 // pull draws one row from an operator, attributing it under ExplainAnalyze.
-// All parents (and the executor) pull through this helper.
+// All parents (and the executor) pull through this helper, so cancellation
+// is observed at every level of the plan, not just at the root.
 func pull(ctx *Ctx, o Op) (Row, bool, error) {
+	if ctx.Cancel != nil {
+		if ctx.pulls++; ctx.pulls >= cancelCheckEvery {
+			ctx.pulls = 0
+			if err := ctx.Cancel.Err(); err != nil {
+				return nil, false, err
+			}
+		}
+	}
 	r, ok, err := o.Next(ctx)
 	if ok && err == nil {
 		if st := ctx.statsFor(o); st != nil {
@@ -152,13 +174,27 @@ func pull(ctx *Ctx, o Op) (Row, bool, error) {
 	return r, ok, err
 }
 
-// drain opens an operator, pulls it to exhaustion and closes it.
-func drain(ctx *Ctx, op Op) ([]Row, error) {
+// panicErr converts a panic escaping an operator into an error naming the
+// plan node, so one poisoned query surfaces as a query error instead of
+// taking down the whole process.
+func panicErr(op Op, r any) error {
+	return fmt.Errorf("engine: panic in plan node %s: %v", op.String(), r)
+}
+
+// drain opens an operator, pulls it to exhaustion and closes it. A panic
+// anywhere in the operator tree is contained here (and, for parallel parts,
+// in the exchange workers): the executor runs against an immutable snapshot,
+// so a failed execution cannot have corrupted shared state.
+func drain(ctx *Ctx, op Op) (rows []Row, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rows, err = nil, panicErr(op, r)
+		}
+	}()
 	if err := op.Open(ctx); err != nil {
 		op.Close(ctx)
 		return nil, err
 	}
-	var rows []Row
 	for {
 		r, ok, err := pull(ctx, op)
 		if err != nil {
@@ -190,7 +226,18 @@ func gather(ctx *Ctx, parent, child Op) ([]Row, error) {
 
 // Exec runs a plan and returns its rows plus metrics.
 func Exec(s *storage.Store, plan Op) ([]Row, Metrics, error) {
+	return ExecContext(nil, s, plan)
+}
+
+// ExecContext is Exec under a context: the execution aborts with the
+// context's error shortly after it is canceled or its deadline passes. A
+// nil (or never-canceled) context adds no overhead.
+func ExecContext(cctx context.Context, s *storage.Store, plan Op) ([]Row, Metrics, error) {
 	ctx := &Ctx{S: s}
+	// Background-like contexts can never be canceled; skip the polling.
+	if cctx != nil && cctx.Done() != nil {
+		ctx.Cancel = cctx
+	}
 	rows, err := drain(ctx, plan)
 	if err != nil {
 		return nil, ctx.M, err

@@ -54,6 +54,14 @@ type exchangeWorker struct {
 
 func (w *exchangeWorker) run(done chan struct{}) {
 	defer close(w.rows)
+	// Contain panics from this partition's operator tree: the consumer sees
+	// them as an execution error after the channel closes, exactly like any
+	// other worker failure (the recover defer runs before the close defer).
+	defer func() {
+		if r := recover(); r != nil {
+			w.err = panicErr(w.op, r)
+		}
+	}()
 	if err := w.op.Open(w.ctx); err != nil {
 		w.op.Close(w.ctx)
 		w.err = err
@@ -85,7 +93,7 @@ func (o *Exchange) Open(ctx *Ctx) error {
 	o.cur = 0
 	o.workers = make([]*exchangeWorker, len(o.Parts))
 	for i, p := range o.Parts {
-		w := &exchangeWorker{op: p, rows: make(chan Row, exchangeBuf), ctx: &Ctx{S: ctx.S}}
+		w := &exchangeWorker{op: p, rows: make(chan Row, exchangeBuf), ctx: &Ctx{S: ctx.S, Cancel: ctx.Cancel}}
 		if ctx.stats != nil {
 			w.ctx.stats = map[Op]*OpStats{}
 		}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"colorfulxml/colorful"
+	"colorfulxml/internal/storage"
 )
 
 // This file implements the concurrent-serving throughput experiment: a
@@ -30,6 +31,13 @@ type ConcurrentConfig struct {
 	// fan-out (0: GOMAXPROCS).
 	Parallel bool
 	Workers  int
+	// Dir, when non-empty, runs the experiment against a durable database in
+	// that directory: every writer commit goes through the write-ahead log
+	// before it is acknowledged, and after the timed region the database is
+	// closed and recovered once to measure recovery.
+	Dir string
+	// NoSync disables the per-commit fsync in durable mode.
+	NoSync bool
 }
 
 // DefaultConcurrent mirrors the CLI defaults.
@@ -50,39 +58,70 @@ type ConcurrentResult struct {
 	IncrementalApplies uint64 `json:"incremental_applies"`
 	FullRebuilds       uint64 `json:"full_rebuilds"`
 	Publishes          uint64 `json:"publishes"`
+
+	// Durable-mode extras (zero/absent for in-memory runs).
+	Durable          bool    `json:"durable,omitempty"`
+	NoSync           bool    `json:"nosync,omitempty"`
+	Checkpoints      uint64  `json:"checkpoints,omitempty"`
+	WALBytes         int64   `json:"wal_bytes,omitempty"`
+	RecoveryMillis   float64 `json:"recovery_millis,omitempty"`
+	CheckpointLoaded bool    `json:"checkpoint_loaded,omitempty"`
+	RecordsReplayed  int     `json:"records_replayed,omitempty"`
+	ChangesReplayed  int     `json:"changes_replayed,omitempty"`
 }
 
 // buildCatalog constructs the benchmark database through the public facade:
 // a red catalog of items with names; every third item is adopted under the
-// green featured root and given a green votes counter.
-func buildCatalog(scale int) (*colorful.DB, error) {
-	db := colorful.New("red", "green")
+// green featured root and given a green votes counter. In durable mode
+// (cfg.Dir set) the same construction runs against an Open-ed database, so
+// every statement commits through the WAL.
+func buildCatalog(cfg ConcurrentConfig) (*colorful.DB, error) {
+	var db *colorful.DB
+	if cfg.Dir != "" {
+		var err error
+		db, err = colorful.OpenOptions(cfg.Dir, colorful.Options{NoSync: cfg.NoSync}, "red", "green")
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		db = colorful.New("red", "green")
+	}
+	if err := populateCatalog(db, cfg.Scale); err != nil {
+		if cfg.Dir != "" {
+			db.Close()
+		}
+		return nil, err
+	}
+	return db, nil
+}
+
+func populateCatalog(db *colorful.DB, scale int) error {
 	root, err := db.AddElement(db.Document(), "catalog", "red")
 	if err != nil {
-		return nil, err
+		return err
 	}
 	featured, err := db.AddElement(db.Document(), "featured", "green")
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for i := 0; i < scale; i++ {
 		item, err := db.AddElement(root, "item", "red")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := db.AddElementText(item, "name", "red", fmt.Sprintf("Item %d", i)); err != nil {
-			return nil, err
+			return err
 		}
 		if i%3 == 0 {
 			if err := db.Adopt(featured, item, "green"); err != nil {
-				return nil, err
+				return err
 			}
 			if _, err := db.AddElementText(item, "votes", "green", fmt.Sprint(i%50)); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
-	return db, nil
+	return nil
 }
 
 // concurrentQueries is the read mix: a full descendant scan (the parallel
@@ -105,7 +144,7 @@ func Concurrent(cfg ConcurrentConfig) (*ConcurrentResult, error) {
 	if cfg.Scale <= 0 {
 		cfg.Scale = DefaultConcurrent.Scale
 	}
-	db, err := buildCatalog(cfg.Scale)
+	db, err := buildCatalog(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -183,6 +222,26 @@ update $i { replace $v with "%d" }`, e%100)
 	}
 
 	st := db.MaintStats()
+	ds := db.DurabilityStats()
+	var recoveryMillis float64
+	var rs storage.RecoveryStats
+	if cfg.Dir != "" {
+		// Close the directory and recover it once: the reopen cost and the
+		// recovery statistics are part of the durable result.
+		if err := db.Close(); err != nil {
+			return nil, fmt.Errorf("closing durable database: %w", err)
+		}
+		t0 := time.Now()
+		rec, err := colorful.Open(cfg.Dir, "red", "green")
+		if err != nil {
+			return nil, fmt.Errorf("recovering durable database: %w", err)
+		}
+		recoveryMillis = float64(time.Since(t0).Microseconds()) / 1000
+		rs = rec.Recovery()
+		if err := rec.Close(); err != nil {
+			return nil, err
+		}
+	}
 	res := &ConcurrentResult{
 		Clients:            cfg.Clients,
 		Ops:                cfg.Ops,
@@ -196,6 +255,16 @@ update $i { replace $v with "%d" }`, e%100)
 		IncrementalApplies: st.IncrementalApplies,
 		FullRebuilds:       st.FullRebuilds,
 		Publishes:          st.Publishes,
+	}
+	if cfg.Dir != "" {
+		res.Durable = true
+		res.NoSync = cfg.NoSync
+		res.Checkpoints = ds.Checkpoints
+		res.WALBytes = ds.WALBytes
+		res.RecoveryMillis = recoveryMillis
+		res.CheckpointLoaded = rs.CheckpointLoaded
+		res.RecordsReplayed = rs.RecordsReplayed
+		res.ChangesReplayed = rs.ChangesReplayed
 	}
 	return res, nil
 }
@@ -220,5 +289,11 @@ func FormatConcurrent(r *ConcurrentResult) string {
 	fmt.Fprintf(&b, "writer commits: %d\n", r.Updates)
 	fmt.Fprintf(&b, "snapshots:      %d published, %d incremental, %d full rebuilds\n",
 		r.Publishes, r.IncrementalApplies, r.FullRebuilds)
+	if r.Durable {
+		fmt.Fprintf(&b, "durability:     nosync=%v, %d checkpoints, %d WAL bytes open\n",
+			r.NoSync, r.Checkpoints, r.WALBytes)
+		fmt.Fprintf(&b, "recovery:       %.1f ms (checkpoint=%v, %d records / %d changes replayed)\n",
+			r.RecoveryMillis, r.CheckpointLoaded, r.RecordsReplayed, r.ChangesReplayed)
+	}
 	return b.String()
 }

@@ -1,0 +1,39 @@
+package mcxquery
+
+import "testing"
+
+// FuzzParseQuery feeds arbitrary source text through the lexer and parser.
+// Malformed queries must be rejected with an error — never a panic, a hang,
+// or a runaway allocation. Seeds cover every syntactic family: colored
+// paths, predicates, FLWOR, constructors, conditionals and the failure
+// modes (unterminated strings and braces, stray tokens).
+func FuzzParseQuery(f *testing.F) {
+	for _, src := range []string{
+		`document("db")/{red}child::movie`,
+		`for $m in document("db")/{red}descendant::movie[contains({red}child::name, "Eve")]
+return createColor(black, <m-name>{ $m/{red}child::name }</m-name>)`,
+		`for $g in document("db")/{red}child::movie-genres/{red}child::movie-genre
+let $n := $g/{red}child::name
+where $n = "Comedy"
+return <genre>{ $n }</genre>`,
+		`if (document("db")/{red}child::a) then 1 else 2`,
+		`document("db")/{red}descendant::movie[{green}child::votes > 10]/{red}child::name`,
+		`/{red}child::a/{green}parent::b/{blue}ancestor::c`,
+		`(1, 2, "three")`,
+		`document("db")//{red}movie`,
+		`for $x in`,
+		`document("db")/{red}child::`,
+		`<unclosed>{`,
+		`"unterminated`,
+		`{}{}{}`,
+		``,
+	} {
+		f.Add(src)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseQuery(src)
+		if err == nil && e == nil {
+			t.Fatalf("ParseQuery(%q) returned neither expression nor error", src)
+		}
+	})
+}

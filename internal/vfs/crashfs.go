@@ -1,0 +1,184 @@
+package vfs
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrCrashed is returned by every CrashFS operation after the write budget is
+// exhausted: the simulated machine has lost power.
+var ErrCrashed = errors.New("vfs: simulated crash")
+
+// CrashFS wraps an FS with a byte-budget failpoint: once the cumulative cost
+// of write operations reaches the budget, the filesystem "crashes" — the
+// in-flight write is torn (only the bytes that fit within the budget reach
+// the underlying file) and every subsequent operation fails with ErrCrashed.
+//
+// Costs: each written byte costs 1; Create, Rename and Remove cost 1 each
+// (so crash points land between metadata operations too); Sync and reads are
+// free but fail once crashed. A budget that lands exactly at the end of a
+// write lets the write complete and crashes immediately after — modeling the
+// classic "data written, fsync never issued" window.
+//
+// A negative budget never crashes; the wrapper then only counts bytes, which
+// the test harness uses to measure a run before choosing crash points.
+type CrashFS struct {
+	base FS
+
+	mu        sync.Mutex
+	remaining int64
+	unlimited bool
+	crashed   bool
+	written   int64
+}
+
+// NewCrashFS wraps base with a write budget. budget < 0 disables crashing
+// (counting mode).
+func NewCrashFS(base FS, budget int64) *CrashFS {
+	return &CrashFS{base: base, remaining: budget, unlimited: budget < 0}
+}
+
+// Crashed reports whether the budget has been exhausted.
+func (c *CrashFS) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// BytesWritten returns the cumulative cost consumed so far.
+func (c *CrashFS) BytesWritten() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.written
+}
+
+// consume charges n cost units and returns how many are allowed through.
+// ok is false when the FS has already crashed.
+func (c *CrashFS) consume(n int64) (allowed int64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return 0, false
+	}
+	c.written += n
+	if c.unlimited {
+		return n, true
+	}
+	allowed = n
+	if allowed > c.remaining {
+		allowed = c.remaining
+	}
+	c.remaining -= allowed
+	if c.remaining == 0 {
+		c.crashed = true
+		c.remaining = -1 // consumed; future ops fail via crashed
+	}
+	if allowed < n {
+		return allowed, true // torn: caller writes the prefix then fails
+	}
+	return allowed, true
+}
+
+// alive reports whether the FS has not crashed (for zero-cost operations).
+func (c *CrashFS) alive() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.crashed
+}
+
+func (c *CrashFS) Create(name string) (File, error) {
+	if allowed, ok := c.consume(1); !ok || allowed < 1 {
+		return nil, ErrCrashed
+	}
+	f, err := c.base.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &crashFile{fs: c, f: f}, nil
+}
+
+func (c *CrashFS) ReadFile(name string) ([]byte, error) {
+	if !c.alive() {
+		return nil, ErrCrashed
+	}
+	return c.base.ReadFile(name)
+}
+
+func (c *CrashFS) Rename(oldname, newname string) error {
+	if allowed, ok := c.consume(1); !ok || allowed < 1 {
+		return ErrCrashed
+	}
+	return c.base.Rename(oldname, newname)
+}
+
+func (c *CrashFS) Remove(name string) error {
+	if allowed, ok := c.consume(1); !ok || allowed < 1 {
+		return ErrCrashed
+	}
+	return c.base.Remove(name)
+}
+
+func (c *CrashFS) ReadDir(dir string) ([]string, error) {
+	if !c.alive() {
+		return nil, ErrCrashed
+	}
+	return c.base.ReadDir(dir)
+}
+
+func (c *CrashFS) MkdirAll(dir string) error {
+	if !c.alive() {
+		return ErrCrashed
+	}
+	return c.base.MkdirAll(dir)
+}
+
+func (c *CrashFS) SyncDir(dir string) error {
+	if !c.alive() {
+		return ErrCrashed
+	}
+	return c.base.SyncDir(dir)
+}
+
+func (c *CrashFS) Stat(name string) (int64, error) {
+	if !c.alive() {
+		return 0, ErrCrashed
+	}
+	return c.base.Stat(name)
+}
+
+type crashFile struct {
+	fs *CrashFS
+	f  File
+}
+
+func (cf *crashFile) Write(p []byte) (int, error) {
+	allowed, ok := cf.fs.consume(int64(len(p)))
+	if !ok {
+		return 0, ErrCrashed
+	}
+	if allowed < int64(len(p)) {
+		// Torn write: the prefix reaches the file, then the power goes out.
+		if allowed > 0 {
+			cf.f.Write(p[:allowed]) //nolint:errcheck // the crash supersedes
+		}
+		return int(allowed), ErrCrashed
+	}
+	return cf.f.Write(p)
+}
+
+func (cf *crashFile) Sync() error {
+	if !cf.fs.alive() {
+		return ErrCrashed
+	}
+	return cf.f.Sync()
+}
+
+func (cf *crashFile) Close() error {
+	// Closing is always allowed so tests do not leak descriptors, but a
+	// crashed FS still reports the crash.
+	err := cf.f.Close()
+	if !cf.fs.alive() {
+		return ErrCrashed
+	}
+	return err
+}

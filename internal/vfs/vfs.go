@@ -1,0 +1,103 @@
+// Package vfs is the small filesystem abstraction beneath the durable MCT
+// store. The write-ahead log and the checkpoint writer perform all file
+// operations through an FS, so tests can substitute fault-injecting
+// implementations (see CrashFS) that tear writes at arbitrary byte offsets —
+// the crash model of the recovery test harness — without touching the
+// production code paths.
+package vfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is a writable file handle. Writes are durable only after Sync.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the set of filesystem operations the durability layer needs.
+// Paths are plain slash-joined strings; implementations may interpret them
+// relative to a root.
+type FS interface {
+	// Create creates (or truncates) a file for writing.
+	Create(name string) (File, error)
+	// ReadFile reads a whole file.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadDir lists the file names (not full paths) in a directory, sorted.
+	ReadDir(dir string) ([]string, error)
+	// MkdirAll creates a directory and its parents.
+	MkdirAll(dir string) error
+	// SyncDir fsyncs a directory, making renames and creates durable.
+	SyncDir(dir string) error
+	// Stat reports whether a file exists and its size.
+	Stat(name string) (size int64, err error)
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (osFS) Stat(name string) (int64, error) {
+	fi, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// IsNotExist reports whether an FS error means the file is absent.
+func IsNotExist(err error) bool { return errors.Is(err, os.ErrNotExist) }
+
+// Join joins path elements (filepath.Join; exported so callers need not
+// import both packages).
+func Join(elem ...string) string { return filepath.Join(elem...) }

@@ -1,0 +1,142 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"colorfulxml/internal/core"
+)
+
+// This file encodes committed mutation batches — slices of core.Change, the
+// same logical change-log entries incremental snapshot maintenance replays —
+// into WAL record payloads. The format is varint-framed and self-describing:
+//
+//	batch   := count:uvarint change*
+//	change  := kind:byte elem:uvarint parent:uvarint
+//	           color:str tag:str content:str
+//	           nattrs:uvarint (name:str value:str)*
+//	str     := len:uvarint bytes
+//
+// Decoding is strict: every length is bounds-checked against the remaining
+// buffer, so arbitrary (fuzzed or corrupted) input fails cleanly instead of
+// over-allocating or panicking.
+
+// ErrBadBatch reports a malformed change-batch payload.
+var ErrBadBatch = errors.New("wal: malformed change batch")
+
+// EncodeChanges serializes a committed mutation batch into a record payload.
+func EncodeChanges(changes []core.Change) []byte {
+	buf := make([]byte, 0, 16+32*len(changes))
+	buf = binary.AppendUvarint(buf, uint64(len(changes)))
+	for _, ch := range changes {
+		buf = append(buf, byte(ch.Kind))
+		buf = binary.AppendUvarint(buf, uint64(ch.Elem))
+		buf = binary.AppendUvarint(buf, uint64(ch.Parent))
+		buf = appendString(buf, string(ch.Color))
+		buf = appendString(buf, ch.Tag)
+		buf = appendString(buf, ch.Content)
+		buf = binary.AppendUvarint(buf, uint64(len(ch.Attrs)))
+		for _, a := range ch.Attrs {
+			buf = appendString(buf, a[0])
+			buf = appendString(buf, a[1])
+		}
+	}
+	return buf
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// DecodeChanges parses a record payload back into a mutation batch.
+func DecodeChanges(payload []byte) ([]core.Change, error) {
+	d := decoder{buf: payload}
+	n := d.uvarint()
+	// Each change occupies at least 6 bytes (kind + five 1-byte varints), so
+	// an impossible count is rejected before any allocation.
+	if n > uint64(len(payload)) {
+		return nil, fmt.Errorf("%w: change count %d exceeds payload", ErrBadBatch, n)
+	}
+	changes := make([]core.Change, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var ch core.Change
+		ch.Kind = core.ChangeKind(d.byte())
+		ch.Elem = core.NodeID(d.uvarint())
+		ch.Parent = core.NodeID(d.uvarint())
+		ch.Color = core.Color(d.string())
+		ch.Tag = d.string()
+		ch.Content = d.string()
+		na := d.uvarint()
+		if na > uint64(len(payload)) {
+			return nil, fmt.Errorf("%w: attr count %d exceeds payload", ErrBadBatch, na)
+		}
+		for j := uint64(0); j < na && d.err == nil; j++ {
+			name := d.string()
+			value := d.string()
+			ch.Attrs = append(ch.Attrs, [2]string{name, value})
+		}
+		if d.err != nil {
+			return nil, fmt.Errorf("%w: change %d: %v", ErrBadBatch, i, d.err)
+		}
+		changes = append(changes, ch)
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadBatch, len(d.buf)-d.off)
+	}
+	return changes, nil
+}
+
+// decoder is a cursor with sticky error handling over a payload buffer.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(msg string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%s at offset %d", msg, d.off)
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail("truncated byte")
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		d.fail("string length exceeds payload")
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}

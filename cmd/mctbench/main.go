@@ -14,12 +14,14 @@
 //
 //	mctbench -clients N [-client-ops N] [-concurrent-scale N]
 //	         [-parallel] [-parallel-workers N]
-//	         [-durable DIR] [-nosync]
+//	         [-durable DIR] [-nosync] [-validate]
 //
 // With -durable the concurrent benchmark runs against a database opened in
 // DIR: every writer commit goes through the write-ahead log, and the BENCH
 // line additionally reports checkpoint activity and the cost and statistics
-// of recovering the directory after the run.
+// of recovering the directory after the run. With -validate the full core
+// invariant audit runs after the load and after the recovery, and its wall
+// time is reported as validate_millis.
 package main
 
 import (
@@ -51,6 +53,7 @@ func main() {
 		parWork   = flag.Int("parallel-workers", 0, "exchange fan-out with -parallel (0 = GOMAXPROCS)")
 		durable   = flag.String("durable", "", "durable concurrent mode: database directory (WAL + checkpoints)")
 		nosync    = flag.Bool("nosync", false, "with -durable: skip the per-commit fsync")
+		validate  = flag.Bool("validate", false, "run the core invariant audit after load and recovery, reporting its wall time")
 	)
 	flag.Parse()
 
@@ -68,6 +71,7 @@ func main() {
 			Workers:  *parWork,
 			Dir:      *durable,
 			NoSync:   *nosync,
+			Validate: *validate,
 		})
 		if err != nil {
 			fail(err)

@@ -1,0 +1,59 @@
+// Command mctlint runs the repo's static-analysis suite (internal/lint)
+// over a package pattern and fails if any invariant is violated:
+//
+//	mctlint [-list] [packages]
+//
+// With no packages it analyzes ./.... Each diagnostic prints as
+// file:line:col: message (analyzer); the exit status is 1 if anything was
+// reported, 2 on a loading or internal error. -list prints the analyzers
+// and what each one guards.
+//
+// The analyzers mechanize invariants that are otherwise enforced only by
+// review: vfsonly (file I/O through internal/vfs), commitscope
+// (beginCommit/commitChanges bracketing), ctxpoll (operator cancellation
+// polls), errwrapsentinel (errors.Is/As and %w for sentinels), determinism
+// (seeded randomness and sorted map iteration in crashtest/WAL/checkpoint
+// code), atomicsnapshot (atomic access to the published snapshot).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"colorfulxml/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mctlint:", err)
+		os.Exit(2)
+	}
+	findings, err := lint.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mctlint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "mctlint: %d diagnostic(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -41,6 +41,12 @@ type Options struct {
 	CheckpointBytes int64
 	// FS overrides the filesystem, for tests and fault injection.
 	FS vfs.FS
+	// ValidateInvariants enables the debug invariant sweep: the full
+	// core.Database.Validate audit runs on the recovered state before Open
+	// returns, and again after every incremental snapshot maintenance apply.
+	// Expensive (it walks every node in every color); meant for tests and
+	// harnesses, not production serving.
+	ValidateInvariants bool
 }
 
 // Open opens (creating if necessary) a durable database in dir, recovering
@@ -68,6 +74,12 @@ func OpenOptions(dir string, opts Options, colors ...Color) (*DB, error) {
 	if err != nil {
 		dur.Close()
 		return nil, fmt.Errorf("colorful: reconstructing recovered store: %w", err)
+	}
+	if opts.ValidateInvariants {
+		if verr := cdb.Validate(); verr != nil {
+			dur.Close()
+			return nil, fmt.Errorf("colorful: recovered state violates core invariants: %w", verr)
+		}
 	}
 	d := wrap(cdb)
 	d.dur = dur

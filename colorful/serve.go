@@ -133,6 +133,9 @@ func (d *DB) refreshSnapshotLocked() (*snapshot, error) {
 	if old := d.snap.Load(); old != nil && !overflow && len(changes) <= incrementalMaxDelta {
 		clone := old.st.Clone()
 		if err := clone.ApplyChanges(changes); err == nil {
+			if verr := d.validateAfterApply(); verr != nil {
+				return nil, verr
+			}
 			d.incrementalApplies.Add(1)
 			return d.publish(clone, gen), nil
 		}
@@ -145,6 +148,21 @@ func (d *DB) refreshSnapshotLocked() (*snapshot, error) {
 	}
 	d.fullRebuilds.Add(1)
 	return d.publish(st, gen), nil
+}
+
+// validateAfterApply runs the full core invariant audit after an incremental
+// snapshot apply when Options.ValidateInvariants is set. The caller holds
+// d.mu shared already, so this goes straight to the embedded core method —
+// the locked wrapper would re-enter the RWMutex. A violation aborts the
+// refresh before the suspect snapshot is published.
+func (d *DB) validateAfterApply() error {
+	if !d.durOpts.ValidateInvariants {
+		return nil
+	}
+	if err := d.Database.Validate(); err != nil {
+		return fmt.Errorf("colorful: invariant violation after incremental snapshot apply: %w", err)
+	}
+	return nil
 }
 
 func (d *DB) publish(st *storage.Store, gen uint64) *snapshot {

@@ -55,9 +55,11 @@ type nosyncFile struct{ vfs.File }
 func (f nosyncFile) Sync() error { return nil }
 
 // harnessOpts uses a small pool and a tiny auto-checkpoint threshold so a
-// short workload still crosses every durability code path many times.
+// short workload still crosses every durability code path many times, and
+// turns on the invariant sweep: every open validates the recovered state and
+// every incremental snapshot apply re-audits the core database.
 func harnessOpts(fs vfs.FS) colorful.Options {
-	return colorful.Options{FS: fs, PoolPages: 32, CheckpointBytes: 4096}
+	return colorful.Options{FS: fs, PoolPages: 32, CheckpointBytes: 4096, ValidateInvariants: true}
 }
 
 // runWorkload feeds w to a durable database over fs until a statement fails
@@ -86,9 +88,13 @@ func runWorkload(dir string, fs vfs.FS, w *Workload) (acked, attempted int, err 
 // recovery must land on the same k (idempotence).
 func verifyRecovered(t *testing.T, dir string, w *Workload, acked, attempted int) {
 	t.Helper()
-	rec, err := colorful.Open(dir, w.Colors...)
+	rec, err := colorful.OpenOptions(dir, colorful.Options{ValidateInvariants: true}, w.Colors...)
 	if err != nil {
 		t.Fatalf("recovery failed: %v", err)
+	}
+	if verr := rec.Validate(); verr != nil {
+		rec.Close()
+		t.Fatalf("recovered state violates core invariants: %v", verr)
 	}
 	match, firstWhy := -1, ""
 	for k := acked; k <= attempted; k++ {
@@ -109,11 +115,14 @@ func verifyRecovered(t *testing.T, dir string, w *Workload, acked, attempted int
 	if err := rec.Close(); err != nil {
 		t.Fatalf("closing recovered database: %v", err)
 	}
-	again, err := colorful.Open(dir, w.Colors...)
+	again, err := colorful.OpenOptions(dir, colorful.Options{ValidateInvariants: true}, w.Colors...)
 	if err != nil {
 		t.Fatalf("second recovery failed: %v", err)
 	}
 	defer again.Close()
+	if verr := again.Validate(); verr != nil {
+		t.Fatalf("second recovery violates core invariants: %v", verr)
+	}
 	if ok, why := colorful.Isomorphic(Replay(w, match), again); !ok {
 		t.Fatalf("recovery is not idempotent (first landed on prefix %d): %s", match, why)
 	}
@@ -178,9 +187,12 @@ func TestCrashDuringRecovery(t *testing.T) {
 		} else if !cfs.Crashed() {
 			t.Fatalf("budget %d: reopen failed without a crash: %v", budget, err)
 		}
-		rec, err := colorful.Open(dir, w.Colors...)
+		rec, err := colorful.OpenOptions(dir, colorful.Options{ValidateInvariants: true}, w.Colors...)
 		if err != nil {
 			t.Fatalf("budget %d: recovery after crashed recovery failed: %v", budget, err)
+		}
+		if verr := rec.Validate(); verr != nil {
+			t.Fatalf("budget %d: recovered state violates core invariants: %v", budget, verr)
 		}
 		if ok, why := colorful.Isomorphic(full, rec); !ok {
 			t.Fatalf("budget %d: crashed recovery lost data: %s", budget, why)

@@ -153,17 +153,31 @@ type Op interface {
 // rare enough that the check never shows up in a profile.
 const cancelCheckEvery = 64
 
-// pull draws one row from an operator, attributing it under ExplainAnalyze.
-// All parents (and the executor) pull through this helper, so cancellation
-// is observed at every level of the plan, not just at the root.
-func pull(ctx *Ctx, o Op) (Row, bool, error) {
+// poll advances the pull counter and, every cancelCheckEvery steps, checks
+// Ctx.Cancel, returning its error if the context is done. pull calls it for
+// every parent-child row transfer; leaf operators that loop over their own
+// iteration state without pulling (ContainsScan skipping non-matching
+// candidates, Exchange draining worker channels) must call it once per
+// iteration themselves, or a canceled query would spin to the end of the
+// scan unnoticed.
+func (ctx *Ctx) poll() error {
 	if ctx.Cancel != nil {
 		if ctx.pulls++; ctx.pulls >= cancelCheckEvery {
 			ctx.pulls = 0
 			if err := ctx.Cancel.Err(); err != nil {
-				return nil, false, err
+				return err
 			}
 		}
+	}
+	return nil
+}
+
+// pull draws one row from an operator, attributing it under ExplainAnalyze.
+// All parents (and the executor) pull through this helper, so cancellation
+// is observed at every level of the plan, not just at the root.
+func pull(ctx *Ctx, o Op) (Row, bool, error) {
+	if err := ctx.poll(); err != nil {
+		return nil, false, err
 	}
 	r, ok, err := o.Next(ctx)
 	if ok && err == nil {

@@ -129,6 +129,11 @@ func (o *ContainsScan) Open(ctx *Ctx) error {
 // Next implements Op.
 func (o *ContainsScan) Next(ctx *Ctx) (Row, bool, error) {
 	for o.pos < len(o.refs) {
+		// A selective predicate can reject arbitrarily many candidates per
+		// returned row, so the scan polls cancellation itself.
+		if err := ctx.poll(); err != nil {
+			return nil, false, err
+		}
 		sn, err := ctx.S.StructByRef(o.refs[o.pos], o.Color)
 		if err != nil {
 			return nil, false, err

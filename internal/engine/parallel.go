@@ -111,6 +111,11 @@ func (o *Exchange) Open(ctx *Ctx) error {
 // stream is the in-order concatenation of the parts.
 func (o *Exchange) Next(ctx *Ctx) (Row, bool, error) {
 	for o.cur < len(o.workers) {
+		// Workers observe cancellation through their own contexts; the merge
+		// loop polls too so an exhausted-partition spin can't outlive it.
+		if err := ctx.poll(); err != nil {
+			return nil, false, err
+		}
 		w := o.workers[o.cur]
 		r, ok := <-w.rows
 		if ok {

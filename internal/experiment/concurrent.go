@@ -38,6 +38,11 @@ type ConcurrentConfig struct {
 	Dir string
 	// NoSync disables the per-commit fsync in durable mode.
 	NoSync bool
+	// Validate runs the full core invariant audit (core.Database.Validate)
+	// after the catalog is built and, in durable mode, after the post-run
+	// recovery, reporting the audit's wall time. Durable runs also open with
+	// ValidateInvariants, so every incremental snapshot apply re-audits.
+	Validate bool
 }
 
 // DefaultConcurrent mirrors the CLI defaults.
@@ -68,6 +73,10 @@ type ConcurrentResult struct {
 	CheckpointLoaded bool    `json:"checkpoint_loaded,omitempty"`
 	RecordsReplayed  int     `json:"records_replayed,omitempty"`
 	ChangesReplayed  int     `json:"changes_replayed,omitempty"`
+
+	// Invariant-audit extras (absent unless -validate was given).
+	Validated      bool    `json:"validated,omitempty"`
+	ValidateMillis float64 `json:"validate_millis,omitempty"`
 }
 
 // buildCatalog constructs the benchmark database through the public facade:
@@ -79,7 +88,7 @@ func buildCatalog(cfg ConcurrentConfig) (*colorful.DB, error) {
 	var db *colorful.DB
 	if cfg.Dir != "" {
 		var err error
-		db, err = colorful.OpenOptions(cfg.Dir, colorful.Options{NoSync: cfg.NoSync}, "red", "green")
+		db, err = colorful.OpenOptions(cfg.Dir, colorful.Options{NoSync: cfg.NoSync, ValidateInvariants: cfg.Validate}, "red", "green")
 		if err != nil {
 			return nil, err
 		}
@@ -155,6 +164,16 @@ func Concurrent(cfg ConcurrentConfig) (*ConcurrentResult, error) {
 	// Publish the initial snapshot outside the timed region.
 	if err := db.Refresh(); err != nil {
 		return nil, err
+	}
+	// Audit the freshly loaded catalog outside the timed region; the audit's
+	// own cost is what -validate reports.
+	var validateMillis float64
+	if cfg.Validate {
+		t0 := time.Now()
+		if err := db.Validate(); err != nil {
+			return nil, fmt.Errorf("invariant audit after load: %w", err)
+		}
+		validateMillis += float64(time.Since(t0).Microseconds()) / 1000
 	}
 
 	var (
@@ -238,6 +257,14 @@ update $i { replace $v with "%d" }`, e%100)
 		}
 		recoveryMillis = float64(time.Since(t0).Microseconds()) / 1000
 		rs = rec.Recovery()
+		if cfg.Validate {
+			v0 := time.Now()
+			if verr := rec.Validate(); verr != nil {
+				rec.Close()
+				return nil, fmt.Errorf("invariant audit after recovery: %w", verr)
+			}
+			validateMillis += float64(time.Since(v0).Microseconds()) / 1000
+		}
 		if err := rec.Close(); err != nil {
 			return nil, err
 		}
@@ -265,6 +292,10 @@ update $i { replace $v with "%d" }`, e%100)
 		res.CheckpointLoaded = rs.CheckpointLoaded
 		res.RecordsReplayed = rs.RecordsReplayed
 		res.ChangesReplayed = rs.ChangesReplayed
+	}
+	if cfg.Validate {
+		res.Validated = true
+		res.ValidateMillis = validateMillis
 	}
 	return res, nil
 }
@@ -294,6 +325,9 @@ func FormatConcurrent(r *ConcurrentResult) string {
 			r.NoSync, r.Checkpoints, r.WALBytes)
 		fmt.Fprintf(&b, "recovery:       %.1f ms (checkpoint=%v, %d records / %d changes replayed)\n",
 			r.RecoveryMillis, r.CheckpointLoaded, r.RecordsReplayed, r.ChangesReplayed)
+	}
+	if r.Validated {
+		fmt.Fprintf(&b, "validate:       %.1f ms (full core invariant audit, passed)\n", r.ValidateMillis)
 	}
 	return b.String()
 }

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicSnapshot guards the lock-free reader protocol of DESIGN.md §7: the
+// published store snapshot in package colorful lives in the DB's snap field
+// and is read by queries with no lock held, so it must be declared with a
+// sync/atomic type and touched exclusively through its atomic accessors
+// (Load/Store/Swap/CompareAndSwap). A plain read or assignment — or a
+// retyping of the field to a bare pointer — would be a data race that the
+// race detector only catches when a test happens to interleave it.
+var AtomicSnapshot = &Analyzer{
+	Name: "atomicsnapshot",
+	Doc:  "the published snapshot pointer is only touched via atomic Load/Store",
+	Run:  runAtomicSnapshot,
+}
+
+// atomicAccessors are the sync/atomic methods through which the snap field
+// may be used.
+var atomicAccessors = map[string]bool{
+	"Load": true, "Store": true, "Swap": true, "CompareAndSwap": true,
+}
+
+func runAtomicSnapshot(pass *Pass) error {
+	if pass.Pkg.Name() != "colorful" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		checkSnapFieldDecl(pass, f)
+		checkSnapUses(pass, f)
+	}
+	return nil
+}
+
+// checkSnapFieldDecl flags a snap struct field whose type does not come from
+// sync/atomic — the retyping failure mode.
+func checkSnapFieldDecl(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			for _, name := range field.Names {
+				if name.Name != "snap" {
+					continue
+				}
+				tv, ok := pass.Info.Types[field.Type]
+				if !ok || !isAtomicType(tv.Type) {
+					pass.Reportf(field.Pos(),
+						"snapshot field snap must have a sync/atomic type (atomic.Pointer), not %s: lock-free readers race on a plain pointer",
+						tv.Type)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isAtomicType reports whether t is a named type from sync/atomic.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// checkSnapUses walks with an ancestor stack so each `x.snap` selector can
+// be judged by how its parent expression uses it: the only legal shape is
+// x.snap.<atomic accessor>(...).
+func checkSnapUses(pass *Pass, f *ast.File) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "snap" {
+			return true
+		}
+		// Only field selections (not a method or package member named snap).
+		if s := pass.Info.Selections[sel]; s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		if !snapUseIsAtomic(stack) {
+			pass.Reportf(sel.Pos(),
+				"snapshot pointer snap accessed without an atomic accessor; use snap.Load/snap.Store")
+		}
+		return true
+	})
+}
+
+// snapUseIsAtomic inspects the two ancestors of the x.snap selector at the
+// top of the stack: legal iff they form (x.snap).Accessor(...) — a selector
+// of an atomic accessor that is itself immediately called.
+func snapUseIsAtomic(stack []ast.Node) bool {
+	if len(stack) < 3 {
+		return false
+	}
+	parent, ok := stack[len(stack)-2].(*ast.SelectorExpr)
+	if !ok || !atomicAccessors[parent.Sel.Name] {
+		return false
+	}
+	call, ok := stack[len(stack)-3].(*ast.CallExpr)
+	return ok && ast.Unparen(call.Fun) == parent
+}

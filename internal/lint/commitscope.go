@@ -1,0 +1,329 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+)
+
+// CommitScope enforces the durability contract of DESIGN.md §8: in package
+// colorful, every mutation of the store happens inside a durable commit
+// scope — beginCommit (or Database.Mark, its primitive) opens it, and
+// commitChanges must run on every path before the function returns, exactly
+// once. A mutator that returns between the two leaves acknowledged in-memory
+// state that was never written ahead to the WAL: the next crash silently
+// loses it, which is precisely the failure class the crashtest harness
+// exists to rule out. The analyzer also flags direct core-mutator calls
+// (d.Database.AddElement and friends) in functions with no commit scope at
+// all.
+//
+// The check is a small abstract interpretation over each function body with
+// three states — before the scope, inside it, after it — joined across
+// branches; loops are iterated to a fixed point. Function literals are
+// ignored (a closure body does not run on the enclosing function's path),
+// and beginCommit/commitChanges themselves are exempt.
+var CommitScope = &Analyzer{
+	Name: "commitscope",
+	Doc:  "colorful.DB mutations are bracketed by beginCommit/commitChanges on every path",
+	Run:  runCommitScope,
+}
+
+// coreMutators are the embedded core.Database methods that mutate the store
+// and therefore must be called inside a commit scope.
+var coreMutators = map[string]bool{
+	"AddElement": true, "AddElementText": true, "Adopt": true,
+	"SetText": true, "CopySubtree": true, "AddDatabaseColor": true,
+	"SetAttribute": true, "Rename": true, "RemoveAttribute": true,
+	"AppendText": true, "AddColor": true, "RemoveColor": true,
+	"Append": true, "InsertBefore": true, "Detach": true,
+	"Delete": true, "DeleteSubtree": true,
+}
+
+// commitScopeExempt names the scope machinery itself.
+var commitScopeExempt = map[string]bool{
+	"beginCommit": true, "commitChanges": true, "Mark": true,
+}
+
+// Abstract states, as a bitmask so branch joins are unions.
+type scopeState uint8
+
+const (
+	sBefore scopeState = 1 << iota // no scope opened yet
+	sOpen                          // inside beginCommit..commitChanges
+	sDone                          // scope committed
+	sNone   scopeState = 0         // unreachable (terminated path)
+)
+
+func runCommitScope(pass *Pass) error {
+	if pass.Pkg.Name() != "colorful" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || commitScopeExempt[fd.Name.Name] {
+				continue
+			}
+			checkCommitScope(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkCommitScope(pass *Pass, fd *ast.FuncDecl) {
+	begins, commits, mutators := commitScopeCalls(fd.Body)
+	if len(begins) == 0 && len(commits) == 0 {
+		for _, m := range mutators {
+			pass.Reportf(m.Pos(),
+				"core mutator %s called outside a durable commit scope; bracket it with beginCommit/commitChanges or the mutation will not survive a crash",
+				calleeName(m))
+		}
+		return
+	}
+	fl := &scopeFlow{pass: pass}
+	out := fl.stmt(fd.Body, sBefore)
+	if out&sOpen != 0 {
+		pass.Reportf(fd.Body.Rbrace,
+			"%s can exit with an open commit scope; commitChanges must run on every path after beginCommit",
+			fd.Name.Name)
+	}
+}
+
+// commitScopeCalls collects the function's begin, commit and core-mutator
+// call sites, skipping function literals.
+func commitScopeCalls(body *ast.BlockStmt) (begins, commits, mutators []*ast.CallExpr) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch name := calleeName(call); {
+		case name == "beginCommit" || name == "Mark":
+			begins = append(begins, call)
+		case name == "commitChanges":
+			commits = append(commits, call)
+		case coreMutators[name] && isDatabaseSelector(call):
+			mutators = append(mutators, call)
+		}
+		return true
+	})
+	return
+}
+
+// isDatabaseSelector reports whether the call is spelled x.Database.M(...) —
+// a direct core-database mutator call, as opposed to the locked DB wrapper
+// of the same name.
+func isDatabaseSelector(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	return ok && inner.Sel.Name == "Database"
+}
+
+// scopeFlow evaluates the begin/commit state machine over a function body.
+type scopeFlow struct {
+	pass *Pass
+}
+
+// stmt returns the set of states flowing out of s when entered with in.
+func (fl *scopeFlow) stmt(s ast.Stmt, in scopeState) scopeState {
+	if s == nil || in == sNone {
+		return in
+	}
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range x.List {
+			in = fl.stmt(st, in)
+		}
+		return in
+	case *ast.IfStmt:
+		in = fl.stmt(x.Init, in)
+		in = fl.exprs(in, x.Cond)
+		thenOut := fl.stmt(x.Body, in)
+		elseOut := in
+		if x.Else != nil {
+			elseOut = fl.stmt(x.Else, in)
+		}
+		return thenOut | elseOut
+	case *ast.ForStmt:
+		in = fl.stmt(x.Init, in)
+		in = fl.exprs(in, x.Cond)
+		return fl.loop(in, func(s scopeState) scopeState {
+			s = fl.stmt(x.Body, s)
+			return fl.stmt(x.Post, s)
+		})
+	case *ast.RangeStmt:
+		in = fl.exprs(in, x.X)
+		return fl.loop(in, func(s scopeState) scopeState { return fl.stmt(x.Body, s) })
+	case *ast.SwitchStmt:
+		in = fl.stmt(x.Init, in)
+		in = fl.exprs(in, x.Tag)
+		return fl.cases(in, x.Body)
+	case *ast.TypeSwitchStmt:
+		in = fl.stmt(x.Init, in)
+		in = fl.stmt(x.Assign, in)
+		return fl.cases(in, x.Body)
+	case *ast.SelectStmt:
+		return fl.cases(in, x.Body)
+	case *ast.LabeledStmt:
+		return fl.stmt(x.Stmt, in)
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			in = fl.exprs(in, r)
+		}
+		if in&sOpen != 0 {
+			fl.pass.Reportf(x.Pos(),
+				"return inside an open commit scope skips commitChanges; the mutation would not survive a crash")
+		}
+		return sNone
+	case *ast.BranchStmt:
+		// break/continue/goto: approximate as falling through with the same
+		// state — the loop fixed point absorbs the imprecision.
+		return in
+	case *ast.ExprStmt:
+		if isTerminalCall(x.X) {
+			fl.exprs(in, x.X)
+			return sNone
+		}
+		return fl.exprs(in, x.X)
+	case *ast.AssignStmt:
+		for _, e := range x.Rhs {
+			in = fl.exprs(in, e)
+		}
+		for _, e := range x.Lhs {
+			in = fl.exprs(in, e)
+		}
+		return in
+	case *ast.DeferStmt:
+		// A deferred commitChanges guards every later exit; approximating it
+		// as an immediate transition keeps the machine simple and sound for
+		// the paths that follow the defer.
+		return fl.exprs(in, x.Call)
+	case *ast.GoStmt:
+		return fl.exprs(in, x.Call)
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.EmptyStmt:
+		return fl.scanAll(in, s)
+	default:
+		return fl.scanAll(in, s)
+	}
+}
+
+// loop runs body to a fixed point over the three-state lattice, starting
+// from in (zero iterations included).
+func (fl *scopeFlow) loop(in scopeState, body func(scopeState) scopeState) scopeState {
+	out := in
+	for i := 0; i < 3; i++ {
+		next := out | body(out)
+		if next == out {
+			break
+		}
+		out = next
+	}
+	return out
+}
+
+// cases joins the outcomes of a switch/select body's clauses; a missing
+// default keeps the fall-past path.
+func (fl *scopeFlow) cases(in scopeState, body *ast.BlockStmt) scopeState {
+	out := sNone
+	hasDefault := false
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			s := in
+			for _, e := range c.List {
+				s = fl.exprs(s, e)
+			}
+			if c.List == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+			in = s
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+		}
+		s := in
+		for _, st := range stmts {
+			s = fl.stmt(st, s)
+		}
+		out |= s
+	}
+	if !hasDefault {
+		out |= in
+	}
+	return out
+}
+
+// scanAll applies call transitions for every call under n, in source order.
+func (fl *scopeFlow) scanAll(in scopeState, n ast.Node) scopeState {
+	var calls []*ast.CallExpr
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if c, ok := m.(*ast.CallExpr); ok {
+			calls = append(calls, c)
+		}
+		return true
+	})
+	sort.Slice(calls, func(i, j int) bool { return calls[i].Pos() < calls[j].Pos() })
+	for _, c := range calls {
+		in = fl.transition(in, c)
+	}
+	return in
+}
+
+func (fl *scopeFlow) exprs(in scopeState, e ast.Expr) scopeState {
+	if e == nil {
+		return in
+	}
+	return fl.scanAll(in, e)
+}
+
+// transition applies one call's effect on the state set, reporting misuse.
+func (fl *scopeFlow) transition(in scopeState, call *ast.CallExpr) scopeState {
+	switch name := calleeName(call); {
+	case name == "beginCommit" || name == "Mark":
+		if in&(sOpen|sDone) != 0 {
+			fl.pass.Reportf(call.Pos(),
+				"beginCommit opens a second commit scope in the same function; a mutator commits exactly once")
+		}
+		return sOpen
+	case name == "commitChanges":
+		if in&sOpen == 0 {
+			if in&sDone != 0 {
+				fl.pass.Reportf(call.Pos(), "commitChanges called twice on the same path")
+			} else {
+				fl.pass.Reportf(call.Pos(), "commitChanges without a preceding beginCommit")
+			}
+		}
+		return sDone
+	}
+	return in
+}
+
+// isTerminalCall recognizes statements that end the path: panic(...) and
+// os.Exit(...).
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		if id, ok := fn.X.(*ast.Ident); ok {
+			return id.Name == "os" && fn.Sel.Name == "Exit"
+		}
+	}
+	return false
+}

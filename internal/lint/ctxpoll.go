@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CtxPoll enforces the cancellation discipline of the streaming executor
+// (DESIGN.md §6/§8): every engine operator's Next that contains a loop must
+// reach the periodic cancellation check. Parents that pull child rows get it
+// for free — pull() polls Ctx.Cancel every cancelCheckEvery pulls — but an
+// operator looping over its own iteration state (an index scan skipping
+// non-matching entries, an exchange draining worker channels) makes no pull
+// and would spin past a canceled context for the whole scan. Such loops must
+// call ctx.poll() (or consult ctx.Cancel) themselves.
+//
+// Rule: in package engine, a Next method that contains a loop must reach a
+// cancellation touchpoint somewhere in its body — a call to pull, a call to
+// a method named poll, or a use of the Cancel field. Methods that poll are
+// trusted with their inner bounded loops (copying one row's columns,
+// draining a pending batch); methods with loops and no touchpoint at all
+// are flagged at each outermost loop.
+var CtxPoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc:  "engine operator Next loops must reach the cancellation poll",
+	Run:  runCtxPoll,
+}
+
+func runCtxPoll(pass *Pass) error {
+	if pass.Pkg.Name() != "engine" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != "Next" || fd.Body == nil {
+				continue
+			}
+			checkNextLoops(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkNextLoops flags the outermost loops of a Next body that never
+// reaches a cancellation touchpoint. A body that polls anywhere sanctions
+// its loops: per invocation the poll counter advances, and the engine's
+// inner loops are bounded per pulled row.
+func checkNextLoops(pass *Pass, body *ast.BlockStmt) {
+	if subtreePolls(body) {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			pass.Reportf(n.Pos(),
+				"loop in an operator Next that never reaches the cancellation check; pull child rows through pull(), or call ctx.poll() each iteration")
+			return false // outermost loops only
+		}
+		return true
+	})
+}
+
+// subtreePolls reports whether the loop's subtree contains a cancellation
+// touchpoint: a pull(...) call, a .poll(...) method call, or any use of the
+// Cancel field. Function literals are skipped — a closure's body does not
+// run on this loop's iterations.
+func subtreePolls(loop ast.Node) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			name := calleeName(x)
+			if name == "pull" || name == "poll" {
+				found = true
+				return false
+			}
+		case *ast.SelectorExpr:
+			if x.Sel.Name == "Cancel" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism guards the reproducibility the crash harness and the on-disk
+// format depend on. The crashtest workload must generate identically from a
+// seed (the differential committed-prefix verification replays it on shadow
+// databases), and the WAL and checkpoint encoders must emit identical bytes
+// for identical state (corruption classification and the recovery tests pin
+// exact offsets). Three nondeterminism sources are flagged in the scoped
+// packages (internal/crashtest, internal/wal, internal/storage,
+// internal/pagestore):
+//
+//   - time.Now/Since/Until: wall-clock input;
+//   - math/rand global functions (rand.Intn, rand.Shuffle, ...): process-
+//     global, unseedable state — a seeded rand.New(rand.NewSource(seed)) is
+//     the sanctioned form and stays allowed;
+//   - iteration over a map feeding ordered output (an append or a Write/Put
+//     call in the loop body): map order varies run to run. The sanctioned
+//     pattern — collect keys, sort, then iterate — is recognized by the
+//     enclosing function calling into package sort or slices.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "crashtest workload and WAL/checkpoint encoders must be deterministic",
+	Run:  runDeterminism,
+}
+
+// seededRandCtors are the math/rand functions that build explicitly seeded
+// local generators and are therefore allowed.
+var seededRandCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	scoped := pathHasSuffix(pass.Path, "internal/crashtest") ||
+		pathHasSuffix(pass.Path, "internal/wal") ||
+		pathHasSuffix(pass.Path, "internal/storage") ||
+		pathHasSuffix(pass.Path, "internal/pagestore")
+	if !scoped {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDeterminismFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkDeterminismFunc(pass *Pass, fd *ast.FuncDecl) {
+	sorts := callsSortPackage(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			obj := calleeObj(pass.Info, x)
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if name := obj.Name(); name == "Now" || name == "Since" || name == "Until" {
+					pass.Reportf(x.Pos(),
+						"time.%s in a determinism-critical package; wall-clock input breaks seeded replay", name)
+				}
+			case "math/rand", "math/rand/v2":
+				// Only package-level functions (global generator state);
+				// methods on a locally seeded *rand.Rand are the sanctioned
+				// form.
+				fn, isFunc := obj.(*types.Func)
+				if isFunc && fn.Type().(*types.Signature).Recv() == nil && !seededRandCtors[obj.Name()] {
+					pass.Reportf(x.Pos(),
+						"global %s.%s in a determinism-critical package; use a seeded rand.New(rand.NewSource(seed))",
+						obj.Pkg().Name(), obj.Name())
+				}
+			}
+		case *ast.RangeStmt:
+			if !sorts && rangesOverMap(pass, x) && bodyEmitsOrderedOutput(x.Body) {
+				pass.Reportf(x.Pos(),
+					"map iteration feeds ordered output; collect the keys, sort them, then iterate")
+			}
+		}
+		return true
+	})
+}
+
+func rangesOverMap(pass *Pass, r *ast.RangeStmt) bool {
+	tv, ok := pass.Info.Types[r.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// bodyEmitsOrderedOutput reports whether a loop body appends to a slice or
+// calls an output-shaped method (Write*/Append*/Encode*/Put*/WriteString),
+// the signature of order-sensitive emission. Pure map-to-map copies and
+// aggregations iterate maps harmlessly and are not flagged.
+func bodyEmitsOrderedOutput(body *ast.BlockStmt) bool {
+	emits := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		if name == "append" || hasAnyPrefix(name, "Write", "Append", "Encode", "Put") {
+			emits = true
+			return false
+		}
+		return true
+	})
+	return emits
+}
+
+func hasAnyPrefix(s string, prefixes ...string) bool {
+	for _, p := range prefixes {
+		if len(s) >= len(p) && s[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}
+
+// callsSortPackage reports whether the function calls into package sort or
+// slices anywhere — the marker of the collect-sort-iterate pattern.
+func callsSortPackage(pass *Pass, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj := calleeObj(pass.Info, call); obj != nil && obj.Pkg() != nil {
+			if p := obj.Pkg().Path(); p == "sort" || p == "slices" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// ErrWrapSentinel enforces the error-matching contract the fallback and
+// recovery paths rely on: sentinel errors (plan.ErrUnsupported,
+// wal.ErrCorrupt, pagestore.ErrChecksum, colorful.ErrClosed, ...) travel
+// through fmt.Errorf("%w") chains — colorful.Query falls back to the
+// evaluator only when errors.Is(err, plan.ErrUnsupported) — so:
+//
+//   - comparing an error against a package-level sentinel with == or !=
+//     silently misses every wrapped occurrence; use errors.Is;
+//   - a type assertion to a concrete error type misses wrapped occurrences
+//     the same way; use errors.As;
+//   - passing a sentinel to fmt.Errorf under %v or %s strips it from the
+//     chain, so downstream errors.Is stops matching; use %w.
+//
+// Nil comparisons are exempt, as are the Is/As/Unwrap methods a sentinel
+// type itself defines.
+var ErrWrapSentinel = &Analyzer{
+	Name: "errwrapsentinel",
+	Doc:  "sentinel errors are matched with errors.Is/As and wrapped with %w",
+	Run:  runErrWrapSentinel,
+}
+
+func runErrWrapSentinel(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				// The comparison inside a sentinel type's own Is method is the
+				// one place == is the point.
+				if x.Recv != nil && (x.Name.Name == "Is" || x.Name.Name == "Unwrap") {
+					return false
+				}
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pass, x)
+			case *ast.TypeAssertExpr:
+				checkErrorTypeAssert(pass, x)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelObj returns the package-level error variable e refers to, nil if e
+// is anything else. Both exported sentinels from other packages (selector)
+// and the package's own (identifier) count.
+func sentinelObj(info *types.Info, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return nil
+	}
+	// Package-level: its parent scope is the package scope.
+	if v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !implementsError(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+func isNil(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil" && info.Uses[id] == types.Universe.Lookup("nil")
+}
+
+func checkSentinelCompare(pass *Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	for _, side := range []ast.Expr{b.X, b.Y} {
+		v := sentinelObj(pass.Info, side)
+		if v == nil {
+			continue
+		}
+		other := b.Y
+		if side == b.Y {
+			other = b.X
+		}
+		if isNil(pass.Info, other) {
+			continue
+		}
+		pass.Reportf(b.Pos(),
+			"sentinel error %s compared with %s; use errors.Is so wrapped occurrences match",
+			v.Name(), b.Op)
+		return
+	}
+}
+
+// checkErrorTypeAssert flags err.(*SomeError) where the operand is an error
+// and the asserted type implements error: errors.As sees through wrapping,
+// the assertion does not. Type switches are left alone — they are the
+// idiomatic multi-type dispatch and rarely applied to wrapped chains.
+func checkErrorTypeAssert(pass *Pass, ta *ast.TypeAssertExpr) {
+	if ta.Type == nil {
+		return // type switch guard
+	}
+	operand, ok := pass.Info.Types[ta.X]
+	if !ok || !isErrorInterface(operand.Type) {
+		return // only assertions on values of static type error
+	}
+	asserted, ok := pass.Info.Types[ta.Type]
+	if !ok || !implementsError(asserted.Type) {
+		return
+	}
+	if _, isIface := asserted.Type.Underlying().(*types.Interface); isIface {
+		return // interface-to-interface assertions are not sentinel matching
+	}
+	pass.Reportf(ta.Pos(),
+		"type assertion on an error to %s; use errors.As so wrapped occurrences match", asserted.Type)
+}
+
+func isErrorInterface(t types.Type) bool {
+	iface, ok := t.Underlying().(*types.Interface)
+	return ok && types.Identical(iface, errorType)
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that pass a sentinel error under a
+// verb other than %w.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	if !isPkgFunc(calleeObj(pass.Info, call), "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs, ok := formatVerbs(format)
+	if !ok {
+		return // indexed or otherwise exotic format; out of scope
+	}
+	for i, verb := range verbs {
+		argIdx := 1 + i
+		if argIdx >= len(call.Args) {
+			break
+		}
+		v := sentinelObj(pass.Info, call.Args[argIdx])
+		if v == nil {
+			continue
+		}
+		if verb != 'w' {
+			pass.Reportf(call.Args[argIdx].Pos(),
+				"sentinel error %s formatted with %%%c; use %%w so the chain keeps matching errors.Is",
+				v.Name(), verb)
+		}
+	}
+}
+
+// formatVerbs extracts the verb letter consumed by each successive argument
+// of a Printf-style format. ok is false for formats using explicit argument
+// indexes ([n]), which this simple scanner does not model.
+func formatVerbs(format string) (verbs []byte, ok bool) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Flags, width, precision.
+		for i < len(format) {
+			c := format[i]
+			if c == '%' {
+				break // literal %%
+			}
+			if c == '[' {
+				return nil, false
+			}
+			if c == '*' {
+				verbs = append(verbs, '*') // width/precision consumes an arg
+				i++
+				continue
+			}
+			if (c >= '0' && c <= '9') || c == '+' || c == '-' || c == '#' || c == ' ' || c == '.' {
+				i++
+				continue
+			}
+			verbs = append(verbs, c)
+			break
+		}
+	}
+	return verbs, true
+}

@@ -1,0 +1,185 @@
+// Package lint is a repo-specific static-analysis suite that mechanizes the
+// correctness invariants of the colorful MCT system: production file I/O
+// must flow through internal/vfs, every colorful.DB mutation must sit inside
+// a beginCommit/commitChanges durable commit scope, engine operators must
+// poll cancellation from their row loops, sentinel errors must be compared
+// with errors.Is/errors.As and wrapped with %w, the crash-test workload and
+// the WAL/checkpoint encoders must stay deterministic, and the published
+// query snapshot may be touched only through sync/atomic accessors.
+//
+// The package mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Diagnostic) but is implemented entirely on the standard
+// library: packages are enumerated and compiled with `go list -export`, and
+// type-checked with go/types against the compiled export data of their
+// dependencies. That keeps the module dependency-free — the lint tool runs
+// with the same toolchain that builds the repo and nothing else.
+//
+// Drivers: cmd/mctlint runs every analyzer over a package pattern;
+// internal/lint/linttest runs one analyzer over a testdata fixture module
+// and checks its diagnostics against `// want "regexp"` comments.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check, mirroring analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and test expectations.
+	Name string
+	// Doc is the one-paragraph description printed by `mctlint -help`.
+	Doc string
+	// Run inspects one package and reports findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's non-test syntax trees. Test files are never
+	// loaded, so every analyzer is automatically exempt in tests.
+	Files []*ast.File
+	// Pkg and Info are the go/types results for the package.
+	Pkg  *types.Package
+	Info *types.Info
+	// Path is the package import path (Pkg.Path(), kept separate so scoping
+	// helpers read naturally).
+	Path string
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Report emits a diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf formats and emits a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Finding is a located diagnostic, ready for printing or matching.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Position, f.Message, f.Analyzer)
+}
+
+// Analyzers returns the full suite in a fixed order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		VFSOnly,
+		CommitScope,
+		CtxPoll,
+		ErrWrapSentinel,
+		Determinism,
+		AtomicSnapshot,
+	}
+}
+
+// Run applies the analyzers to every package and returns the findings
+// sorted by file, line, column and analyzer name.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Path:     pkg.Path,
+			}
+			pass.report = func(d Diagnostic) {
+				out = append(out, Finding{
+					Analyzer: a.Name,
+					Position: pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// --- shared scoping and AST helpers ---------------------------------------
+
+// pathHasSuffix reports whether an import path is pkg or ends in "/"+pkg,
+// for suffix-scoped analyzers (fixture modules mirror the repo's layout
+// under their own module path, so suffix matching scopes both).
+func pathHasSuffix(path, pkg string) bool {
+	return path == pkg || strings.HasSuffix(path, "/"+pkg)
+}
+
+// calleeObj resolves a call expression's callee to its types.Object (the
+// function or method being called), unwrapping parens; nil for indirect
+// calls through non-named expressions.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fn]
+	case *ast.SelectorExpr:
+		return info.Uses[fn.Sel]
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is the named function of the named package.
+func isPkgFunc(obj types.Object, pkgPath, name string) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// calleeName returns the bare name a call is spelled with (x.Sel or ident),
+// for syntax-keyed analyzers; "" for other call shapes.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether t (or *t) implements the error interface.
+func implementsError(t types.Type) bool {
+	return types.Implements(t, errorType) || types.Implements(types.NewPointer(t), errorType)
+}

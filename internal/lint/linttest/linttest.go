@@ -1,0 +1,111 @@
+// Package linttest runs one lint.Analyzer over a fixture module and checks
+// its diagnostics against expectations embedded in the fixture source — the
+// stdlib counterpart of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture lives in internal/lint/testdata/src/<name>/: a small, compilable
+// module (its own go.mod keeps it out of the repo module) whose package
+// layout mirrors whatever scoping the analyzer keys on (package name or
+// import-path suffix). A line expecting a diagnostic carries a trailing
+//
+//	// want "regexp"
+//
+// comment; the regexp must match the diagnostic's message. Lines without a
+// want comment must produce no diagnostic. Several want comments on one line
+// expect several diagnostics.
+package linttest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"colorfulxml/internal/lint"
+)
+
+// wantRe extracts the quoted pattern of one want comment.
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// expectation is one want comment: a file, line, and message pattern.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads testdata/src/<fixture> (relative to the test's working
+// directory), applies the analyzer, and reports any mismatch between its
+// diagnostics and the fixture's want comments as test errors.
+func Run(t *testing.T, a *lint.Analyzer, fixture string) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", fixture))
+	if err != nil {
+		t.Fatalf("linttest: resolving fixture %s: %v", fixture, err)
+	}
+	pkgs, err := lint.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("linttest: loading fixture %s: %v", fixture, err)
+	}
+	findings, err := lint.Run(pkgs, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("linttest: running %s on %s: %v", a.Name, fixture, err)
+	}
+
+	expectations, err := collectWants(pkgs)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	for _, f := range findings {
+		if !matchExpectation(expectations, f) {
+			t.Errorf("%s: unexpected diagnostic: %s", fixture, f)
+		}
+	}
+	for _, e := range expectations {
+		if !e.hit {
+			t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none",
+				fixture, filepath.Base(e.file), e.line, e.re)
+		}
+	}
+}
+
+// collectWants scans every loaded file's comments for want expectations.
+func collectWants(pkgs []*lint.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+						pat := strings.ReplaceAll(m[1], `\"`, `"`)
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							pos := pkg.Fset.Position(c.Pos())
+							return nil, fmt.Errorf("%s: bad want pattern %q: %v", pos, pat, err)
+						}
+						pos := pkg.Fset.Position(c.Pos())
+						out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// matchExpectation marks and reports the first unhit expectation on the
+// finding's line whose pattern matches.
+func matchExpectation(exps []*expectation, f lint.Finding) bool {
+	for _, e := range exps {
+		if e.hit || e.line != f.Position.Line || e.file != f.Position.Filename {
+			continue
+		}
+		if e.re.MatchString(f.Message) {
+			e.hit = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,47 @@
+// Package colorful mirrors the snapshot publication protocol: the snap
+// field is read lock-free, so it must be an atomic.Pointer touched only
+// through its accessors.
+package colorful
+
+import "sync/atomic"
+
+type snapshot struct{ gen uint64 }
+
+type DB struct {
+	snap atomic.Pointer[snapshot]
+}
+
+func (d *DB) read() *snapshot {
+	return d.snap.Load()
+}
+
+func (d *DB) publish(s *snapshot) {
+	d.snap.Store(s)
+}
+
+func (d *DB) swapIn(s *snapshot) *snapshot {
+	return d.snap.Swap(s)
+}
+
+func (d *DB) alias() *atomic.Pointer[snapshot] {
+	return &d.snap // want "without an atomic accessor"
+}
+
+type racyDB struct {
+	snap *snapshot // want "must have a sync/atomic type"
+}
+
+func (d *racyDB) read() *snapshot {
+	return d.snap // want "without an atomic accessor"
+}
+
+func (d *racyDB) publish(s *snapshot) {
+	d.snap = s // want "without an atomic accessor"
+}
+
+// A method named snap is not the field; selections distinguish them.
+type other struct{}
+
+func (other) snap() int { return 0 }
+
+func use(o other) int { return o.snap() }

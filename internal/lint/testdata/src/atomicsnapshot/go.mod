@@ -1,0 +1,3 @@
+module atomicsnapfix
+
+go 1.22

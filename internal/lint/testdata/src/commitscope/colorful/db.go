@@ -1,0 +1,94 @@
+// Package colorful mirrors the durable commit-scope protocol the analyzer
+// guards: beginCommit (or Database.Mark) opens a scope, commitChanges closes
+// it, and the embedded Database's mutators may only run in between.
+package colorful
+
+type Database struct{}
+
+func (d *Database) AddElement(parent int, tag string) int { return 0 }
+func (d *Database) Delete(n int)                          {}
+func (d *Database) Mark()                                 {}
+
+type DB struct {
+	Database *Database
+}
+
+func (d *DB) beginCommit()         {}
+func (d *DB) commitChanges() error { return nil }
+
+// Bracketed on every path: conforming.
+func (d *DB) AddElement(parent int, tag string) (int, error) {
+	d.beginCommit()
+	id := d.Database.AddElement(parent, tag)
+	return id, d.commitChanges()
+}
+
+// Mark is beginCommit's primitive and opens the scope the same way.
+func (d *DB) viaMark(parent int) error {
+	d.Database.Mark()
+	d.Database.AddElement(parent, "x")
+	return d.commitChanges()
+}
+
+// An early return between begin and commit loses the mutation on crash.
+func (d *DB) addTwo(parent int) error {
+	d.beginCommit()
+	a := d.Database.AddElement(parent, "a")
+	if a < 0 {
+		return nil // want "return inside an open commit scope"
+	}
+	d.Database.AddElement(parent, "b")
+	return d.commitChanges()
+}
+
+// A second beginCommit in the same function.
+func (d *DB) double(parent int) error {
+	d.beginCommit()
+	d.Database.AddElement(parent, "a")
+	d.beginCommit() // want "second commit scope"
+	return d.commitChanges()
+}
+
+// commitChanges with no scope open.
+func (d *DB) stray() {
+	_ = d.commitChanges() // want "without a preceding beginCommit"
+}
+
+// Committing twice on one path.
+func (d *DB) twice() error {
+	d.beginCommit()
+	if err := d.commitChanges(); err != nil {
+		return err
+	}
+	return d.commitChanges() // want "called twice on the same path"
+}
+
+// Falling off the end with the scope still open.
+func (d *DB) leak(parent int) {
+	d.beginCommit()
+	d.Database.AddElement(parent, "x")
+} // want "can exit with an open commit scope"
+
+// Mutating with no scope at all.
+func (d *DB) naked(parent int) {
+	d.Database.AddElement(parent, "x") // want "outside a durable commit scope"
+	d.Database.Delete(parent)          // want "outside a durable commit scope"
+}
+
+// A loop wholly inside the scope is fine.
+func (d *DB) bulk(parents []int) error {
+	d.beginCommit()
+	for _, p := range parents {
+		d.Database.AddElement(p, "x")
+	}
+	return d.commitChanges()
+}
+
+// Opening the scope inside a loop re-begins on the second iteration.
+func (d *DB) reopen(parents []int) error {
+	for _, p := range parents {
+		d.beginCommit() // want "second commit scope"
+		d.Database.AddElement(p, "x")
+	}
+	return d.commitChanges()
+}

@@ -1,0 +1,3 @@
+module commitscopefix
+
+go 1.22

@@ -1,0 +1,112 @@
+// Package engine mirrors the operator protocol the ctxpoll analyzer guards:
+// a Next implementation that loops must reach the cancellation check — by
+// pulling child rows through pull(), by calling ctx.poll(), or by consulting
+// ctx.Cancel directly.
+package engine
+
+type Ctx struct {
+	Cancel chan struct{}
+	pulls  int
+}
+
+func (c *Ctx) poll() error { return nil }
+
+type Row []int
+
+type Op interface {
+	Next(ctx *Ctx) (Row, bool, error)
+}
+
+func pull(ctx *Ctx, o Op) (Row, bool, error) { return o.Next(ctx) }
+
+// Scan loops over its own iteration state with no touchpoint: flagged.
+type Scan struct {
+	refs []int
+	pos  int
+}
+
+func (o *Scan) Next(ctx *Ctx) (Row, bool, error) {
+	for o.pos < len(o.refs) { // want "never reaches the cancellation check"
+		o.pos++
+		if o.refs[o.pos-1]%2 == 0 {
+			return Row{o.refs[o.pos-1]}, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Non-Next methods are out of scope; their loops are not flagged.
+func (o *Scan) reset() {
+	for i := range o.refs {
+		o.refs[i] = 0
+	}
+}
+
+// PollScan polls each iteration: allowed.
+type PollScan struct {
+	refs []int
+	pos  int
+}
+
+func (o *PollScan) Next(ctx *Ctx) (Row, bool, error) {
+	for o.pos < len(o.refs) {
+		if err := ctx.poll(); err != nil {
+			return nil, false, err
+		}
+		o.pos++
+	}
+	return nil, false, nil
+}
+
+// Project pulls a child row before a bounded per-row copy loop: the pull is
+// the touchpoint, the inner loop is sanctioned.
+type Project struct {
+	Input Op
+	Cols  []int
+}
+
+func (o *Project) Next(ctx *Ctx) (Row, bool, error) {
+	r, ok, err := pull(ctx, o.Input)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	nr := make(Row, len(o.Cols))
+	for j, c := range o.Cols {
+		nr[j] = r[c]
+	}
+	return nr, true, nil
+}
+
+// Drain consults ctx.Cancel directly: allowed.
+type Drain struct {
+	ch chan Row
+}
+
+func (o *Drain) Next(ctx *Ctx) (Row, bool, error) {
+	for {
+		select {
+		case r, ok := <-o.ch:
+			if !ok {
+				return nil, false, nil
+			}
+			return r, true, nil
+		case <-ctx.Cancel:
+			return nil, false, nil
+		}
+	}
+}
+
+// A poll inside a closure does not run on this loop's iterations: still
+// flagged.
+type LazyScan struct {
+	pos int
+}
+
+func (o *LazyScan) Next(ctx *Ctx) (Row, bool, error) {
+	check := func() error { return ctx.poll() }
+	_ = check
+	for o.pos < 10 { // want "never reaches the cancellation check"
+		o.pos++
+	}
+	return nil, false, nil
+}

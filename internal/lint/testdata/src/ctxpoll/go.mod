@@ -1,0 +1,3 @@
+module ctxpollfix
+
+go 1.22

@@ -1,0 +1,3 @@
+module determinismfix
+
+go 1.22

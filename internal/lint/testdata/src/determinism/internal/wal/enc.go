@@ -1,0 +1,52 @@
+// Package wal sits on a scoped import-path suffix (internal/wal) and
+// exercises the three nondeterminism sources: wall clock, global randomness,
+// and map-ordered output.
+package wal
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+func jitter() int {
+	return rand.Intn(100) // want "global rand.Intn"
+}
+
+func seeded(seed int64) int {
+	// The sanctioned form: an explicitly seeded local generator.
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(100)
+}
+
+func encodeBad(m map[uint32][]byte, out *[]byte) {
+	for k, v := range m { // want "map iteration feeds ordered output"
+		_ = k
+		*out = append(*out, v...)
+	}
+}
+
+func encodeGood(m map[uint32][]byte, out *[]byte) {
+	// Collect, sort, iterate: the enclosing sort call sanctions both loops.
+	keys := make([]uint32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		*out = append(*out, m[k]...)
+	}
+}
+
+func tally(m map[string]int) int {
+	// Aggregation is order-insensitive and allowed.
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,61 @@
+// Package errs exercises the sentinel-matching rules: == against a
+// package-level sentinel, type assertions to concrete error types, and
+// fmt.Errorf verbs that strip the chain.
+package errs
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrClosed = errors.New("closed")
+
+type ParseError struct{ Pos int }
+
+func (e *ParseError) Error() string { return "parse" }
+
+// A sentinel type's own Is method is the one place == is the point.
+func (e *ParseError) Is(target error) bool {
+	return target == ErrClosed
+}
+
+func direct(err error) bool {
+	return err == ErrClosed // want "compared with =="
+}
+
+func negated(err error) bool {
+	return err != ErrClosed // want "compared with !="
+}
+
+func nilCheck(err error) bool {
+	// Nil comparisons are exempt.
+	return err == nil
+}
+
+func viaIs(err error) bool {
+	// The sanctioned form.
+	return errors.Is(err, ErrClosed)
+}
+
+func assert(err error) int {
+	if pe, ok := err.(*ParseError); ok { // want "use errors.As"
+		return pe.Pos
+	}
+	return -1
+}
+
+func viaAs(err error) int {
+	var pe *ParseError
+	if errors.As(err, &pe) {
+		return pe.Pos
+	}
+	return -1
+}
+
+func wrapBad() error {
+	return fmt.Errorf("load: %v", ErrClosed) // want "use %w so the chain keeps matching"
+}
+
+func wrapGood(name string) error {
+	return fmt.Errorf("load %s: %w", name, ErrClosed)
+}

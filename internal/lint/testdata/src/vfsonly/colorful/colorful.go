@@ -1,0 +1,12 @@
+// Package colorful is in vfsonly's scope by package name, wherever it lives.
+package colorful
+
+import "os"
+
+func dump(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) // want "direct call to os.WriteFile"
+}
+
+func sweep(dir string) error {
+	return os.RemoveAll(dir) // want "direct call to os.RemoveAll"
+}

@@ -1,0 +1,3 @@
+module vfsonlyfix
+
+go 1.22

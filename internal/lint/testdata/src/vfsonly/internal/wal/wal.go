@@ -1,0 +1,26 @@
+// Package wal is a fixture package whose import path ends in internal/wal,
+// putting it inside vfsonly's scope.
+package wal
+
+import "os"
+
+func create(path string) error {
+	f, err := os.Create(path) // want "direct call to os.Create"
+	if err != nil {
+		return err
+	}
+	_, err = f.Write([]byte("x"))       // want "method call on \*os.File"
+	if cerr := f.Close(); cerr != nil { // want "method call on \*os.File"
+		return cerr
+	}
+	return err
+}
+
+func read(path string) ([]byte, error) {
+	return os.ReadFile(path) // want "direct call to os.ReadFile"
+}
+
+func env() string {
+	// Process helpers are not file I/O and stay allowed.
+	return os.Getenv("HOME")
+}

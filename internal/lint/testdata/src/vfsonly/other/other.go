@@ -1,0 +1,12 @@
+// Package other is outside the durability stack; direct os use is fine.
+package other
+
+import "os"
+
+func Touch(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// VFSOnly enforces the DESIGN.md §8 crash-safety boundary: production
+// packages of the durability stack perform file I/O only through
+// internal/vfs, never by calling package os directly or by holding *os.File
+// handles. The fault-injection harness (vfs.CrashFS) can only tear writes it
+// sees; an os.Create that bypasses the FS abstraction is invisible to it,
+// making every crash-recovery guarantee about that file untested and
+// unenforced.
+//
+// Scope: packages internal/wal, internal/storage, internal/pagestore and
+// colorful. internal/vfs itself (the one place allowed to touch os) is
+// exempt, and test files are never analyzed.
+var VFSOnly = &Analyzer{
+	Name: "vfsonly",
+	Doc:  "production file I/O must go through internal/vfs, not package os",
+	Run:  runVFSOnly,
+}
+
+// osFileOps are the package-os filesystem entry points the durability stack
+// must not call directly. Pure process/environment helpers (os.Getenv,
+// os.Exit) are not file I/O and stay allowed.
+var osFileOps = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "Rename": true, "Remove": true,
+	"RemoveAll": true, "ReadDir": true, "Mkdir": true, "MkdirAll": true,
+	"MkdirTemp": true, "Stat": true, "Lstat": true, "Truncate": true,
+	"Chmod": true, "Chtimes": true, "Link": true, "Symlink": true,
+	"NewFile": true, "Pipe": true,
+}
+
+func runVFSOnly(pass *Pass) error {
+	scoped := pass.Pkg.Name() == "colorful" ||
+		pathHasSuffix(pass.Path, "internal/wal") ||
+		pathHasSuffix(pass.Path, "internal/storage") ||
+		pathHasSuffix(pass.Path, "internal/pagestore")
+	if !scoped || pathHasSuffix(pass.Path, "internal/vfs") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			if obj == nil {
+				return true
+			}
+			// Direct package-os filesystem calls.
+			if isPkgObj(obj, "os") && osFileOps[obj.Name()] {
+				pass.Reportf(call.Pos(),
+					"direct call to os.%s in a durability-critical package; all file I/O must go through internal/vfs so CrashFS fault injection covers it",
+					obj.Name())
+				return true
+			}
+			// Method calls on a raw *os.File handle.
+			if s := pass.Info.Selections[sel]; s != nil && isOSFile(s.Recv()) {
+				pass.Reportf(call.Pos(),
+					"method call on *os.File in a durability-critical package; hold a vfs.File so CrashFS fault injection covers it")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isPkgObj reports whether obj belongs to the package with the given path.
+func isPkgObj(obj types.Object, pkgPath string) bool {
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// isOSFile reports whether t is os.File or *os.File.
+func isOSFile(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "File" && obj.Pkg() != nil && obj.Pkg().Path() == "os"
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sort"
 )
 
 // This file is the on-disk page format of the durable store. A page dump is
@@ -66,11 +67,7 @@ func (s *Store) DumpPages(w io.Writer) error {
 	for id := range s.files {
 		ids = append(ids, id)
 	}
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		if err := put(uint32(id)); err != nil {
 			return err

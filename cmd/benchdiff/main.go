@@ -1,0 +1,72 @@
+// Command benchdiff is the CI benchmark-regression gate: it compares the
+// "BENCH {...}" JSON lines of a current benchmark run against a checked-in
+// baseline and fails when throughput drops — or p95 latency rises — by more
+// than the allowed fraction.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_baseline.json -current BENCH_pr.json [-max-regress 0.30]
+//
+// Both inputs may be raw mctbench output (BENCH lines mixed with the human
+// report) and may contain several repetitions per benchmark; the best
+// repetition per benchmark is compared (see internal/benchdiff). Exit
+// status: 0 clean, 1 regression detected, 2 usage or input error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"colorfulxml/internal/benchdiff"
+)
+
+func main() {
+	var (
+		baseline   = flag.String("baseline", "", "baseline BENCH file (required)")
+		current    = flag.String("current", "", "current BENCH file (required)")
+		maxRegress = flag.Float64("max-regress", 0.30, "allowed fractional regression per metric")
+	)
+	flag.Parse()
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if *baseline == "" || *current == "" {
+		fail(fmt.Errorf("both -baseline and -current are required"))
+	}
+	base, err := parseFile(*baseline)
+	if err != nil {
+		fail(err)
+	}
+	cur, err := parseFile(*current)
+	if err != nil {
+		fail(err)
+	}
+	if len(base) == 0 {
+		fail(fmt.Errorf("%s contains no BENCH lines", *baseline))
+	}
+	bestBase, bestCur := benchdiff.Best(base), benchdiff.Best(cur)
+	regs, err := benchdiff.Compare(bestBase, bestCur, *maxRegress)
+	if err != nil {
+		fail(err)
+	}
+	benchdiff.Format(os.Stdout, bestBase, bestCur, regs)
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchdiff: %d regression(s) beyond %.0f%%:\n", len(regs), *maxRegress*100)
+		for _, g := range regs {
+			fmt.Fprintln(os.Stderr, " ", g)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchdiff: all benchmarks within %.0f%% of baseline\n", *maxRegress*100)
+}
+
+func parseFile(path string) ([]benchdiff.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return benchdiff.Parse(f)
+}

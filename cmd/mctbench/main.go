@@ -25,11 +25,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"colorfulxml/internal/experiment"
+	"colorfulxml/internal/obs"
 )
 
 func main() {
@@ -54,6 +56,7 @@ func main() {
 		durable   = flag.String("durable", "", "durable concurrent mode: database directory (WAL + checkpoints)")
 		nosync    = flag.Bool("nosync", false, "with -durable: skip the per-commit fsync")
 		validate  = flag.Bool("validate", false, "run the core invariant audit after load and recovery, reporting its wall time")
+		obsDump   = flag.String("obs-dump", "", "write the final observability registry snapshot to FILE as indented JSON")
 	)
 	flag.Parse()
 
@@ -61,6 +64,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mctbench:", err)
 		os.Exit(1)
 	}
+	// Dump the instrument registry after whichever mode ran, so a harness can
+	// inspect engine/storage/WAL counters without parsing the BENCH line.
+	defer func() {
+		if *obsDump == "" {
+			return
+		}
+		b, err := json.MarshalIndent(obs.Default.Snapshot(), "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*obsDump, append(b, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+	}()
 
 	if *clients > 0 {
 		res, err := experiment.Concurrent(experiment.ConcurrentConfig{

@@ -13,7 +13,9 @@
 // (beginCommit/commitChanges bracketing), ctxpoll (operator cancellation
 // polls), errwrapsentinel (errors.Is/As and %w for sentinels), determinism
 // (seeded randomness and sorted map iteration in crashtest/WAL/checkpoint
-// code), atomicsnapshot (atomic access to the published snapshot).
+// code), atomicsnapshot (atomic access to the published snapshot),
+// obsregister (obs instruments registered once, at package init, under
+// snake_case literal names).
 package main
 
 import (

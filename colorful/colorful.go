@@ -31,6 +31,7 @@ import (
 	"colorfulxml/internal/core"
 	"colorfulxml/internal/engine"
 	"colorfulxml/internal/mcxquery"
+	"colorfulxml/internal/obs"
 	"colorfulxml/internal/pathexpr"
 	"colorfulxml/internal/plan"
 	"colorfulxml/internal/serialize"
@@ -82,6 +83,10 @@ type DB struct {
 	parallelWorkers   atomic.Int64
 	parallelThreshold atomic.Int64
 
+	// Slow-query log (see obs.go): threshold in nanoseconds, 0 = disabled.
+	slow          *obs.SlowLog
+	slowThreshold atomic.Int64
+
 	// Durability (nil/zero for in-memory databases; see durable.go). dur
 	// and durErr are guarded by mu; a non-nil durErr poisons all further
 	// durable commits.
@@ -108,6 +113,7 @@ func wrap(db *core.Database) *DB {
 		Database: db,
 		ev:       mcxquery.NewEvaluator(db),
 		ex:       update.NewExecutor(db),
+		slow:     obs.NewSlowLog(slowLogCapacity),
 	}
 }
 
@@ -138,19 +144,28 @@ func (d *DB) Query(src string) ([]Item, error) {
 // abort with the context's error; the evaluator path honors the context at
 // entry. A canceled read-only query leaves the database untouched.
 func (d *DB) QueryContext(ctx context.Context, src string) ([]Item, error) {
+	sw := obs.Start()
+	out, route, err := d.queryRouted(ctx, src)
+	d.observeQuery(src, sw.ElapsedNanos(), len(out), route, err)
+	return out, err
+}
+
+// queryRouted runs one query and reports which route served it. All DB locks
+// are released by the time it returns, so observers may re-enter the DB.
+func (d *DB) queryRouted(ctx context.Context, src string) ([]Item, queryRoute, error) {
 	e, perr := mcxquery.ParseQuery(src)
 	readOnly := perr == nil && !plan.HasConstructors(e)
 	if readOnly {
 		out, cerr := d.queryCompiled(ctx, e)
 		if cerr == nil {
-			return out, nil
+			return out, routeCompiled, nil
 		}
 		if !errors.Is(cerr, plan.ErrUnsupported) {
-			return nil, cerr
+			return nil, routeCompiled, cerr
 		}
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, routeEvaluator, err
 	}
 	// Evaluator path. Constructor queries mutate the database and need the
 	// writer lock; unsupported-but-read-only queries (and parse errors,
@@ -158,7 +173,8 @@ func (d *DB) QueryContext(ctx context.Context, src string) ([]Item, error) {
 	if readOnly || perr != nil {
 		d.mu.RLock()
 		defer d.mu.RUnlock()
-		return d.evalItems(src)
+		out, err := d.evalItems(src)
+		return out, routeEvaluator, err
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -170,7 +186,7 @@ func (d *DB) QueryContext(ctx context.Context, src string) ([]Item, error) {
 	if cerr := d.commitChanges(m); err == nil && cerr != nil {
 		err = cerr
 	}
-	return out, err
+	return out, routeConstructor, err
 }
 
 // evalItems runs the reference evaluator under a lock the caller holds.
@@ -202,10 +218,14 @@ func (d *DB) queryCompiled(ctx context.Context, e pathexpr.Expr) ([]Item, error)
 	if err != nil {
 		return nil, err
 	}
-	// Map structural nodes back to live core nodes under one shared lock, so
-	// all returned values come from a single statement-boundary state even
-	// when writers run concurrently. Nodes deleted since the snapshot was
-	// taken contribute no item.
+	return d.mapRows(rows, c), nil
+}
+
+// mapRows maps structural result rows back to live core nodes under one
+// shared lock, so all returned values come from a single statement-boundary
+// state even when writers run concurrently. Nodes deleted since the snapshot
+// was taken contribute no item.
+func (d *DB) mapRows(rows []engine.Row, c *plan.Compiled) []Item {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	out := make([]Item, 0, len(rows))
@@ -228,7 +248,7 @@ func (d *DB) queryCompiled(ctx context.Context, e pathexpr.Expr) ([]Item, error)
 		out = append(out, Item{Node: n, Color: sn.Color,
 			Value: pathexpr.ItemString(pathexpr.NodeItem(n, sn.Color))})
 	}
-	return out, nil
+	return out
 }
 
 // Path evaluates a single colored path expression with optional variable
@@ -305,6 +325,7 @@ type UpdateResult struct {
 // refreshed eagerly so the maintenance cost is paid by the writer, not by
 // the next reader.
 func (d *DB) Update(src string) (UpdateResult, error) {
+	obsUpdates.Inc()
 	d.mu.Lock()
 	m := d.beginCommit()
 	res, err := d.ex.Apply(src)

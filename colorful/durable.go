@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"colorfulxml/internal/core"
+	"colorfulxml/internal/obs"
 	"colorfulxml/internal/storage"
 	"colorfulxml/internal/vfs"
 	"colorfulxml/internal/wal"
@@ -228,6 +229,7 @@ func (d *DB) commitChanges(m core.ChangeMark) error {
 // checkpointLocked rotates the WAL and synchronously installs a checkpoint
 // of the current state. Caller holds d.mu exclusively.
 func (d *DB) checkpointLocked() error {
+	sw := obs.Start()
 	d.ckptWG.Wait() // serialize with an in-flight background install
 	if err := d.takeCkptErr(); err != nil {
 		d.durErr = fmt.Errorf("colorful: background checkpoint failed, database is no longer durable: %w", err)
@@ -248,6 +250,8 @@ func (d *DB) checkpointLocked() error {
 		return d.durErr
 	}
 	d.checkpoints.Add(1)
+	obsCheckpoints.Inc()
+	obsCheckpointNanos.Observe(sw.ElapsedNanos())
 	return nil
 }
 
@@ -274,6 +278,7 @@ func (d *DB) autoCheckpointLocked() {
 	}
 	dur := d.dur
 	d.ckptWG.Add(1)
+	sw := obs.Start()
 	go func() {
 		defer d.ckptWG.Done()
 		defer d.ckptBusy.Store(false)
@@ -282,6 +287,8 @@ func (d *DB) autoCheckpointLocked() {
 			return
 		}
 		d.checkpoints.Add(1)
+		obsCheckpoints.Inc()
+		obsCheckpointNanos.Observe(sw.ElapsedNanos())
 	}()
 }
 

@@ -1,0 +1,112 @@
+package colorful
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"colorfulxml/internal/obs"
+)
+
+// DB-level instruments: query traffic by route (compiled plan, evaluator
+// fallback, constructor), end-to-end query latency, context cancellations,
+// snapshot maintenance mirrored from MaintStats, and checkpoint activity.
+// Every DB in the process feeds the same process-wide instruments; per-DB
+// numbers remain available through MaintStats and DurabilityStats.
+var (
+	obsQueries       = obs.NewCounter("db_queries_total")
+	obsCompiled      = obs.NewCounter("db_compiled_queries_total")
+	obsFallbacks     = obs.NewCounter("db_evaluator_fallbacks_total")
+	obsConstructors  = obs.NewCounter("db_constructor_queries_total")
+	obsQueryErrors   = obs.NewCounter("db_query_errors_total")
+	obsCancellations = obs.NewCounter("db_ctx_cancellations_total")
+	obsUpdates       = obs.NewCounter("db_updates_total")
+	obsSlowQueries   = obs.NewCounter("db_slow_queries_total")
+
+	obsQueryNanos = obs.NewHistogram("db_query_nanos")
+
+	obsSnapApplies   = obs.NewCounter("db_snapshot_incremental_applies_total")
+	obsSnapRebuilds  = obs.NewCounter("db_snapshot_full_rebuilds_total")
+	obsSnapPublishes = obs.NewCounter("db_snapshot_publishes_total")
+
+	obsCheckpoints     = obs.NewCounter("db_checkpoints_total")
+	obsCheckpointNanos = obs.NewHistogram("db_checkpoint_nanos")
+)
+
+// SlowQuery re-exports the slow-query log entry type.
+type SlowQuery = obs.SlowQuery
+
+// slowLogCapacity is the number of slow-query entries each DB retains.
+const slowLogCapacity = 32
+
+// queryRoute classifies how a query was served, for metrics and the slow log.
+type queryRoute int8
+
+const (
+	// routeCompiled: the automatic plan compiler + streaming engine.
+	routeCompiled queryRoute = iota
+	// routeEvaluator: the reference evaluator, because the compiler rejected
+	// the query (plan.ErrUnsupported) or it failed to parse.
+	routeEvaluator
+	// routeConstructor: the evaluator under the writer lock, because the
+	// query constructs nodes.
+	routeConstructor
+)
+
+// SetSlowQueryThreshold enables the slow-query log: queries taking at least
+// threshold land in a ring buffer retaining the most recent offenders,
+// each entry carrying the query text, latency, row count, and — for
+// successful compiled queries — the physical plan annotated with
+// per-operator execution statistics. A zero or negative threshold disables
+// logging (the default). Safe to call at any time.
+func (d *DB) SetSlowQueryThreshold(threshold time.Duration) {
+	d.slowThreshold.Store(int64(threshold))
+}
+
+// SlowQueries returns the retained slow-query log entries, newest first.
+func (d *DB) SlowQueries() []SlowQuery { return d.slow.Entries() }
+
+// observeQuery records one finished query: traffic counters, the latency
+// histogram, and (past the threshold) a slow-log entry. It runs with no DB
+// locks held, so the plan re-analysis for the slow log is safe.
+func (d *DB) observeQuery(src string, nanos int64, rows int, route queryRoute, err error) {
+	obsQueries.Inc()
+	obsQueryNanos.Observe(nanos)
+	switch route {
+	case routeCompiled:
+		obsCompiled.Inc()
+	case routeEvaluator:
+		obsFallbacks.Inc()
+	case routeConstructor:
+		obsConstructors.Inc()
+	}
+	if err != nil {
+		obsQueryErrors.Inc()
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			obsCancellations.Inc()
+		}
+	}
+	thr := d.slowThreshold.Load()
+	if thr <= 0 || nanos < thr {
+		return
+	}
+	obsSlowQueries.Inc()
+	e := SlowQuery{
+		Query:     src,
+		Millis:    float64(nanos) / 1e6,
+		Rows:      rows,
+		Fallback:  route != routeCompiled,
+		UnixNanos: time.Now().UnixNano(),
+	}
+	if err != nil {
+		e.Err = err.Error()
+	} else if route == routeCompiled {
+		// Capture the annotated physical plan by re-analyzing against the
+		// current snapshot. Best-effort: a compile refused by a snapshot
+		// rebuild in flight just leaves the plan empty.
+		if text, perr := d.Explain(src); perr == nil {
+			e.Plan = text
+		}
+	}
+	d.slow.Add(e)
+}

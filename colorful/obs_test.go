@@ -1,0 +1,261 @@
+package colorful
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"colorfulxml/internal/fixtures"
+	"colorfulxml/internal/obs"
+)
+
+const redMoviesQuery = `document("db")/{red}descendant::movie`
+
+// TestTraceQueryPhases: a compiled query's trace carries every phase span,
+// and the execute span mirrors the physical plan as operator child spans.
+func TestTraceQueryPhases(t *testing.T) {
+	db := wrap(fixtures.NewMovieDB().DB)
+	out, root, err := db.TraceQuery(context.Background(), redMoviesQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("traced query returned nothing")
+	}
+	for _, phase := range []string{"parse", "snapshot", "compile", "execute", "map-results"} {
+		if root.Find(phase) == nil {
+			t.Errorf("trace lacks a %q span:\n%s", phase, TraceText(root))
+		}
+	}
+	ex := root.Find("execute")
+	if ex == nil {
+		t.Fatal("no execute span")
+	}
+	if len(ex.Children()) == 0 {
+		t.Fatalf("execute span has no operator children:\n%s", TraceText(root))
+	}
+	// The root operator span reports the result cardinality.
+	var rows string
+	for _, a := range ex.Children()[0].Attrs() {
+		if a.Key == "rows" {
+			rows = a.Value
+		}
+	}
+	if rows != fmt.Sprint(len(out)) {
+		t.Fatalf("root operator span rows = %q, want %d", rows, len(out))
+	}
+	// The tree must export as JSON.
+	if _, err := root.JSON(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceSpanParentingAcrossExchange: with parallel execution forced, the
+// partition operator subtrees executed on worker goroutines must appear as
+// children of the Exchange span — worker stats are merged back when the
+// exchange closes, so attribution survives the goroutine boundary.
+func TestTraceSpanParentingAcrossExchange(t *testing.T) {
+	db := New("red")
+	root, err := db.AddElement(db.Document(), "lib", "red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const items = 500
+	for i := 0; i < items; i++ {
+		if _, err := db.AddElementText(root, "item", "red", fmt.Sprintf("v%d", i%7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.SetParallel(true)
+	db.SetParallelWorkers(2)
+	db.SetParallelThreshold(1)
+
+	out, tr, err := db.TraceQuery(context.Background(), `document("db")/{red}descendant::item`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != items {
+		t.Fatalf("parallel traced query returned %d items, want %d", len(out), items)
+	}
+	var exchange *obs.Span
+	var walk func(s *obs.Span)
+	walk = func(s *obs.Span) {
+		if strings.HasPrefix(s.Name(), "Exchange[") {
+			exchange = s
+			return
+		}
+		for _, c := range s.Children() {
+			walk(c)
+		}
+	}
+	walk(tr)
+	if exchange == nil {
+		t.Fatalf("no Exchange span in trace:\n%s", TraceText(tr))
+	}
+	kids := exchange.Children()
+	if len(kids) != 2 {
+		t.Fatalf("Exchange span has %d children, want 2 partition subtrees:\n%s",
+			len(kids), TraceText(tr))
+	}
+	// Each partition subtree saw real rows, proving worker-side stats reached
+	// the merged span tree.
+	total := 0
+	for _, k := range kids {
+		for _, a := range k.Attrs() {
+			if a.Key == "rows" {
+				var n int
+				fmt.Sscanf(a.Value, "%d", &n)
+				total += n
+			}
+		}
+	}
+	if total != items {
+		t.Fatalf("partition spans account for %d rows, want %d:\n%s", total, items, TraceText(tr))
+	}
+}
+
+// TestSlowQueryLogCapture: past the threshold, compiled queries land in the
+// slow log with their annotated plan; evaluator-served queries are marked as
+// fallbacks with no plan.
+func TestSlowQueryLogCapture(t *testing.T) {
+	db := wrap(fixtures.NewMovieDB().DB)
+	if got := db.SlowQueries(); len(got) != 0 {
+		t.Fatalf("fresh DB has %d slow queries", len(got))
+	}
+	// Threshold zero (default) records nothing.
+	if _, err := db.Query(redMoviesQuery); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.SlowQueries(); len(got) != 0 {
+		t.Fatalf("disabled slow log captured %d entries", len(got))
+	}
+
+	db.SetSlowQueryThreshold(time.Nanosecond) // everything is slow
+	if _, err := db.Query(redMoviesQuery); err != nil {
+		t.Fatal(err)
+	}
+	evalQuery := `for $m in document("db")/{red}descendant::movie
+	 order by $m/{red}child::name return $m/{red}child::name`
+	if _, err := db.Query(evalQuery); err != nil {
+		t.Fatal(err)
+	}
+	entries := db.SlowQueries()
+	if len(entries) != 2 {
+		t.Fatalf("slow log has %d entries, want 2: %+v", len(entries), entries)
+	}
+	// Newest first: the evaluator query, then the compiled one.
+	if !entries[0].Fallback || entries[0].Plan != "" {
+		t.Fatalf("evaluator entry not marked fallback/plan-free: %+v", entries[0])
+	}
+	compiled := entries[1]
+	if compiled.Fallback {
+		t.Fatalf("compiled entry marked fallback: %+v", compiled)
+	}
+	if !strings.Contains(compiled.Plan, "rows=") {
+		t.Fatalf("compiled entry lacks an annotated plan: %+v", compiled)
+	}
+	if compiled.Query != redMoviesQuery || compiled.Rows == 0 || compiled.Millis < 0 {
+		t.Fatalf("bad compiled slow-log entry: %+v", compiled)
+	}
+}
+
+// TestServeDebugEndToEnd: /debug/metrics reflects a query run just before
+// the request, /debug/slowlog serves the DB's ring, and /debug/trace runs a
+// read-only query (rejecting constructors).
+func TestServeDebugEndToEnd(t *testing.T) {
+	db := wrap(fixtures.NewMovieDB().DB)
+	db.SetSlowQueryThreshold(time.Nanosecond)
+	srv, err := db.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	before := obs.Default.Snapshot().Counters["db_queries_total"]
+	if _, err := db.Query(redMoviesQuery); err != nil {
+		t.Fatal(err)
+	}
+
+	var snap obs.Snapshot
+	getJSON(t, base+"/debug/metrics", &snap)
+	if got := snap.Counters["db_queries_total"]; got != before+1 {
+		t.Fatalf("db_queries_total = %d over the endpoint, want %d", got, before+1)
+	}
+	if _, ok := snap.Histograms["db_query_nanos"]; !ok {
+		t.Fatal("metrics snapshot lacks db_query_nanos histogram")
+	}
+
+	// Text format renders sorted lines.
+	text := getBody(t, base+"/debug/metrics?format=text")
+	if !strings.Contains(text, "counter db_queries_total ") {
+		t.Fatalf("text metrics lack db_queries_total:\n%s", text)
+	}
+
+	var slow []SlowQuery
+	getJSON(t, base+"/debug/slowlog", &slow)
+	if len(slow) == 0 || slow[0].Query != redMoviesQuery {
+		t.Fatalf("slowlog endpoint returned %+v", slow)
+	}
+
+	// Tracing a read-only query returns the span tree.
+	var span struct {
+		Name     string            `json:"name"`
+		Children []json.RawMessage `json:"children"`
+	}
+	getJSON(t, base+"/debug/trace?q="+url.QueryEscape(redMoviesQuery), &span)
+	if span.Name != "query" || len(span.Children) == 0 {
+		t.Fatalf("trace endpoint returned %+v", span)
+	}
+
+	// Constructor queries are rejected before execution.
+	resp, err := http.Get(base + "/debug/trace?q=" + url.QueryEscape(
+		`createColor(black, <x>{ document("db")/{red}descendant::movie }</x>)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("constructor trace: status %d, want 400", resp.StatusCode)
+	}
+
+	// The pprof index answers.
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: status %d", resp.StatusCode)
+	}
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, b)
+	}
+	return string(b)
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	if err := json.Unmarshal([]byte(getBody(t, url)), v); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}

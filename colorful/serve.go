@@ -137,6 +137,7 @@ func (d *DB) refreshSnapshotLocked() (*snapshot, error) {
 				return nil, verr
 			}
 			d.incrementalApplies.Add(1)
+			obsSnapApplies.Inc()
 			return d.publish(clone, gen), nil
 		}
 		// Replay failed (e.g. a ChangeComplex entry): discard the clone and
@@ -147,6 +148,7 @@ func (d *DB) refreshSnapshotLocked() (*snapshot, error) {
 		return nil, err
 	}
 	d.fullRebuilds.Add(1)
+	obsSnapRebuilds.Inc()
 	return d.publish(st, gen), nil
 }
 
@@ -169,5 +171,6 @@ func (d *DB) publish(st *storage.Store, gen uint64) *snapshot {
 	sp := &snapshot{st: st, gen: gen}
 	d.snap.Store(sp)
 	d.publishes.Add(1)
+	obsSnapPublishes.Inc()
 	return sp
 }

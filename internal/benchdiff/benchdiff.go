@@ -1,0 +1,173 @@
+// Package benchdiff compares machine-readable benchmark results ("BENCH
+// {...}" JSON lines emitted by mctbench) against a checked-in baseline, the
+// logic behind the CI benchmark-regression gate.
+//
+// Noise discipline: a benchmark is run several times and the best repetition
+// per named benchmark is compared (highest throughput, lowest p95 latency —
+// independently, since the fastest run need not have the quietest tail).
+// Best-of-N filters scheduler and filesystem noise far better than the mean;
+// a genuine regression depresses every repetition, so it survives the
+// filter, while a single noisy run does not condemn the build.
+package benchdiff
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// benchPrefix marks a machine-readable result line in mixed output.
+const benchPrefix = "BENCH "
+
+// Result is one parsed BENCH line; fields irrelevant to regression gating
+// are ignored.
+type Result struct {
+	Name      string  `json:"name"`
+	QPS       float64 `json:"qps"`
+	P95Micros float64 `json:"p95_micros"`
+}
+
+// Parse extracts every BENCH line from mixed benchmark output. Lines that
+// do not start with the BENCH prefix are ignored; a BENCH line that fails
+// to decode or lacks a name is an error (a malformed gate input should fail
+// loudly, not vanish).
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, benchPrefix) {
+			continue
+		}
+		var res Result
+		if err := json.Unmarshal([]byte(line[len(benchPrefix):]), &res); err != nil {
+			return nil, fmt.Errorf("benchdiff: line %d: %w", lineNo, err)
+		}
+		if res.Name == "" {
+			return nil, fmt.Errorf("benchdiff: line %d: BENCH record has no name", lineNo)
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Best folds repetitions down to one Result per benchmark name: the highest
+// throughput and the lowest nonzero p95 seen, taken independently.
+func Best(rs []Result) map[string]Result {
+	best := map[string]Result{}
+	for _, r := range rs {
+		b, ok := best[r.Name]
+		if !ok {
+			best[r.Name] = r
+			continue
+		}
+		if r.QPS > b.QPS {
+			b.QPS = r.QPS
+		}
+		if r.P95Micros > 0 && (b.P95Micros == 0 || r.P95Micros < b.P95Micros) {
+			b.P95Micros = r.P95Micros
+		}
+		best[r.Name] = b
+	}
+	return best
+}
+
+// Regression is one gate violation: a metric moved the wrong way by more
+// than the allowed fraction.
+type Regression struct {
+	Name     string
+	Metric   string // "qps" or "p95_micros"
+	Baseline float64
+	Current  float64
+	// Change is the relative movement in the harmful direction (0.5 = 50%
+	// worse than baseline).
+	Change float64
+}
+
+func (g Regression) String() string {
+	return fmt.Sprintf("%s: %s regressed %.0f%% (baseline %.1f, current %.1f)",
+		g.Name, g.Metric, g.Change*100, g.Baseline, g.Current)
+}
+
+// Compare gates current against baseline: for every benchmark in the
+// baseline, throughput must not drop — nor p95 latency rise — by more than
+// maxRegress (a fraction, e.g. 0.30). A baseline benchmark missing from
+// current entirely is an error: a gate that silently skips a vanished
+// benchmark is no gate.
+func Compare(baseline, current map[string]Result, maxRegress float64) ([]Regression, error) {
+	var out []Regression
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := current[name]
+		if !ok {
+			return nil, fmt.Errorf("benchdiff: benchmark %q present in baseline but missing from current results", name)
+		}
+		if base.QPS > 0 {
+			if drop := (base.QPS - cur.QPS) / base.QPS; drop > maxRegress {
+				out = append(out, Regression{
+					Name: name, Metric: "qps",
+					Baseline: base.QPS, Current: cur.QPS, Change: drop,
+				})
+			}
+		}
+		if base.P95Micros > 0 && cur.P95Micros > 0 {
+			if rise := (cur.P95Micros - base.P95Micros) / base.P95Micros; rise > maxRegress {
+				out = append(out, Regression{
+					Name: name, Metric: "p95_micros",
+					Baseline: base.P95Micros, Current: cur.P95Micros, Change: rise,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Format renders a comparison table of every baseline benchmark, marking
+// gate violations, for the CI log.
+func Format(w io.Writer, baseline, current map[string]Result, regs []Regression) {
+	violated := map[string]bool{}
+	for _, g := range regs {
+		violated[g.Name+"/"+g.Metric] = true
+	}
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-24s %12s %12s %8s   %12s %12s %8s\n",
+		"benchmark", "base qps", "cur qps", "Δ", "base p95µs", "cur p95µs", "Δ")
+	for _, name := range names {
+		base, cur := baseline[name], current[name]
+		mark := func(metric string, delta float64) string {
+			s := fmt.Sprintf("%+.0f%%", delta*100)
+			if violated[name+"/"+metric] {
+				s += " !"
+			}
+			return s
+		}
+		qpsDelta, p95Delta := 0.0, 0.0
+		if base.QPS > 0 {
+			qpsDelta = (cur.QPS - base.QPS) / base.QPS
+		}
+		if base.P95Micros > 0 {
+			p95Delta = (cur.P95Micros - base.P95Micros) / base.P95Micros
+		}
+		fmt.Fprintf(w, "%-24s %12.1f %12.1f %8s   %12.1f %12.1f %8s\n",
+			name, base.QPS, cur.QPS, mark("qps", qpsDelta),
+			base.P95Micros, cur.P95Micros, mark("p95_micros", p95Delta))
+	}
+}

@@ -1,0 +1,131 @@
+package benchdiff
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func line(name string, qps, p95 float64) string {
+	return fmt.Sprintf(`BENCH {"name":%q,"qps":%g,"p95_micros":%g,"queries":800}`, name, qps, p95)
+}
+
+func mustParse(t *testing.T, text string) []Result {
+	t.Helper()
+	rs, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func TestParseSkipsNoise(t *testing.T) {
+	text := strings.Join([]string{
+		"=== Concurrent serving throughput ===",
+		"total queries:  800 in 1000.0 ms (800 queries/s)",
+		line("concurrent", 800, 1200),
+		"latency: p50=...",
+		line("concurrent-durable", 500, 2400),
+	}, "\n")
+	rs := mustParse(t, text)
+	if len(rs) != 2 {
+		t.Fatalf("parsed %d results, want 2: %+v", len(rs), rs)
+	}
+	if rs[0].Name != "concurrent" || rs[0].QPS != 800 || rs[0].P95Micros != 1200 {
+		t.Fatalf("bad first result: %+v", rs[0])
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BENCH {not json")); err == nil {
+		t.Fatal("malformed BENCH line parsed silently")
+	}
+	if _, err := Parse(strings.NewReader(`BENCH {"qps":1}`)); err == nil {
+		t.Fatal("nameless BENCH line parsed silently")
+	}
+}
+
+func TestBestOfRepetitions(t *testing.T) {
+	rs := mustParse(t, strings.Join([]string{
+		line("concurrent", 700, 1500), // slow rep, quiet tail
+		line("concurrent", 820, 2100), // fast rep, noisy tail
+		line("concurrent", 760, 1800),
+	}, "\n"))
+	best := Best(rs)
+	b := best["concurrent"]
+	if b.QPS != 820 || b.P95Micros != 1500 {
+		t.Fatalf("best = %+v, want qps=820 p95=1500 (independent best)", b)
+	}
+}
+
+func TestCompareWithinToleranceAndImprovements(t *testing.T) {
+	base := Best(mustParse(t, line("concurrent", 800, 1000)))
+	// 20% slower and 25% higher p95: inside the 30% gate.
+	cur := Best(mustParse(t, line("concurrent", 640, 1250)))
+	regs, err := Compare(base, cur, 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("within-tolerance run flagged: %+v", regs)
+	}
+	// Improvements never flag.
+	cur = Best(mustParse(t, line("concurrent", 1600, 500)))
+	if regs, _ = Compare(base, cur, 0.30); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %+v", regs)
+	}
+}
+
+// TestCompareFailsOnInjectedSlowdown is the gate's acceptance check: a 2x
+// slowdown (half the throughput, double the p95) must trip both metrics.
+func TestCompareFailsOnInjectedSlowdown(t *testing.T) {
+	base := Best(mustParse(t, strings.Join([]string{
+		line("concurrent", 800, 1000),
+		line("concurrent-durable", 500, 2000),
+	}, "\n")))
+	cur := Best(mustParse(t, strings.Join([]string{
+		line("concurrent", 400, 2000), // injected 2x slowdown
+		line("concurrent-durable", 490, 2050),
+	}, "\n")))
+	regs, err := Compare(base, cur, 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want qps and p95 for concurrent: %+v", len(regs), regs)
+	}
+	for _, g := range regs {
+		if g.Name != "concurrent" {
+			t.Fatalf("healthy benchmark flagged: %+v", g)
+		}
+	}
+	if regs[0].Metric != "qps" || regs[0].Change != 0.5 {
+		t.Fatalf("qps regression misreported: %+v", regs[0])
+	}
+	if regs[1].Metric != "p95_micros" || regs[1].Change != 1.0 {
+		t.Fatalf("p95 regression misreported: %+v", regs[1])
+	}
+}
+
+func TestCompareMissingBenchmarkIsError(t *testing.T) {
+	base := Best(mustParse(t, line("concurrent-durable", 500, 2000)))
+	cur := Best(mustParse(t, line("concurrent", 800, 1000)))
+	if _, err := Compare(base, cur, 0.30); err == nil {
+		t.Fatal("missing benchmark passed the gate")
+	}
+}
+
+func TestFormatMarksViolations(t *testing.T) {
+	base := Best(mustParse(t, line("concurrent", 800, 1000)))
+	cur := Best(mustParse(t, line("concurrent", 400, 2000)))
+	regs, err := Compare(base, cur, 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	Format(&b, base, cur, regs)
+	out := b.String()
+	if !strings.Contains(out, "concurrent") || !strings.Contains(out, "!") {
+		t.Fatalf("format lacks violation marks:\n%s", out)
+	}
+}

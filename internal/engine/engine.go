@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"colorfulxml/internal/core"
+	"colorfulxml/internal/obs"
 	"colorfulxml/internal/storage"
 )
 
@@ -50,6 +51,9 @@ type OpStats struct {
 	IDJoins      int
 	CrossJoins   int
 	ContentReads int
+	// Nanos is the cumulative wall time spent inside this operator's Next
+	// (including its children's), accumulated only under TraceExec.
+	Nanos int64
 }
 
 // Ctx carries the store and metrics through an execution.
@@ -64,8 +68,16 @@ type Ctx struct {
 	// pulls counts row pulls since the last context poll.
 	pulls int
 
-	// stats is per-operator attribution, non-nil only under ExplainAnalyze.
+	// stats is per-operator attribution, non-nil only under ExplainAnalyze
+	// and TraceExec.
 	stats map[Op]*OpStats
+	// timed makes pull attribute wall time to each operator's OpStats (set
+	// only by TraceExec; the default execution path never reads the clock
+	// per pull).
+	timed bool
+	// totalPulls counts every row transfer of the execution, folded into the
+	// engine_pulls_total instrument when the execution finishes.
+	totalPulls int
 	// live/peak track currently materialized intermediate rows across all
 	// pipeline breakers, so ExplainAnalyze can report the peak footprint.
 	live int
@@ -179,9 +191,17 @@ func pull(ctx *Ctx, o Op) (Row, bool, error) {
 	if err := ctx.poll(); err != nil {
 		return nil, false, err
 	}
+	ctx.totalPulls++
+	var t0 int64
+	if ctx.timed {
+		t0 = obs.Nanos()
+	}
 	r, ok, err := o.Next(ctx)
-	if ok && err == nil {
-		if st := ctx.statsFor(o); st != nil {
+	if st := ctx.statsFor(o); st != nil {
+		if ctx.timed {
+			st.Nanos += obs.Nanos() - t0
+		}
+		if ok && err == nil {
 			st.Rows++
 		}
 	}
@@ -192,6 +212,7 @@ func pull(ctx *Ctx, o Op) (Row, bool, error) {
 // plan node, so one poisoned query surfaces as a query error instead of
 // taking down the whole process.
 func panicErr(op Op, r any) error {
+	obsPanics.Inc()
 	return fmt.Errorf("engine: panic in plan node %s: %v", op.String(), r)
 }
 
@@ -252,7 +273,9 @@ func ExecContext(cctx context.Context, s *storage.Store, plan Op) ([]Row, Metric
 	if cctx != nil && cctx.Done() != nil {
 		ctx.Cancel = cctx
 	}
+	sw := obs.Start()
 	rows, err := drain(ctx, plan)
+	foldObs(ctx, sw, len(rows), err)
 	if err != nil {
 		return nil, ctx.M, err
 	}
@@ -292,7 +315,9 @@ type Analyzed struct {
 // metric deltas to each operator, and renders the annotated tree.
 func ExplainAnalyze(s *storage.Store, plan Op) (*Analyzed, error) {
 	ctx := &Ctx{S: s, stats: map[Op]*OpStats{}}
+	sw := obs.Start()
 	rows, err := drain(ctx, plan)
+	foldObs(ctx, sw, len(rows), err)
 	if err != nil {
 		return nil, err
 	}

@@ -93,7 +93,7 @@ func (o *Exchange) Open(ctx *Ctx) error {
 	o.cur = 0
 	o.workers = make([]*exchangeWorker, len(o.Parts))
 	for i, p := range o.Parts {
-		w := &exchangeWorker{op: p, rows: make(chan Row, exchangeBuf), ctx: &Ctx{S: ctx.S, Cancel: ctx.Cancel}}
+		w := &exchangeWorker{op: p, rows: make(chan Row, exchangeBuf), ctx: &Ctx{S: ctx.S, Cancel: ctx.Cancel, timed: ctx.timed}}
 		if ctx.stats != nil {
 			w.ctx.stats = map[Op]*OpStats{}
 		}
@@ -139,6 +139,7 @@ func (o *Exchange) Close(ctx *Ctx) error {
 	o.wg.Wait()
 	for _, w := range o.workers {
 		ctx.M.merge(w.ctx.M)
+		ctx.totalPulls += w.ctx.totalPulls
 		if ctx.stats != nil {
 			for op, st := range w.ctx.stats {
 				ctx.stats[op] = st

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"colorfulxml/colorful"
+	"colorfulxml/internal/obs"
 	"colorfulxml/internal/storage"
 )
 
@@ -60,6 +61,12 @@ type ConcurrentResult struct {
 	Updates  int64   `json:"updates"`
 	QPS      float64 `json:"qps"`
 
+	// Per-query latency percentiles in microseconds, from a histogram the
+	// clients record into as they go.
+	P50Micros float64 `json:"p50_micros"`
+	P95Micros float64 `json:"p95_micros"`
+	P99Micros float64 `json:"p99_micros"`
+
 	IncrementalApplies uint64 `json:"incremental_applies"`
 	FullRebuilds       uint64 `json:"full_rebuilds"`
 	Publishes          uint64 `json:"publishes"`
@@ -77,6 +84,23 @@ type ConcurrentResult struct {
 	// Invariant-audit extras (absent unless -validate was given).
 	Validated      bool    `json:"validated,omitempty"`
 	ValidateMillis float64 `json:"validate_millis,omitempty"`
+
+	// Obs is the process-wide instrument snapshot taken after the run,
+	// folding engine/storage/WAL/DB counters into the BENCH line.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
+}
+
+// benchName derives the BENCH line's name from the run's mode, so a harness
+// comparing runs never conflates in-memory, durable and parallel numbers.
+func (r *ConcurrentResult) benchName() string {
+	name := "concurrent"
+	if r.Durable {
+		name += "-durable"
+	}
+	if r.Parallel {
+		name += "-parallel"
+	}
+	return name
 }
 
 // buildCatalog constructs the benchmark database through the public facade:
@@ -181,6 +205,7 @@ func Concurrent(cfg ConcurrentConfig) (*ConcurrentResult, error) {
 		writer  sync.WaitGroup
 		queries atomic.Int64
 		updates atomic.Int64
+		lat     obs.Histogram // per-query latency in microseconds
 		stop    = make(chan struct{})
 		errMu   sync.Mutex
 		runErr  error
@@ -200,10 +225,12 @@ func Concurrent(cfg ConcurrentConfig) (*ConcurrentResult, error) {
 			defer readers.Done()
 			for n := 0; n < cfg.Ops; n++ {
 				q := concurrentQueries[(seed+n)%len(concurrentQueries)]
+				t0 := time.Now()
 				if _, err := db.Query(q); err != nil {
 					fail(fmt.Errorf("client %d: %w", seed, err))
 					return
 				}
+				lat.Observe(time.Since(t0).Microseconds())
 				queries.Add(1)
 			}
 		}(c)
@@ -279,6 +306,9 @@ update $i { replace $v with "%d" }`, e%100)
 		Queries:            queries.Load(),
 		Updates:            updates.Load(),
 		QPS:                float64(queries.Load()) / elapsed.Seconds(),
+		P50Micros:          lat.Quantile(0.50),
+		P95Micros:          lat.Quantile(0.95),
+		P99Micros:          lat.Quantile(0.99),
 		IncrementalApplies: st.IncrementalApplies,
 		FullRebuilds:       st.FullRebuilds,
 		Publishes:          st.Publishes,
@@ -297,6 +327,7 @@ update $i { replace $v with "%d" }`, e%100)
 		res.Validated = true
 		res.ValidateMillis = validateMillis
 	}
+	res.Obs = obs.Default.Snapshot()
 	return res, nil
 }
 
@@ -307,7 +338,7 @@ func (r *ConcurrentResult) BenchJSON() string {
 		Name string `json:"name"`
 		*ConcurrentResult
 	}
-	b, _ := json.Marshal(named{Name: "concurrent", ConcurrentResult: r})
+	b, _ := json.Marshal(named{Name: r.benchName(), ConcurrentResult: r})
 	return "BENCH " + string(b)
 }
 
@@ -317,6 +348,7 @@ func FormatConcurrent(r *ConcurrentResult) string {
 	fmt.Fprintf(&b, "clients=%d ops/client=%d scale=%d parallel=%v workers=%d\n",
 		r.Clients, r.Ops, r.Scale, r.Parallel, r.Workers)
 	fmt.Fprintf(&b, "total queries:  %d in %.1f ms (%.0f queries/s)\n", r.Queries, r.Millis, r.QPS)
+	fmt.Fprintf(&b, "latency:        p50=%.0fµs p95=%.0fµs p99=%.0fµs\n", r.P50Micros, r.P95Micros, r.P99Micros)
 	fmt.Fprintf(&b, "writer commits: %d\n", r.Updates)
 	fmt.Fprintf(&b, "snapshots:      %d published, %d incremental, %d full rebuilds\n",
 		r.Publishes, r.IncrementalApplies, r.FullRebuilds)

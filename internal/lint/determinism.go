@@ -2,7 +2,10 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"path/filepath"
+	"strings"
 )
 
 // Determinism guards the reproducibility the crash harness and the on-disk
@@ -22,6 +25,14 @@ import (
 //     call in the loop body): map order varies run to run. The sanctioned
 //     pattern — collect keys, sort, then iterate — is recognized by the
 //     enclosing function calling into package sort or slices.
+//
+// internal/obs is the sanctioned clock for the scoped packages: obs.Nanos
+// and obs.Start feed metrics, never encoded bytes, so storage and pagestore
+// may time their operations freely. Two places stay forbidden even for obs
+// timing: the crashtest package (any wall-clock reading perturbs seeded
+// replay) and WAL encoder files (internal/wal files named encode*.go, where
+// a timing value within reach of the byte stream is exactly the bug the
+// analyzer exists to prevent).
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc:  "crashtest workload and WAL/checkpoint encoders must be deterministic",
@@ -64,6 +75,14 @@ func checkDeterminismFunc(pass *Pass, fd *ast.FuncDecl) {
 			if obj == nil || obj.Pkg() == nil {
 				return true
 			}
+			if pathHasSuffix(obj.Pkg().Path(), "internal/obs") {
+				if name := obj.Name(); name == "Nanos" || name == "Start" {
+					if why := obsTimingForbidden(pass, x.Pos()); why != "" {
+						pass.Reportf(x.Pos(), "obs.%s %s", name, why)
+					}
+				}
+				return true
+			}
 			switch obj.Pkg().Path() {
 			case "time":
 				if name := obj.Name(); name == "Now" || name == "Since" || name == "Until" {
@@ -89,6 +108,23 @@ func checkDeterminismFunc(pass *Pass, fd *ast.FuncDecl) {
 		}
 		return true
 	})
+}
+
+// obsTimingForbidden reports why an obs clock reading is disallowed at pos,
+// or "" where the metrics clock is sanctioned. obs timing is the approved
+// exemption from the time.Now ban — except in crashtest (seeded replay) and
+// WAL encoder files (encode*.go), where the original hazards apply in full.
+func obsTimingForbidden(pass *Pass, pos token.Pos) string {
+	if pathHasSuffix(pass.Path, "internal/crashtest") {
+		return "in the crashtest package; wall-clock readings perturb seeded replay"
+	}
+	if pathHasSuffix(pass.Path, "internal/wal") {
+		base := filepath.Base(pass.Fset.Position(pos).Filename)
+		if strings.HasPrefix(base, "encode") {
+			return "in a WAL encoder file; timing values must stay out of reach of encoded bytes"
+		}
+	}
+	return ""
 }
 
 func rangesOverMap(pass *Pass, r *ast.RangeStmt) bool {

@@ -89,6 +89,7 @@ func Analyzers() []*Analyzer {
 		ErrWrapSentinel,
 		Determinism,
 		AtomicSnapshot,
+		ObsRegister,
 	}
 }
 

@@ -14,6 +14,7 @@ func TestCtxPoll(t *testing.T)         { linttest.Run(t, lint.CtxPoll, "ctxpoll"
 func TestErrWrapSentinel(t *testing.T) { linttest.Run(t, lint.ErrWrapSentinel, "errwrapsentinel") }
 func TestDeterminism(t *testing.T)     { linttest.Run(t, lint.Determinism, "determinism") }
 func TestAtomicSnapshot(t *testing.T)  { linttest.Run(t, lint.AtomicSnapshot, "atomicsnapshot") }
+func TestObsRegister(t *testing.T)     { linttest.Run(t, lint.ObsRegister, "obsregister") }
 
 // TestRepoClean runs the whole suite over the repository itself: the tree
 // must stay free of diagnostics. A failure here is a real invariant

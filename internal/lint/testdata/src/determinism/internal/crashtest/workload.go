@@ -1,0 +1,14 @@
+// Package crashtest exercises the obs-timing rule: even the sanctioned
+// metrics clock is wall-clock input here, so it stays forbidden.
+package crashtest
+
+import "determinismfix/internal/obs"
+
+func stampStep() int64 {
+	return obs.Nanos() // want "obs.Nanos in the crashtest package"
+}
+
+func timeStep() int64 {
+	sw := obs.Start() // want "obs.Start in the crashtest package"
+	return sw.ElapsedNanos()
+}

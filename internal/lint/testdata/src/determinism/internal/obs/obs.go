@@ -1,0 +1,11 @@
+// Package obs is a fixture stub of the repository's metrics clock.
+package obs
+
+// Stopwatch mirrors the real obs.Stopwatch shape.
+type Stopwatch struct{ start int64 }
+
+func Nanos() int64 { return 0 }
+
+func Start() Stopwatch { return Stopwatch{start: Nanos()} }
+
+func (s Stopwatch) ElapsedNanos() int64 { return Nanos() - s.start }

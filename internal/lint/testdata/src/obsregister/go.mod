@@ -1,0 +1,3 @@
+module obsregisterfix
+
+go 1.22

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the fixed bucket count: power-of-two buckets cover the full
+// non-negative int64 range (bucket 0 holds zero, bucket b holds
+// [2^(b-1), 2^b - 1]), so nanosecond timings from 1ns to ~292 years land
+// without configuration and the histogram's footprint is bounded by
+// construction.
+const histBuckets = 64
+
+// Histogram is a bounded, lock-free histogram over non-negative int64
+// observations (typically nanoseconds or byte sizes). Observation is two
+// atomic adds; quantiles are estimated from the bucket counts with linear
+// interpolation inside the hit bucket, so the relative error is bounded by
+// the bucket width (a factor of two). The zero value is ready to use.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// bucketOf maps an observation to its bucket index: 0 for <=0, else
+// 1 + floor(log2(v)) capped to the last bucket.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// bucketBounds returns the inclusive value range covered by bucket b.
+func bucketBounds(b int) (lo, hi int64) {
+	if b == 0 {
+		return 0, 0
+	}
+	lo = int64(1) << (b - 1)
+	hi = lo<<1 - 1
+	if hi < lo { // last bucket overflow
+		hi = int64(^uint64(0) >> 1)
+	}
+	return lo, hi
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the recorded values:
+// the bucket holding the target rank is located and the value interpolated
+// linearly within its bounds. Returns 0 for an empty histogram. Concurrent
+// observers may race individual bucket loads; the estimate stays within the
+// resolution guarantee for the observations it sees.
+func (h *Histogram) Quantile(q float64) float64 {
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	if target < 1 {
+		target = 1
+	}
+	var cum float64
+	for b, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if target <= next {
+			lo, hi := bucketBounds(b)
+			frac := (target - cum) / float64(c)
+			return float64(lo) + frac*float64(hi-lo)
+		}
+		cum = next
+	}
+	_, hi := bucketBounds(histBuckets - 1)
+	return float64(hi)
+}

@@ -1,0 +1,84 @@
+package obs
+
+import "sync"
+
+// SlowQuery is one slow-query log entry: the query text, how long it took,
+// and — for compiled queries — the physical plan annotated with per-operator
+// execution statistics (rows, materialization, join and content-read
+// counts), captured by re-analyzing the query against the same immutable
+// snapshot it ran on.
+type SlowQuery struct {
+	// Seq is the entry's position in the log's lifetime (monotonic from 1),
+	// so consumers can tell how many offenders scrolled out of the ring.
+	Seq    uint64  `json:"seq"`
+	Query  string  `json:"query"`
+	Millis float64 `json:"millis"`
+	Rows   int     `json:"rows"`
+	// Fallback marks queries served by the reference evaluator (no compiled
+	// plan exists to capture).
+	Fallback bool   `json:"fallback,omitempty"`
+	Err      string `json:"error,omitempty"`
+	// Plan is the compiled physical plan annotated with per-operator
+	// metrics, empty for fallback or failed queries.
+	Plan string `json:"plan,omitempty"`
+	// UnixNanos is the wall-clock time the entry was recorded.
+	UnixNanos int64 `json:"unix_nanos"`
+}
+
+// SlowLog is a fixed-capacity ring buffer of slow-query entries: the newest
+// capacity offenders are retained, the oldest evicted first. Safe for
+// concurrent use.
+type SlowLog struct {
+	mu      sync.Mutex
+	cap     int
+	seq     uint64
+	entries []SlowQuery // ring storage, entries[next] is the oldest once full
+	next    int
+}
+
+// NewSlowLog creates a ring retaining the last capacity entries (minimum 1).
+func NewSlowLog(capacity int) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlowLog{cap: capacity}
+}
+
+// Add records one entry, stamping its Seq and evicting the oldest entry if
+// the ring is full.
+func (l *SlowLog) Add(e SlowQuery) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	e.Seq = l.seq
+	if len(l.entries) < l.cap {
+		l.entries = append(l.entries, e)
+		l.next = len(l.entries) % l.cap
+		return
+	}
+	l.entries[l.next] = e
+	l.next = (l.next + 1) % l.cap
+}
+
+// Entries returns a copy of the retained entries, newest first.
+func (l *SlowLog) Entries() []SlowQuery {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowQuery, 0, len(l.entries))
+	// Walk backwards from the newest (the slot before next, wrapping).
+	for i := 0; i < len(l.entries); i++ {
+		idx := (l.next - 1 - i + 2*l.cap) % l.cap
+		if idx >= len(l.entries) {
+			continue
+		}
+		out = append(out, l.entries[idx])
+	}
+	return out
+}
+
+// Len returns the number of retained entries.
+func (l *SlowLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}

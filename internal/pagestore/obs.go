@@ -1,0 +1,12 @@
+package pagestore
+
+import "colorfulxml/internal/obs"
+
+// Pagestore instruments: buffer-pool effectiveness. A "page read" is a pool
+// miss that fetches the page image from the backing store; hits are served
+// from the pool. Both are recorded under the pool mutex already held by Pin,
+// so the atomic add is noise next to the map lookup it accompanies.
+var (
+	obsPoolHits  = obs.NewCounter("pagestore_pool_hits_total")
+	obsPageReads = obs.NewCounter("pagestore_page_reads_total")
+)

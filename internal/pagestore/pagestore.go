@@ -312,6 +312,7 @@ func (s *Store) Pin(id PageID) (*Page, error) {
 	}
 	if fr, ok := s.pool[id]; ok {
 		s.stats.Hits++
+		obsPoolHits.Inc()
 		fr.pins++
 		if fr.elem != nil {
 			s.lru.remove(fr.elem)
@@ -320,6 +321,7 @@ func (s *Store) Pin(id PageID) (*Page, error) {
 		return fr.page, nil
 	}
 	s.stats.Misses++
+	obsPageReads.Inc()
 	pg := &Page{ID: id}
 	if img, ok := s.disk[id]; ok {
 		copy(pg.Data[:], img)

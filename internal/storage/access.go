@@ -22,12 +22,14 @@ func (s *Store) readStructRef(ref uint64, c core.Color) (SNode, error) {
 // individual refs with StructByRef, which lets iterators stream one record at
 // a time instead of materializing the whole scan.
 func (s *Store) TagRefs(c core.Color, tag string) []uint64 {
+	obsIndexProbes.Inc()
 	return s.tagIdx.Get(tagKey(c, tag))
 }
 
 // ContentRefs returns the content index posting list for (c, tag, value)
 // without reading any records (start order).
 func (s *Store) ContentRefs(c core.Color, tag, value string) []uint64 {
+	obsIndexProbes.Inc()
 	return s.contentIdx.Get(contentKey(c, tag, value))
 }
 
@@ -40,6 +42,7 @@ func (s *Store) StructByRef(ref uint64, c core.Color) (SNode, error) {
 // ScanTag returns all structural nodes with the given tag in color c, in
 // start (local document) order.
 func (s *Store) ScanTag(c core.Color, tag string) ([]SNode, error) {
+	obsIndexProbes.Inc()
 	refs := s.tagIdx.Get(tagKey(c, tag))
 	out := make([]SNode, 0, len(refs))
 	for _, ref := range refs {
@@ -109,6 +112,7 @@ func (s *Store) ContentOf(id ElemID) (string, error) {
 // EqContent returns structural nodes with the given tag whose content equals
 // value, via the content index (no scan).
 func (s *Store) EqContent(c core.Color, tag, value string) ([]SNode, error) {
+	obsIndexProbes.Inc()
 	refs := s.contentIdx.Get(contentKey(c, tag, value))
 	out := make([]SNode, 0, len(refs))
 	for _, ref := range refs {
@@ -147,6 +151,7 @@ func (s *Store) ScanContains(c core.Color, tag string, pred func(content string)
 // EqAttr returns the element ids whose attribute name equals value, via the
 // attribute index.
 func (s *Store) EqAttr(name, value string) []ElemID {
+	obsIndexProbes.Inc()
 	refs := s.attrIdx.Get(attrKey(name, value))
 	out := make([]ElemID, len(refs))
 	for i, r := range refs {
@@ -186,6 +191,7 @@ func (s *Store) ParentOf(sn SNode) (SNode, bool, error) {
 	if sn.ParentStart < 0 {
 		return SNode{}, false, nil
 	}
+	obsIndexProbes.Inc()
 	refs := s.startIdx.Get(startKey(sn.Color, sn.ParentStart))
 	if len(refs) == 0 {
 		return SNode{}, false, fmt.Errorf("storage: dangling parent start %d in %q", sn.ParentStart, sn.Color)
@@ -201,6 +207,7 @@ func (s *Store) ParentOf(sn SNode) (SNode, bool, error) {
 func (s *Store) Subtree(sn SNode) ([]SNode, error) {
 	var out []SNode
 	var scanErr error
+	obsIndexProbes.Inc()
 	s.startIdx.Range(startKey(sn.Color, sn.Start+1), startKey(sn.Color, sn.End), func(_ string, refs []uint64) bool {
 		for _, ref := range refs {
 			d, err := s.readStructRef(ref, sn.Color)
@@ -235,6 +242,7 @@ func (s *Store) ChildrenOf(sn SNode) ([]SNode, error) {
 func (s *Store) Roots(c core.Color) ([]SNode, error) {
 	var out []SNode
 	var scanErr error
+	obsIndexProbes.Inc()
 	s.startIdx.Prefix(string(c)+"|", func(_ string, refs []uint64) bool {
 		for _, ref := range refs {
 			sn, err := s.readStructRef(ref, c)

@@ -10,6 +10,7 @@ import (
 
 	"colorfulxml/internal/btree"
 	"colorfulxml/internal/core"
+	"colorfulxml/internal/obs"
 	"colorfulxml/internal/pagestore"
 )
 
@@ -36,6 +37,11 @@ var ckptCastagnoli = crc32.MakeTable(crc32.Castagnoli)
 // WriteCheckpoint serializes the store to w. The receiver must be quiescent
 // (a frozen snapshot or a store covered by the writer lock).
 func (s *Store) WriteCheckpoint(w io.Writer) error {
+	sw := obs.Start()
+	defer func() {
+		obsCheckpointSaves.Inc()
+		obsCheckpointWriteNanos.Observe(sw.ElapsedNanos())
+	}()
 	var meta bytes.Buffer
 	var u32 [4]byte
 	put32 := func(v uint32) {
@@ -74,6 +80,11 @@ func (s *Store) WriteCheckpoint(w io.Writer) error {
 // and every page checksum, then rebuilds the in-memory directories and
 // indexes by scanning the recovered heap files.
 func ReadCheckpoint(r io.Reader, poolPages int) (*Store, error) {
+	sw := obs.Start()
+	defer func() {
+		obsCheckpointLoads.Inc()
+		obsCheckpointLoadNanos.Observe(sw.ElapsedNanos())
+	}()
 	hdr := make([]byte, len(ckptMagic)+4)
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, fmt.Errorf("storage: truncated checkpoint header: %w", err)

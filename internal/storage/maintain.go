@@ -56,6 +56,7 @@ func (s *Store) Clone() *Store {
 	for c, v := range s.maxStart {
 		ns.maxStart[c] = v
 	}
+	obsSnapshotClones.Inc()
 	return ns
 }
 
@@ -70,6 +71,7 @@ func (s *Store) ApplyChanges(changes []core.Change) error {
 				i+1, len(changes), ch.Kind, ch.Elem, err)
 		}
 	}
+	obsChangesApplied.Add(uint64(len(changes)))
 	return nil
 }
 

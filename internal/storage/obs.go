@@ -1,0 +1,21 @@
+package storage
+
+import "colorfulxml/internal/obs"
+
+// Storage instruments: index probe counts at B+-tree lookup granularity
+// (one probe per posting-list fetch, so hot scans pay one atomic add per
+// operation, not per row), snapshot maintenance activity, and checkpoint
+// serialization timing. This package is determinism-scoped by mctlint, so
+// all timing goes through obs (exempted outside crashtest/WAL-encode
+// paths), never through package time directly.
+var (
+	obsIndexProbes = obs.NewCounter("storage_index_probes_total")
+
+	obsSnapshotClones  = obs.NewCounter("storage_snapshot_clones_total")
+	obsChangesApplied  = obs.NewCounter("storage_changes_applied_total")
+	obsCheckpointSaves = obs.NewCounter("storage_checkpoint_writes_total")
+	obsCheckpointLoads = obs.NewCounter("storage_checkpoint_loads_total")
+
+	obsCheckpointWriteNanos = obs.NewHistogram("storage_checkpoint_write_nanos")
+	obsCheckpointLoadNanos  = obs.NewHistogram("storage_checkpoint_load_nanos")
+)

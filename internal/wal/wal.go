@@ -18,6 +18,7 @@ import (
 	"hash/crc32"
 	"sync"
 
+	"colorfulxml/internal/obs"
 	"colorfulxml/internal/vfs"
 )
 
@@ -171,11 +172,12 @@ const (
 // batching: concurrent Append calls coalesce their buffered records under a
 // single write+fsync, so the fsync cost is amortized across the batch.
 type Writer struct {
-	mu      sync.Mutex // guards buf, nextSeq, size, err
+	mu      sync.Mutex // guards buf, bufRecs, nextSeq, size, err
 	f       vfs.File
 	name    string
 	policy  SyncPolicy
 	buf     []byte
+	bufRecs int // records currently in buf (group-commit batch size)
 	nextSeq uint64
 	size    int64 // bytes durably appended (post-flush) plus buffered
 	err     error // sticky: after a write/sync failure the segment state is unknown
@@ -204,8 +206,11 @@ func (w *Writer) Append(payload []byte) (uint64, error) {
 	seq := w.nextSeq
 	w.nextSeq++
 	w.buf = AppendRecord(w.buf, seq, payload)
+	w.bufRecs++
 	w.size += int64(recHeaderSize + len(payload))
 	w.mu.Unlock()
+	obsAppends.Inc()
+	obsBytes.Add(uint64(recHeaderSize + len(payload)))
 
 	if err := w.flushThrough(seq); err != nil {
 		return 0, err
@@ -230,7 +235,9 @@ func (w *Writer) flushThrough(seq uint64) error {
 		return nil
 	}
 	pending := w.buf
+	recs := w.bufRecs
 	w.buf = nil
+	w.bufRecs = 0
 	highest := w.nextSeq // records below this are in pending
 	w.mu.Unlock()
 
@@ -239,7 +246,13 @@ func (w *Writer) flushThrough(seq uint64) error {
 		_, err = w.f.Write(pending)
 	}
 	if err == nil && w.policy == SyncAlways {
+		sw := obs.Start()
 		err = w.f.Sync()
+		obsFsyncs.Inc()
+		obsSyncNanos.Observe(sw.ElapsedNanos())
+		if recs > 0 {
+			obsBatchRecords.Observe(int64(recs))
+		}
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -262,7 +275,9 @@ func (w *Writer) Sync() error {
 		return err
 	}
 	pending := w.buf
+	recs := w.bufRecs
 	w.buf = nil
+	w.bufRecs = 0
 	highest := w.nextSeq
 	w.mu.Unlock()
 
@@ -271,7 +286,13 @@ func (w *Writer) Sync() error {
 		_, err = w.f.Write(pending)
 	}
 	if err == nil {
+		sw := obs.Start()
 		err = w.f.Sync()
+		obsFsyncs.Inc()
+		obsSyncNanos.Observe(sw.ElapsedNanos())
+		if recs > 0 {
+			obsBatchRecords.Observe(int64(recs))
+		}
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()

@@ -140,9 +140,10 @@ func (d *DB) Query(src string) ([]Item, error) {
 }
 
 // QueryContext is Query under a context deadline or cancellation: compiled
-// executions poll ctx periodically (every few dozen operator pulls) and
-// abort with the context's error; the evaluator path honors the context at
-// entry. A canceled read-only query leaves the database untouched.
+// executions poll ctx once per operator batch (at most BatchSize rows of
+// work between checks) and abort with the context's error; the evaluator
+// path honors the context at entry. A canceled read-only query leaves the
+// database untouched.
 func (d *DB) QueryContext(ctx context.Context, src string) ([]Item, error) {
 	sw := obs.Start()
 	out, route, err := d.queryRouted(ctx, src)
@@ -203,8 +204,11 @@ func (d *DB) evalItems(src string) ([]Item, error) {
 }
 
 // queryCompiled lowers a parsed constructor-free query to a physical plan
-// and executes it on the current snapshot. A plan.ErrUnsupported return
-// makes the caller fall back to the evaluator; other errors are real.
+// and executes it on the current snapshot, consuming result batches as they
+// stream out of the engine: only the output column's nodes are retained
+// (batch rows themselves are transient views into engine arenas). A
+// plan.ErrUnsupported return makes the caller fall back to the evaluator;
+// other errors are real.
 func (d *DB) queryCompiled(ctx context.Context, e pathexpr.Expr) ([]Item, error) {
 	sp, err := d.snapshotForQuery()
 	if err != nil {
@@ -214,23 +218,28 @@ func (d *DB) queryCompiled(ctx context.Context, e pathexpr.Expr) ([]Item, error)
 	if err != nil {
 		return nil, err
 	}
-	rows, _, err := engine.ExecContext(ctx, sp.st, c.Root)
+	var nodes []storage.SNode
+	_, err = engine.ExecBatches(ctx, sp.st, c.Root, func(b *engine.Batch) error {
+		for i := 0; i < b.Len(); i++ {
+			nodes = append(nodes, b.Row(i)[c.OutCol])
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	return d.mapRows(rows, c), nil
+	return d.mapNodes(nodes, c), nil
 }
 
-// mapRows maps structural result rows back to live core nodes under one
-// shared lock, so all returned values come from a single statement-boundary
-// state even when writers run concurrently. Nodes deleted since the snapshot
-// was taken contribute no item.
-func (d *DB) mapRows(rows []engine.Row, c *plan.Compiled) []Item {
+// mapNodes maps output-column structural nodes back to live core nodes under
+// one shared lock, so all returned values come from a single
+// statement-boundary state even when writers run concurrently. Nodes deleted
+// since the snapshot was taken contribute no item.
+func (d *DB) mapNodes(nodes []storage.SNode, c *plan.Compiled) []Item {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	out := make([]Item, 0, len(rows))
-	for _, r := range rows {
-		sn := r[c.OutCol]
+	out := make([]Item, 0, len(nodes))
+	for _, sn := range nodes {
 		n := d.Database.NodeByID(core.NodeID(sn.Elem))
 		if n == nil {
 			continue
@@ -285,9 +294,10 @@ func (d *DB) Path(src string, vars map[string]*Node) ([]Item, error) {
 
 // Explain compiles a query with the automatic plan compiler, executes it with
 // per-operator instrumentation, and returns the annotated physical plan tree
-// (rows per operator, materialization, index and join counters, and the peak
-// number of intermediate rows buffered — a fully streaming pipeline reports
-// 0). Queries the compiler cannot lower report why they run on the evaluator
+// (rows and batches per operator, materialization, index and join counters,
+// and the peak number of live intermediate rows — a fully streaming pipeline
+// reports only its in-flight batches, at most pipeline depth × BatchSize).
+// Queries the compiler cannot lower report why they run on the evaluator
 // instead.
 func (d *DB) Explain(src string) (string, error) {
 	e, err := mcxquery.ParseQuery(src)

@@ -10,6 +10,7 @@ import (
 	"colorfulxml/internal/obs"
 	"colorfulxml/internal/pathexpr"
 	"colorfulxml/internal/plan"
+	"colorfulxml/internal/storage"
 )
 
 // TraceQuery runs a query like QueryContext but returns a trace: a span tree
@@ -104,7 +105,11 @@ func (d *DB) traceCompiled(ctx context.Context, e pathexpr.Expr, root *obs.Span)
 		return nil, err
 	}
 	ms := root.Child("map-results")
-	out := d.mapRows(rows, c)
+	nodes := make([]storage.SNode, len(rows))
+	for i, r := range rows {
+		nodes[i] = r[c.OutCol]
+	}
+	out := d.mapNodes(nodes, c)
 	ms.End()
 	return out, nil
 }

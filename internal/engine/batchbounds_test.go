@@ -1,0 +1,164 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"colorfulxml/internal/engine"
+	"colorfulxml/internal/storage"
+)
+
+// openScan opens a tag scan against a fresh Ctx for protocol-level tests.
+func openScan(t *testing.T, s *storage.Store, tag string) (*engine.Ctx, engine.Op) {
+	t.Helper()
+	op := &engine.ScanTag{Color: "red", Tag: tag}
+	ctx := &engine.Ctx{S: s}
+	if err := op.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return ctx, op
+}
+
+// TestBatchEmptyResult: an empty result yields an empty first batch, and the
+// operator stays exhausted on further calls.
+func TestBatchEmptyResult(t *testing.T) {
+	s := bigStore(t, 10)
+	ctx, op := openScan(t, s, "nosuch")
+	defer op.Close(ctx)
+	var b engine.Batch
+	for call := 0; call < 3; call++ {
+		if err := op.NextBatch(ctx, &b); err != nil {
+			t.Fatal(err)
+		}
+		if b.Len() != 0 {
+			t.Fatalf("call %d: empty scan produced %d rows", call, b.Len())
+		}
+	}
+}
+
+// TestBatchExactlyOneRow: a single-row result arrives in one batch followed
+// by the empty exhaustion batch.
+func TestBatchExactlyOneRow(t *testing.T) {
+	s := bigStore(t, 1)
+	ctx, op := openScan(t, s, "item")
+	defer op.Close(ctx)
+	var b engine.Batch
+	if err := op.NextBatch(ctx, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 1 || b.Cols() != 1 {
+		t.Fatalf("first batch: len=%d cols=%d, want 1x1", b.Len(), b.Cols())
+	}
+	if err := op.NextBatch(ctx, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("second batch has %d rows, want exhaustion", b.Len())
+	}
+}
+
+// TestBatchSizeAligned: result sets of exactly 1 and 2 times BatchSize fill
+// whole batches with no ragged tail and terminate with the empty batch.
+func TestBatchSizeAligned(t *testing.T) {
+	for _, mult := range []int{1, 2} {
+		n := mult * engine.BatchSize
+		s := bigStore(t, n)
+		ctx, op := openScan(t, s, "item")
+		var b engine.Batch
+		total, batches := 0, 0
+		for {
+			if err := op.NextBatch(ctx, &b); err != nil {
+				t.Fatal(err)
+			}
+			if b.Len() == 0 {
+				break
+			}
+			if b.Len() != engine.BatchSize {
+				t.Fatalf("aligned result produced a ragged batch of %d rows", b.Len())
+			}
+			total += b.Len()
+			batches++
+		}
+		if err := op.Close(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if total != n || batches != mult {
+			t.Fatalf("n=%d: got %d rows in %d batches, want %d in %d", n, total, batches, n, mult)
+		}
+	}
+}
+
+// TestMidBatchCancellation: canceling during result consumption stops the
+// query at the next batch boundary — the consumer sees only complete batches
+// (no torn rows) and the context's error.
+func TestMidBatchCancellation(t *testing.T) {
+	s := bigStore(t, 3*engine.BatchSize)
+	plan := &engine.Filter{
+		Input: &engine.ScanTag{Color: "red", Tag: "item"},
+		Col:   0,
+		Pred:  engine.Pred{Kind: "contains", Value: "v"},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	visits, rows := 0, 0
+	_, err := engine.ExecBatches(ctx, s, plan, func(b *engine.Batch) error {
+		visits++
+		if b.Len() == 0 || b.Cols() != 1 {
+			t.Fatalf("torn batch: len=%d cols=%d", b.Len(), b.Cols())
+		}
+		for i := 0; i < b.Len(); i++ {
+			if len(b.Row(i)) != 1 {
+				t.Fatalf("torn row %d in batch %d", i, visits)
+			}
+		}
+		rows += b.Len()
+		cancel() // cancel mid-consumption, after the first batch
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if visits != 1 {
+		t.Fatalf("visitor ran %d times after cancellation, want exactly 1", visits)
+	}
+	if rows != engine.BatchSize {
+		t.Fatalf("saw %d rows before cancellation, want one full batch (%d)", rows, engine.BatchSize)
+	}
+}
+
+// TestBatchMixedWidthPanics: a batch's column count is fixed by its first
+// row; appending a different width is an operator bug and panics.
+func TestBatchMixedWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mixed-width append should panic")
+		}
+	}()
+	var b engine.Batch
+	b.Reset()
+	b.AppendRow(engine.Row{storage.SNode{}})
+	b.AppendRow(engine.Row{storage.SNode{}, storage.SNode{}})
+}
+
+// TestBatchSwap: Swap exchanges contents without copying rows; both batches
+// stay independently usable.
+func TestBatchSwap(t *testing.T) {
+	var a, b engine.Batch
+	a.Reset()
+	a.AppendRow(engine.Row{storage.SNode{Start: 1}})
+	a.AppendRow(engine.Row{storage.SNode{Start: 2}})
+	b.Reset()
+	b.AppendRow(engine.Row{storage.SNode{Start: 9}})
+	a.Swap(&b)
+	if a.Len() != 1 || a.Row(0)[0].Start != 9 {
+		t.Fatalf("a after swap: len=%d", a.Len())
+	}
+	if b.Len() != 2 || b.Row(1)[0].Start != 2 {
+		t.Fatalf("b after swap: len=%d", b.Len())
+	}
+	b.Reset()
+	if b.Len() != 0 || a.Len() != 1 {
+		t.Fatal("reset after swap leaked across batches")
+	}
+}

@@ -4,12 +4,15 @@
 // joins, duplicate elimination), an executor with per-query operator
 // metrics, and plan rendering.
 //
-// Operators follow the Volcano iterator model: a plan is opened once, pulls
-// rows one at a time through Next, and is closed when exhausted. Only the
-// explicit pipeline breakers — sorts, duplicate-aware probe structures, and
-// join build sides — materialize an input; everything else streams, so a
-// plan's peak intermediate footprint is the sum of its build sides, not the
-// sum of every edge in the tree (ExplainAnalyze reports both).
+// Operators follow a vectorized Volcano model: a plan is opened once, then
+// transfers rows in ~BatchSize blocks through NextBatch until an empty batch
+// signals exhaustion, and is closed when done. Virtual dispatch, cancellation
+// polling and ExplainAnalyze accounting are paid once per batch instead of
+// once per row. Only the explicit pipeline breakers — sorts, duplicate-aware
+// probe structures, and join build sides — materialize an input; everything
+// else streams, so a plan's peak intermediate footprint is the sum of its
+// build sides plus the in-flight batches of its pipeline, not the sum of
+// every edge in the tree (ExplainAnalyze reports both).
 //
 // Plans may be hand-specified per query and representation, exactly as in
 // the paper's Section 6.2 ("we manually specified the query plan"), or
@@ -41,9 +44,10 @@ type Metrics struct {
 }
 
 // OpStats is the per-operator slice of Metrics gathered by ExplainAnalyze,
-// plus the rows the operator produced and the rows it materialized (buffered
-// in full) as a pipeline breaker.
+// plus the batches and rows the operator produced and the rows it
+// materialized (buffered in full) as a pipeline breaker.
 type OpStats struct {
+	Batches      int
 	Rows         int
 	Materialized int
 	StructJoins  int
@@ -51,8 +55,8 @@ type OpStats struct {
 	IDJoins      int
 	CrossJoins   int
 	ContentReads int
-	// Nanos is the cumulative wall time spent inside this operator's Next
-	// (including its children's), accumulated only under TraceExec.
+	// Nanos is the cumulative wall time spent inside this operator's
+	// NextBatch (including its children's), accumulated only under TraceExec.
 	Nanos int64
 }
 
@@ -61,25 +65,32 @@ type Ctx struct {
 	S *storage.Store
 	M Metrics
 
-	// Cancel, when non-nil, is polled by pull every cancelCheckEvery row
-	// pulls; a canceled or expired context aborts the execution with its
-	// error. Exchange workers inherit it, so parallel scans stop too.
+	// Cancel, when non-nil, is checked by pullBatch on every batch transfer;
+	// a canceled or expired context aborts the execution with its error.
+	// Exchange workers inherit it, so parallel scans stop too.
 	Cancel context.Context
-	// pulls counts row pulls since the last context poll.
-	pulls int
+	// steps counts inner-loop iterations since the last context poll (see
+	// poll).
+	steps int
+
+	// arena owns every row that outlives a batch boundary (see batch.go).
+	arena arena
 
 	// stats is per-operator attribution, non-nil only under ExplainAnalyze
 	// and TraceExec.
 	stats map[Op]*OpStats
-	// timed makes pull attribute wall time to each operator's OpStats (set
-	// only by TraceExec; the default execution path never reads the clock
-	// per pull).
+	// timed makes pullBatch attribute wall time to each operator's OpStats
+	// (set only by TraceExec; the default execution path never reads the
+	// clock per batch).
 	timed bool
-	// totalPulls counts every row transfer of the execution, folded into the
-	// engine_pulls_total instrument when the execution finishes.
-	totalPulls int
-	// live/peak track currently materialized intermediate rows across all
-	// pipeline breakers, so ExplainAnalyze can report the peak footprint.
+	// totalBatches/totalRows count every batch transfer (and the rows it
+	// carried) of the execution, folded into the engine_operator_batches /
+	// engine_operator_rows instruments when the execution finishes.
+	totalBatches int
+	totalRows    int
+	// live/peak track the intermediate rows alive at any instant — rows
+	// materialized by pipeline breakers plus rows inside in-flight batches —
+	// so ExplainAnalyze can report the peak footprint.
 	live int
 	peak int
 }
@@ -145,37 +156,43 @@ func (ctx *Ctx) hold(o Op, n int) {
 
 func (ctx *Ctx) release(n int) { ctx.live -= n }
 
-// Op is a physical operator: a Volcano iterator producing rows.
+// Op is a physical operator: a vectorized Volcano iterator producing row
+// batches.
 //
 // The contract: Open prepares (or re-prepares — operators are re-openable
-// after Close) all iteration state and opens streamed children; Next returns
-// one row, or ok=false when exhausted; Close releases state and closes
-// children, and is idempotent. Children returns the direct inputs for plan
-// rendering, so Explain can never silently drop an operator's subtree.
+// after Close) all iteration state and opens streamed children. NextBatch
+// resets out and fills it with up to BatchSize rows; an empty batch after
+// return means the operator is exhausted (and it stays exhausted until
+// reopened). The rows in out are views into the batch's buffer, valid only
+// until the caller's next NextBatch on the same batch — consumers copy what
+// they keep (the query arena exists for exactly this). Close releases state
+// and closes children, and is idempotent. Children returns the direct inputs
+// for plan rendering, so Explain can never silently drop an operator's
+// subtree.
 type Op interface {
 	Open(ctx *Ctx) error
-	Next(ctx *Ctx) (Row, bool, error)
+	NextBatch(ctx *Ctx, out *Batch) error
 	Close(ctx *Ctx) error
 	Children() []Op
 	String() string
 }
 
-// cancelCheckEvery is how many row pulls pass between polls of Ctx.Cancel:
-// frequent enough that a runaway query notices a deadline in microseconds,
-// rare enough that the check never shows up in a profile.
+// cancelCheckEvery is how many inner-loop iterations pass between polls of
+// Ctx.Cancel: frequent enough that a runaway query notices a deadline in
+// microseconds, rare enough that the check never shows up in a profile.
 const cancelCheckEvery = 64
 
-// poll advances the pull counter and, every cancelCheckEvery steps, checks
-// Ctx.Cancel, returning its error if the context is done. pull calls it for
-// every parent-child row transfer; leaf operators that loop over their own
-// iteration state without pulling (ContainsScan skipping non-matching
-// candidates, Exchange draining worker channels) must call it once per
-// iteration themselves, or a canceled query would spin to the end of the
-// scan unnoticed.
+// poll advances the step counter and, every cancelCheckEvery steps, checks
+// Ctx.Cancel, returning its error if the context is done. Batch transfers
+// poll unconditionally in pullBatch (once per ~1K rows); operators that loop
+// over their own iteration state without pulling batches (ContainsScan
+// skipping non-matching candidates, Exchange draining worker channels) must
+// call poll once per iteration themselves, or a canceled query would spin to
+// the end of the scan unnoticed.
 func (ctx *Ctx) poll() error {
 	if ctx.Cancel != nil {
-		if ctx.pulls++; ctx.pulls >= cancelCheckEvery {
-			ctx.pulls = 0
+		if ctx.steps++; ctx.steps >= cancelCheckEvery {
+			ctx.steps = 0
 			if err := ctx.Cancel.Err(); err != nil {
 				return err
 			}
@@ -184,28 +201,48 @@ func (ctx *Ctx) poll() error {
 	return nil
 }
 
-// pull draws one row from an operator, attributing it under ExplainAnalyze.
-// All parents (and the executor) pull through this helper, so cancellation
-// is observed at every level of the plan, not just at the root.
-func pull(ctx *Ctx, o Op) (Row, bool, error) {
-	if err := ctx.poll(); err != nil {
-		return nil, false, err
+// pullBatch draws one batch from an operator, checking cancellation and
+// attributing batches/rows under ExplainAnalyze. All parents (and the
+// executor) pull through this helper, so cancellation is observed at every
+// level of the plan, not just at the root. It also keeps the in-flight
+// accounting: the rows of the previous filling of out are released and the
+// new filling is held, so live/peak cover rows traveling inside batches, not
+// only rows parked in pipeline breakers.
+func pullBatch(ctx *Ctx, o Op, out *Batch) error {
+	ctx.release(out.held)
+	out.held = 0
+	if ctx.Cancel != nil {
+		if err := ctx.Cancel.Err(); err != nil {
+			return err
+		}
 	}
-	ctx.totalPulls++
+	ctx.totalBatches++
 	var t0 int64
 	if ctx.timed {
 		t0 = obs.Nanos()
 	}
-	r, ok, err := o.Next(ctx)
-	if st := ctx.statsFor(o); st != nil {
-		if ctx.timed {
-			st.Nanos += obs.Nanos() - t0
-		}
-		if ok && err == nil {
-			st.Rows++
-		}
+	err := o.NextBatch(ctx, out)
+	var st *OpStats
+	if st = ctx.statsFor(o); st != nil && ctx.timed {
+		st.Nanos += obs.Nanos() - t0
 	}
-	return r, ok, err
+	if err != nil {
+		return err
+	}
+	n := out.Len()
+	ctx.totalRows += n
+	if st != nil {
+		st.Batches++
+		st.Rows += n
+	}
+	// In-flight rows count toward live/peak (but are not any operator's
+	// Materialized — they are not parked, just traveling).
+	out.held = n
+	ctx.live += n
+	if ctx.live > ctx.peak {
+		ctx.peak = ctx.live
+	}
+	return nil
 }
 
 // panicErr converts a panic escaping an operator into an error naming the
@@ -216,32 +253,50 @@ func panicErr(op Op, r any) error {
 	return fmt.Errorf("engine: panic in plan node %s: %v", op.String(), r)
 }
 
-// drain opens an operator, pulls it to exhaustion and closes it. A panic
-// anywhere in the operator tree is contained here (and, for parallel parts,
-// in the exchange workers): the executor runs against an immutable snapshot,
-// so a failed execution cannot have corrupted shared state.
-func drain(ctx *Ctx, op Op) (rows []Row, err error) {
+// runBatches opens an operator, pulls it to exhaustion batch by batch —
+// handing each non-empty batch to visit — and closes it. A panic anywhere in
+// the operator tree (or in visit) is contained here (and, for parallel
+// parts, in the exchange workers): the executor runs against an immutable
+// snapshot, so a failed execution cannot have corrupted shared state.
+func runBatches(ctx *Ctx, op Op, visit func(b *Batch) error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			rows, err = nil, panicErr(op, r)
+			err = panicErr(op, r)
 		}
 	}()
 	if err := op.Open(ctx); err != nil {
 		op.Close(ctx)
-		return nil, err
+		return err
 	}
+	var b Batch
 	for {
-		r, ok, err := pull(ctx, op)
-		if err != nil {
+		if err := pullBatch(ctx, op, &b); err != nil {
 			op.Close(ctx)
-			return nil, err
+			return err
 		}
-		if !ok {
+		if b.Len() == 0 {
 			break
 		}
-		rows = append(rows, r)
+		if err := visit(&b); err != nil {
+			op.Close(ctx)
+			return err
+		}
 	}
-	if err := op.Close(ctx); err != nil {
+	ctx.release(b.held)
+	b.held = 0
+	return op.Close(ctx)
+}
+
+// drain runs an operator to exhaustion and returns its rows, copied into the
+// query arena (batch rows are transient).
+func drain(ctx *Ctx, op Op) (rows []Row, err error) {
+	err = runBatches(ctx, op, func(b *Batch) error {
+		for i := 0; i < b.Len(); i++ {
+			rows = append(rows, ctx.copyRow(b.Row(i)))
+		}
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	return rows, nil
@@ -283,6 +338,30 @@ func ExecContext(cctx context.Context, s *storage.Store, plan Op) ([]Row, Metric
 	return rows, ctx.M, nil
 }
 
+// ExecBatches runs a plan and streams its result batches to visit instead of
+// materializing them: the zero-copy consumption path the colorful facade
+// maps query results through. The batch passed to visit (always non-empty)
+// is only valid for the duration of the call — visit copies what it keeps.
+// A non-nil error from visit aborts the execution and is returned.
+func ExecBatches(cctx context.Context, s *storage.Store, plan Op, visit func(b *Batch) error) (Metrics, error) {
+	ctx := &Ctx{S: s}
+	if cctx != nil && cctx.Done() != nil {
+		ctx.Cancel = cctx
+	}
+	sw := obs.Start()
+	rows := 0
+	err := runBatches(ctx, plan, func(b *Batch) error {
+		rows += b.Len()
+		return visit(b)
+	})
+	foldObs(ctx, sw, rows, err)
+	if err != nil {
+		return ctx.M, err
+	}
+	ctx.M.RowsOut = rows
+	return ctx.M, nil
+}
+
 // Explain renders a plan tree, one operator per line.
 func Explain(plan Op) string {
 	var b strings.Builder
@@ -299,20 +378,23 @@ func Explain(plan Op) string {
 
 // Analyzed is the result of ExplainAnalyze: the rows and metrics of a real
 // execution plus the annotated plan text and the peak number of intermediate
-// rows materialized at any instant (the streaming-executor footprint).
+// rows live at any instant.
 type Analyzed struct {
 	Rows    []Row
 	Metrics Metrics
 	// Text is the plan tree with per-operator annotations.
 	Text string
-	// PeakMaterialized is the maximum number of intermediate rows buffered by
-	// pipeline breakers at any point of the execution. A fully streaming
-	// pipeline reports 0.
+	// PeakMaterialized is the maximum number of intermediate rows alive at
+	// any point of the execution: rows buffered by pipeline breakers plus
+	// rows inside in-flight batches. A fully streaming pipeline therefore
+	// reports up to a few BatchSize (its pipeline depth in batches), while
+	// breakers add their whole build sides.
 	PeakMaterialized int
 }
 
-// ExplainAnalyze executes a plan while attributing rows, materialization and
-// metric deltas to each operator, and renders the annotated tree.
+// ExplainAnalyze executes a plan while attributing batches, rows,
+// materialization and metric deltas to each operator, and renders the
+// annotated tree.
 func ExplainAnalyze(s *storage.Store, plan Op) (*Analyzed, error) {
 	ctx := &Ctx{S: s, stats: map[Op]*OpStats{}}
 	sw := obs.Start()
@@ -330,14 +412,14 @@ func ExplainAnalyze(s *storage.Store, plan Op) (*Analyzed, error) {
 		if st == nil {
 			st = &OpStats{}
 		}
-		fmt.Fprintf(&b, "%s%s  (rows=%d%s)\n",
-			strings.Repeat("  ", depth), op.String(), st.Rows, statExtras(st))
+		fmt.Fprintf(&b, "%s%s  (rows=%d, batches=%d%s)\n",
+			strings.Repeat("  ", depth), op.String(), st.Rows, st.Batches, statExtras(st))
 		for _, ch := range op.Children() {
 			walk(ch, depth+1)
 		}
 	}
 	walk(plan, 0)
-	fmt.Fprintf(&b, "peak materialized intermediate rows: %d\n", ctx.peak)
+	fmt.Fprintf(&b, "peak live intermediate rows: %d\n", ctx.peak)
 
 	return &Analyzed{
 		Rows:             rows,

@@ -4,14 +4,18 @@ import "colorfulxml/internal/obs"
 
 // The engine's observability instruments: one set of process-wide counters
 // fed from the per-execution Metrics the executor already gathers (the
-// ExplainAnalyze plumbing), folded in once per execution so the per-pull hot
+// ExplainAnalyze plumbing), folded in once per execution so the per-batch hot
 // path stays free of atomic operations.
 var (
 	obsExecs      = obs.NewCounter("engine_execs_total")
 	obsExecErrors = obs.NewCounter("engine_exec_errors_total")
 	obsRowsOut    = obs.NewCounter("engine_rows_out_total")
-	obsPulls      = obs.NewCounter("engine_pulls_total")
-	obsExecNanos  = obs.NewHistogram("engine_exec_nanos")
+	// Batch transfers between operators, and the rows they carried: together
+	// they give the average batch fill, the vectorization health metric
+	// (rows/batches near BatchSize means amortization is working).
+	obsOpBatches = obs.NewCounter("engine_operator_batches_total")
+	obsOpRows    = obs.NewCounter("engine_operator_rows_total")
+	obsExecNanos = obs.NewHistogram("engine_exec_nanos")
 
 	obsStructJoins  = obs.NewCounter("engine_struct_joins_total")
 	obsValueJoins   = obs.NewCounter("engine_value_joins_total")
@@ -30,7 +34,8 @@ func foldObs(ctx *Ctx, sw obs.Stopwatch, rows int, err error) {
 		obsExecErrors.Inc()
 	}
 	obsRowsOut.Add(uint64(rows))
-	obsPulls.Add(uint64(ctx.totalPulls))
+	obsOpBatches.Add(uint64(ctx.totalBatches))
+	obsOpRows.Add(uint64(ctx.totalRows))
 	addNZ := func(c *obs.Counter, n int) {
 		if n > 0 {
 			c.Add(uint64(n))

@@ -10,9 +10,22 @@ import (
 	"colorfulxml/internal/storage"
 )
 
+// Operator implementation patterns, shared by everything below:
+//
+//   - Scans fill the output batch straight off their posting list, polling
+//     cancellation per candidate (ctx.poll is counter-based and nearly free).
+//   - Materializing operators (AttrEq, SortStart, PathScan) buffer at Open
+//     and emit with a single bulk appendRows per NextBatch.
+//   - Streaming filters pull their input through a batchCursor and copy
+//     surviving rows into the output batch.
+//   - Joins with fan-out (one input row can emit many output rows) append
+//     directly to the output batch while it has room and queue the overflow
+//     — copied into the query arena, since batch rows are transient — in a
+//     pending list drained first on the next call, preserving emit order.
+
 // ScanTag is an index scan: all structural nodes with a tag in one color, as
 // single-column rows in start order. It streams straight off the tag index
-// posting list, resolving one structural record per Next.
+// posting list, resolving one structural record per row.
 type ScanTag struct {
 	Color core.Color
 	Tag   string
@@ -31,17 +44,21 @@ func (o *ScanTag) Open(ctx *Ctx) error {
 	return nil
 }
 
-// Next implements Op.
-func (o *ScanTag) Next(ctx *Ctx) (Row, bool, error) {
-	if o.pos >= len(o.refs) {
-		return nil, false, nil
+// NextBatch implements Op.
+func (o *ScanTag) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
+	for o.pos < len(o.refs) && !out.Full() {
+		if err := ctx.poll(); err != nil {
+			return err
+		}
+		sn, err := ctx.S.StructByRef(o.refs[o.pos], o.Color)
+		if err != nil {
+			return err
+		}
+		o.pos++
+		out.appendNode(sn)
 	}
-	sn, err := ctx.S.StructByRef(o.refs[o.pos], o.Color)
-	if err != nil {
-		return nil, false, err
-	}
-	o.pos++
-	return Row{sn}, true, nil
+	return nil
 }
 
 // Close implements Op.
@@ -79,17 +96,21 @@ func (o *EqContent) Open(ctx *Ctx) error {
 	return nil
 }
 
-// Next implements Op.
-func (o *EqContent) Next(ctx *Ctx) (Row, bool, error) {
-	if o.pos >= len(o.refs) {
-		return nil, false, nil
+// NextBatch implements Op.
+func (o *EqContent) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
+	for o.pos < len(o.refs) && !out.Full() {
+		if err := ctx.poll(); err != nil {
+			return err
+		}
+		sn, err := ctx.S.StructByRef(o.refs[o.pos], o.Color)
+		if err != nil {
+			return err
+		}
+		o.pos++
+		out.appendNode(sn)
 	}
-	sn, err := ctx.S.StructByRef(o.refs[o.pos], o.Color)
-	if err != nil {
-		return nil, false, err
-	}
-	o.pos++
-	return Row{sn}, true, nil
+	return nil
 }
 
 // Close implements Op.
@@ -126,33 +147,34 @@ func (o *ContainsScan) Open(ctx *Ctx) error {
 	return nil
 }
 
-// Next implements Op.
-func (o *ContainsScan) Next(ctx *Ctx) (Row, bool, error) {
-	for o.pos < len(o.refs) {
+// NextBatch implements Op.
+func (o *ContainsScan) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
+	for o.pos < len(o.refs) && !out.Full() {
 		// A selective predicate can reject arbitrarily many candidates per
-		// returned row, so the scan polls cancellation itself.
+		// emitted row, so the scan polls cancellation per candidate.
 		if err := ctx.poll(); err != nil {
-			return nil, false, err
+			return err
 		}
 		sn, err := ctx.S.StructByRef(o.refs[o.pos], o.Color)
 		if err != nil {
-			return nil, false, err
+			return err
 		}
 		o.pos++
 		ctx.addContentReads(o, 1)
 		content, err := ctx.S.ContentOf(sn.Elem)
 		if err != nil {
-			return nil, false, err
+			return err
 		}
 		ok, err := o.Pred.Eval(content)
 		if err != nil {
-			return nil, false, err
+			return err
 		}
 		if ok {
-			return Row{sn}, true, nil
+			out.appendNode(sn)
 		}
 	}
-	return nil, false, nil
+	return nil
 }
 
 // Close implements Op.
@@ -205,14 +227,12 @@ func (o *AttrEq) Open(ctx *Ctx) error {
 	return nil
 }
 
-// Next implements Op.
-func (o *AttrEq) Next(ctx *Ctx) (Row, bool, error) {
-	if o.pos >= len(o.rows) {
-		return nil, false, nil
-	}
-	r := o.rows[o.pos]
-	o.pos++
-	return r, true, nil
+// NextBatch implements Op: a bulk emit of the buffered rows (the per-batch
+// cancellation check in pullBatch suffices — there is no per-row work here).
+func (o *AttrEq) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
+	o.pos += out.appendRows(o.rows[o.pos:])
+	return nil
 }
 
 // Close implements Op.
@@ -235,35 +255,45 @@ type Filter struct {
 	Input Op
 	Col   int
 	Pred  Pred
+
+	in batchCursor
 }
 
 // Open implements Op.
-func (o *Filter) Open(ctx *Ctx) error { return o.Input.Open(ctx) }
+func (o *Filter) Open(ctx *Ctx) error { return o.in.open(ctx, o.Input) }
 
-// Next implements Op.
-func (o *Filter) Next(ctx *Ctx) (Row, bool, error) {
-	for {
-		r, ok, err := pull(ctx, o.Input)
-		if err != nil || !ok {
-			return nil, false, err
+// NextBatch implements Op.
+func (o *Filter) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
+	for !out.Full() {
+		r, ok, err := o.in.pull(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
 		}
 		ctx.addContentReads(o, 1)
 		content, err := ctx.S.ContentOf(r[o.Col].Elem)
 		if err != nil {
-			return nil, false, err
+			return err
 		}
 		keep, err := o.Pred.Eval(content)
 		if err != nil {
-			return nil, false, err
+			return err
 		}
 		if keep {
-			return r, true, nil
+			out.AppendRow(r)
 		}
 	}
+	return nil
 }
 
 // Close implements Op.
-func (o *Filter) Close(ctx *Ctx) error { return o.Input.Close(ctx) }
+func (o *Filter) Close(ctx *Ctx) error {
+	o.in.close(ctx)
+	return o.Input.Close(ctx)
+}
 
 // Children implements Op.
 func (o *Filter) Children() []Op { return []Op{o.Input} }
@@ -276,35 +306,45 @@ type AttrFilter struct {
 	Col   int
 	Name  string
 	Pred  Pred
+
+	in batchCursor
 }
 
 // Open implements Op.
-func (o *AttrFilter) Open(ctx *Ctx) error { return o.Input.Open(ctx) }
+func (o *AttrFilter) Open(ctx *Ctx) error { return o.in.open(ctx, o.Input) }
 
-// Next implements Op.
-func (o *AttrFilter) Next(ctx *Ctx) (Row, bool, error) {
-	for {
-		r, ok, err := pull(ctx, o.Input)
-		if err != nil || !ok {
-			return nil, false, err
+// NextBatch implements Op.
+func (o *AttrFilter) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
+	for !out.Full() {
+		r, ok, err := o.in.pull(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
 		}
 		ctx.addContentReads(o, 1)
 		e, err := ctx.S.Elem(r[o.Col].Elem)
 		if err != nil {
-			return nil, false, err
+			return err
 		}
 		keep, err := o.Pred.Eval(e.Attr(o.Name))
 		if err != nil {
-			return nil, false, err
+			return err
 		}
 		if keep {
-			return r, true, nil
+			out.AppendRow(r)
 		}
 	}
+	return nil
 }
 
 // Close implements Op.
-func (o *AttrFilter) Close(ctx *Ctx) error { return o.Input.Close(ctx) }
+func (o *AttrFilter) Close(ctx *Ctx) error {
+	o.in.close(ctx)
+	return o.Input.Close(ctx)
+}
 
 // Children implements Op.
 func (o *AttrFilter) Children() []Op { return []Op{o.Input} }
@@ -329,6 +369,7 @@ type StructJoin struct {
 	Axis    join.Axis
 
 	ix      *ancIndex
+	in      batchCursor
 	pending []Row
 	held    int
 }
@@ -342,29 +383,37 @@ func (o *StructJoin) Open(ctx *Ctx) error {
 	o.held = len(ancRows)
 	o.ix = buildAncIndex(ancRows, o.AncCol)
 	o.pending = nil
-	return o.Desc.Open(ctx)
+	return o.in.open(ctx, o.Desc)
 }
 
-// Next implements Op.
-func (o *StructJoin) Next(ctx *Ctx) (Row, bool, error) {
-	for {
+// NextBatch implements Op.
+func (o *StructJoin) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
+	for !out.Full() {
 		if len(o.pending) > 0 {
-			r := o.pending[0]
-			o.pending = o.pending[1:]
-			return r, true, nil
+			o.pending = o.pending[out.appendRows(o.pending):]
+			continue
 		}
-		d, ok, err := pull(ctx, o.Desc)
-		if err != nil || !ok {
-			return nil, false, err
+		d, ok, err := o.in.pull(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
 		}
 		dn := d[o.DescCol]
 		for _, hi := range o.ix.containing(dn, o.Axis == join.ParentChild) {
 			ctx.addStructJoins(o, 1)
 			for _, ar := range o.ix.byStart[o.ix.nodes[hi].Start] {
-				o.pending = append(o.pending, concat(ar, d))
+				if !out.Full() && len(o.pending) == 0 {
+					out.appendConcat(ar, d)
+				} else {
+					o.pending = append(o.pending, ctx.concatRow(ar, d))
+				}
 			}
 		}
 	}
+	return nil
 }
 
 // Close implements Op.
@@ -373,6 +422,7 @@ func (o *StructJoin) Close(ctx *Ctx) error {
 	o.held = 0
 	o.ix = nil
 	o.pending = nil
+	o.in.close(ctx)
 	err1 := o.Anc.Close(ctx)
 	err2 := o.Desc.Close(ctx)
 	if err1 != nil {
@@ -410,6 +460,7 @@ type ExistsJoin struct {
 	probeNodes    []storage.SNode // otherwise: distinct probe nodes, start order
 	probeByParent map[int64][]int // otherwise, ParentChild: probe indexes by ParentStart
 	decided       map[int64]bool
+	in            batchCursor
 	held          int
 }
 
@@ -443,7 +494,7 @@ func (o *ExistsJoin) Open(ctx *Ctx) error {
 			}
 		}
 	}
-	return o.Input.Open(ctx)
+	return o.in.open(ctx, o.Input)
 }
 
 // match decides whether one input node has a structural partner in the probe
@@ -469,12 +520,16 @@ func (o *ExistsJoin) match(sn storage.SNode) bool {
 	return i < len(o.probeNodes) && sn.Contains(o.probeNodes[i])
 }
 
-// Next implements Op.
-func (o *ExistsJoin) Next(ctx *Ctx) (Row, bool, error) {
-	for {
-		r, ok, err := pull(ctx, o.Input)
-		if err != nil || !ok {
-			return nil, false, err
+// NextBatch implements Op.
+func (o *ExistsJoin) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
+	for !out.Full() {
+		r, ok, err := o.in.pull(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
 		}
 		sn := r[o.Col]
 		keep, seen := o.decided[sn.Start]
@@ -486,9 +541,10 @@ func (o *ExistsJoin) Next(ctx *Ctx) (Row, bool, error) {
 			}
 		}
 		if keep {
-			return r, true, nil
+			out.AppendRow(r)
 		}
 	}
+	return nil
 }
 
 // Close implements Op.
@@ -499,6 +555,7 @@ func (o *ExistsJoin) Close(ctx *Ctx) error {
 	o.probeNodes = nil
 	o.probeByParent = nil
 	o.decided = nil
+	o.in.close(ctx)
 	err1 := o.Input.Close(ctx)
 	err2 := o.Probe.Close(ctx)
 	if err1 != nil {
@@ -522,31 +579,41 @@ type CrossColor struct {
 	Input Op
 	Col   int
 	To    core.Color
+
+	in batchCursor
 }
 
 // Open implements Op.
-func (o *CrossColor) Open(ctx *Ctx) error { return o.Input.Open(ctx) }
+func (o *CrossColor) Open(ctx *Ctx) error { return o.in.open(ctx, o.Input) }
 
-// Next implements Op.
-func (o *CrossColor) Next(ctx *Ctx) (Row, bool, error) {
-	for {
-		r, ok, err := pull(ctx, o.Input)
-		if err != nil || !ok {
-			return nil, false, err
+// NextBatch implements Op.
+func (o *CrossColor) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
+	for !out.Full() {
+		r, ok, err := o.in.pull(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
 		}
 		ctx.addCrossJoins(o, 1)
 		sn, ok, err := ctx.S.CrossTree(r[o.Col].Elem, o.To)
 		if err != nil {
-			return nil, false, err
+			return err
 		}
 		if ok {
-			return concat(r, Row{sn}), true, nil
+			out.appendConcatNode(r, sn)
 		}
 	}
+	return nil
 }
 
 // Close implements Op.
-func (o *CrossColor) Close(ctx *Ctx) error { return o.Input.Close(ctx) }
+func (o *CrossColor) Close(ctx *Ctx) error {
+	o.in.close(ctx)
+	return o.Input.Close(ctx)
+}
 
 // Children implements Op.
 func (o *CrossColor) Children() []Op { return []Op{o.Input} }
@@ -607,6 +674,7 @@ type ValueJoin struct {
 	RightKey Key
 
 	ht      map[string][]Row
+	in      batchCursor
 	pending []Row
 	held    int
 }
@@ -629,32 +697,40 @@ func (o *ValueJoin) Open(ctx *Ctx) error {
 		}
 	}
 	o.pending = nil
-	return o.Left.Open(ctx)
+	return o.in.open(ctx, o.Left)
 }
 
-// Next implements Op.
-func (o *ValueJoin) Next(ctx *Ctx) (Row, bool, error) {
-	for {
+// NextBatch implements Op.
+func (o *ValueJoin) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
+	for !out.Full() {
 		if len(o.pending) > 0 {
-			r := o.pending[0]
-			o.pending = o.pending[1:]
-			return r, true, nil
+			o.pending = o.pending[out.appendRows(o.pending):]
+			continue
 		}
-		l, ok, err := pull(ctx, o.Left)
-		if err != nil || !ok {
-			return nil, false, err
+		l, ok, err := o.in.pull(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
 		}
 		keys, err := o.LeftKey.extract(ctx, o, l[o.LeftCol])
 		if err != nil {
-			return nil, false, err
+			return err
 		}
 		for _, k := range keys {
 			ctx.addValueJoins(o, 1)
 			for _, r := range o.ht[k] {
-				o.pending = append(o.pending, concat(l, r))
+				if !out.Full() && len(o.pending) == 0 {
+					out.appendConcat(l, r)
+				} else {
+					o.pending = append(o.pending, ctx.concatRow(l, r))
+				}
 			}
 		}
 	}
+	return nil
 }
 
 // Close implements Op.
@@ -663,6 +739,7 @@ func (o *ValueJoin) Close(ctx *Ctx) error {
 	o.held = 0
 	o.ht = nil
 	o.pending = nil
+	o.in.close(ctx)
 	err1 := o.Left.Close(ctx)
 	err2 := o.Right.Close(ctx)
 	if err1 != nil {
@@ -689,6 +766,7 @@ type IDJoin struct {
 	RightCol int
 
 	ht      map[storage.ElemID][]Row
+	in      batchCursor
 	pending []Row
 	held    int
 }
@@ -706,26 +784,34 @@ func (o *IDJoin) Open(ctx *Ctx) error {
 		o.ht[id] = append(o.ht[id], r)
 	}
 	o.pending = nil
-	return o.Left.Open(ctx)
+	return o.in.open(ctx, o.Left)
 }
 
-// Next implements Op.
-func (o *IDJoin) Next(ctx *Ctx) (Row, bool, error) {
-	for {
+// NextBatch implements Op.
+func (o *IDJoin) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
+	for !out.Full() {
 		if len(o.pending) > 0 {
-			r := o.pending[0]
-			o.pending = o.pending[1:]
-			return r, true, nil
+			o.pending = o.pending[out.appendRows(o.pending):]
+			continue
 		}
-		l, ok, err := pull(ctx, o.Left)
-		if err != nil || !ok {
-			return nil, false, err
+		l, ok, err := o.in.pull(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
 		}
 		ctx.addIDJoins(o, 1)
 		for _, r := range o.ht[l[o.LeftCol].Elem] {
-			o.pending = append(o.pending, concat(l, r))
+			if !out.Full() && len(o.pending) == 0 {
+				out.appendConcat(l, r)
+			} else {
+				o.pending = append(o.pending, ctx.concatRow(l, r))
+			}
 		}
 	}
+	return nil
 }
 
 // Close implements Op.
@@ -734,6 +820,7 @@ func (o *IDJoin) Close(ctx *Ctx) error {
 	o.held = 0
 	o.ht = nil
 	o.pending = nil
+	o.in.close(ctx)
 	err1 := o.Left.Close(ctx)
 	err2 := o.Right.Close(ctx)
 	if err1 != nil {
@@ -762,6 +849,7 @@ type NLJoin struct {
 
 	right   []Row
 	rc      []string
+	in      batchCursor
 	pending []Row
 	held    int
 }
@@ -783,25 +871,28 @@ func (o *NLJoin) Open(ctx *Ctx) error {
 		}
 	}
 	o.pending = nil
-	return o.Left.Open(ctx)
+	return o.in.open(ctx, o.Left)
 }
 
-// Next implements Op.
-func (o *NLJoin) Next(ctx *Ctx) (Row, bool, error) {
-	for {
+// NextBatch implements Op.
+func (o *NLJoin) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
+	for !out.Full() {
 		if len(o.pending) > 0 {
-			r := o.pending[0]
-			o.pending = o.pending[1:]
-			return r, true, nil
+			o.pending = o.pending[out.appendRows(o.pending):]
+			continue
 		}
-		l, ok, err := pull(ctx, o.Left)
-		if err != nil || !ok {
-			return nil, false, err
+		l, ok, err := o.in.pull(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
 		}
 		ctx.addContentReads(o, 1)
 		lc, err := ctx.S.ContentOf(l[o.LeftCol].Elem)
 		if err != nil {
-			return nil, false, err
+			return err
 		}
 		p := Pred{Kind: o.Kind, Numeric: o.Numeric}
 		for j, r := range o.right {
@@ -809,13 +900,18 @@ func (o *NLJoin) Next(ctx *Ctx) (Row, bool, error) {
 			p.Value = o.rc[j]
 			match, err := p.Eval(lc)
 			if err != nil {
-				return nil, false, err
+				return err
 			}
 			if match {
-				o.pending = append(o.pending, concat(l, r))
+				if !out.Full() && len(o.pending) == 0 {
+					out.appendConcat(l, r)
+				} else {
+					o.pending = append(o.pending, ctx.concatRow(l, r))
+				}
 			}
 		}
 	}
+	return nil
 }
 
 // Close implements Op.
@@ -825,6 +921,7 @@ func (o *NLJoin) Close(ctx *Ctx) error {
 	o.right = nil
 	o.rc = nil
 	o.pending = nil
+	o.in.close(ctx)
 	err1 := o.Left.Close(ctx)
 	err2 := o.Right.Close(ctx)
 	if err1 != nil {
@@ -846,32 +943,39 @@ type Dedup struct {
 	Col   int
 
 	seen map[storage.ElemID]bool
+	in   batchCursor
 }
 
 // Open implements Op.
 func (o *Dedup) Open(ctx *Ctx) error {
 	o.seen = make(map[storage.ElemID]bool)
-	return o.Input.Open(ctx)
+	return o.in.open(ctx, o.Input)
 }
 
-// Next implements Op.
-func (o *Dedup) Next(ctx *Ctx) (Row, bool, error) {
-	for {
-		r, ok, err := pull(ctx, o.Input)
-		if err != nil || !ok {
-			return nil, false, err
+// NextBatch implements Op.
+func (o *Dedup) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
+	for !out.Full() {
+		r, ok, err := o.in.pull(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
 		}
 		id := r[o.Col].Elem
 		if !o.seen[id] {
 			o.seen[id] = true
-			return r, true, nil
+			out.AppendRow(r)
 		}
 	}
+	return nil
 }
 
 // Close implements Op.
 func (o *Dedup) Close(ctx *Ctx) error {
 	o.seen = nil
+	o.in.close(ctx)
 	return o.Input.Close(ctx)
 }
 
@@ -888,36 +992,43 @@ type DedupContent struct {
 	Col   int
 
 	seen map[string]bool
+	in   batchCursor
 }
 
 // Open implements Op.
 func (o *DedupContent) Open(ctx *Ctx) error {
 	o.seen = make(map[string]bool)
-	return o.Input.Open(ctx)
+	return o.in.open(ctx, o.Input)
 }
 
-// Next implements Op.
-func (o *DedupContent) Next(ctx *Ctx) (Row, bool, error) {
-	for {
-		r, ok, err := pull(ctx, o.Input)
-		if err != nil || !ok {
-			return nil, false, err
+// NextBatch implements Op.
+func (o *DedupContent) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
+	for !out.Full() {
+		r, ok, err := o.in.pull(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
 		}
 		ctx.addContentReads(o, 1)
 		c, err := ctx.S.ContentOf(r[o.Col].Elem)
 		if err != nil {
-			return nil, false, err
+			return err
 		}
 		if !o.seen[c] {
 			o.seen[c] = true
-			return r, true, nil
+			out.AppendRow(r)
 		}
 	}
+	return nil
 }
 
 // Close implements Op.
 func (o *DedupContent) Close(ctx *Ctx) error {
 	o.seen = nil
+	o.in.close(ctx)
 	return o.Input.Close(ctx)
 }
 
@@ -935,37 +1046,44 @@ type DedupAttr struct {
 	Name  string
 
 	seen map[string]bool
+	in   batchCursor
 }
 
 // Open implements Op.
 func (o *DedupAttr) Open(ctx *Ctx) error {
 	o.seen = make(map[string]bool)
-	return o.Input.Open(ctx)
+	return o.in.open(ctx, o.Input)
 }
 
-// Next implements Op.
-func (o *DedupAttr) Next(ctx *Ctx) (Row, bool, error) {
-	for {
-		r, ok, err := pull(ctx, o.Input)
-		if err != nil || !ok {
-			return nil, false, err
+// NextBatch implements Op.
+func (o *DedupAttr) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
+	for !out.Full() {
+		r, ok, err := o.in.pull(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
 		}
 		ctx.addContentReads(o, 1)
 		e, err := ctx.S.Elem(r[o.Col].Elem)
 		if err != nil {
-			return nil, false, err
+			return err
 		}
 		k := e.Attr(o.Name)
 		if !o.seen[k] {
 			o.seen[k] = true
-			return r, true, nil
+			out.AppendRow(r)
 		}
 	}
+	return nil
 }
 
 // Close implements Op.
 func (o *DedupAttr) Close(ctx *Ctx) error {
 	o.seen = nil
+	o.in.close(ctx)
 	return o.Input.Close(ctx)
 }
 
@@ -978,26 +1096,37 @@ func (o *DedupAttr) String() string { return fmt.Sprintf("DedupAttr[col %d @%s]"
 type Project struct {
 	Input Op
 	Cols  []int
+
+	in batchCursor
 }
 
 // Open implements Op.
-func (o *Project) Open(ctx *Ctx) error { return o.Input.Open(ctx) }
+func (o *Project) Open(ctx *Ctx) error { return o.in.open(ctx, o.Input) }
 
-// Next implements Op.
-func (o *Project) Next(ctx *Ctx) (Row, bool, error) {
-	r, ok, err := pull(ctx, o.Input)
-	if err != nil || !ok {
-		return nil, false, err
+// NextBatch implements Op.
+func (o *Project) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
+	for !out.Full() {
+		r, ok, err := o.in.pull(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		slot := out.appendSlot(len(o.Cols))
+		for j, c := range o.Cols {
+			slot[j] = r[c]
+		}
 	}
-	nr := make(Row, len(o.Cols))
-	for j, c := range o.Cols {
-		nr[j] = r[c]
-	}
-	return nr, true, nil
+	return nil
 }
 
 // Close implements Op.
-func (o *Project) Close(ctx *Ctx) error { return o.Input.Close(ctx) }
+func (o *Project) Close(ctx *Ctx) error {
+	o.in.close(ctx)
+	return o.Input.Close(ctx)
+}
 
 // Children implements Op.
 func (o *Project) Children() []Op { return []Op{o.Input} }
@@ -1030,14 +1159,12 @@ func (o *SortStart) Open(ctx *Ctx) error {
 	return nil
 }
 
-// Next implements Op.
-func (o *SortStart) Next(ctx *Ctx) (Row, bool, error) {
-	if o.pos >= len(o.rows) {
-		return nil, false, nil
-	}
-	r := o.rows[o.pos]
-	o.pos++
-	return r, true, nil
+// NextBatch implements Op: a bulk emit of the sorted buffer (the per-batch
+// cancellation check in pullBatch suffices — there is no per-row work here).
+func (o *SortStart) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
+	o.pos += out.appendRows(o.rows[o.pos:])
+	return nil
 }
 
 // Close implements Op.
@@ -1052,11 +1179,3 @@ func (o *SortStart) Close(ctx *Ctx) error {
 func (o *SortStart) Children() []Op { return []Op{o.Input} }
 
 func (o *SortStart) String() string { return fmt.Sprintf("SortStart[col %d]", o.Col) }
-
-// --- helpers -------------------------------------------------------------
-
-func concat(a, b Row) Row {
-	out := make(Row, 0, len(a)+len(b))
-	out = append(out, a...)
-	return append(out, b...)
-}

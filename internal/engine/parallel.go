@@ -5,10 +5,13 @@ import (
 	"sync"
 )
 
-// exchangeBuf is the per-partition row channel depth: deep enough to keep
-// workers busy across consumer stalls, small enough that an exchange never
-// materializes a meaningful fraction of a scan.
-const exchangeBuf = 128
+// exchangeBatchDepth is the per-partition batch channel depth: deep enough
+// (a few thousand rows) to keep workers busy across consumer stalls, small
+// enough that an exchange never materializes a meaningful fraction of a
+// scan. Each worker owns a free list of this many batch buffers that
+// circulate between producer and consumer, so steady state does no
+// allocation per transfer.
+const exchangeBatchDepth = 4
 
 // partition returns the part-th of of contiguous slices of a posting list.
 // Slicing start-ordered postings into contiguous runs means concatenating the
@@ -28,10 +31,15 @@ func partition(refs []uint64, part, of int) []uint64 {
 // ScanTag.Part/Of), so the in-order concatenation preserves the global
 // document order every downstream operator relies on.
 //
-// Each worker runs against its own Ctx over the same (immutable snapshot)
-// store; metrics and per-operator stats are folded back into the parent Ctx
-// when the exchange closes, so Exec totals and ExplainAnalyze attribution are
-// unaffected by parallelism. Rows flow through bounded channels; Close
+// Workers exchange whole batches with the consumer: each worker pulls its
+// partition batch-wise and sends filled *Batch buffers over a bounded
+// channel, receiving empty ones back through a free list — the consumer
+// adopts a batch with a zero-copy Swap. Each worker runs against its own Ctx
+// over the same (immutable snapshot) store; metrics, transfer counts and
+// per-operator stats are folded back into the parent Ctx when the exchange
+// closes, so Exec totals and ExplainAnalyze attribution are unaffected by
+// parallelism. Rows inside channel-buffered batches are not part of any
+// context's live accounting (bounded by parts × depth × BatchSize). Close
 // cancels still-running workers via a done channel and waits for them, so no
 // goroutine outlives the exchange.
 type Exchange struct {
@@ -45,15 +53,16 @@ type Exchange struct {
 
 type exchangeWorker struct {
 	op   Op
-	rows chan Row
+	out  chan *Batch
+	free chan *Batch
 	ctx  *Ctx
-	// err is written by the worker goroutine before it closes rows and read
+	// err is written by the worker goroutine before it closes out and read
 	// by the consumer only after observing the close, so it needs no lock.
 	err error
 }
 
 func (w *exchangeWorker) run(done chan struct{}) {
-	defer close(w.rows)
+	defer close(w.out)
 	// Contain panics from this partition's operator tree: the consumer sees
 	// them as an execution error after the channel closes, exactly like any
 	// other worker failure (the recover defer runs before the close defer).
@@ -68,17 +77,27 @@ func (w *exchangeWorker) run(done chan struct{}) {
 		return
 	}
 	for {
-		r, ok, err := pull(w.ctx, w.op)
-		if err != nil {
+		var b *Batch
+		select {
+		case b = <-w.free:
+		case <-done:
+			w.op.Close(w.ctx)
+			return
+		}
+		if err := pullBatch(w.ctx, w.op, b); err != nil {
 			w.op.Close(w.ctx)
 			w.err = err
 			return
 		}
-		if !ok {
+		if b.Len() == 0 {
 			break
 		}
+		// The batch leaves this worker's pipeline: drop it from the worker's
+		// in-flight accounting before handing it to the consumer.
+		w.ctx.release(b.held)
+		b.held = 0
 		select {
-		case w.rows <- r:
+		case w.out <- b:
 		case <-done:
 			w.op.Close(w.ctx)
 			return
@@ -93,7 +112,15 @@ func (o *Exchange) Open(ctx *Ctx) error {
 	o.cur = 0
 	o.workers = make([]*exchangeWorker, len(o.Parts))
 	for i, p := range o.Parts {
-		w := &exchangeWorker{op: p, rows: make(chan Row, exchangeBuf), ctx: &Ctx{S: ctx.S, Cancel: ctx.Cancel, timed: ctx.timed}}
+		w := &exchangeWorker{
+			op:   p,
+			out:  make(chan *Batch, exchangeBatchDepth),
+			free: make(chan *Batch, exchangeBatchDepth),
+			ctx:  &Ctx{S: ctx.S, Cancel: ctx.Cancel, timed: ctx.timed},
+		}
+		for j := 0; j < exchangeBatchDepth; j++ {
+			w.free <- &Batch{}
+		}
 		if ctx.stats != nil {
 			w.ctx.stats = map[Op]*OpStats{}
 		}
@@ -107,30 +134,38 @@ func (o *Exchange) Open(ctx *Ctx) error {
 	return nil
 }
 
-// Next implements Op: it drains the partitions in order, so the merged
-// stream is the in-order concatenation of the parts.
-func (o *Exchange) Next(ctx *Ctx) (Row, bool, error) {
+// NextBatch implements Op: it drains the partitions in order, adopting one
+// worker batch per call, so the merged stream is the in-order concatenation
+// of the parts.
+func (o *Exchange) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
 	for o.cur < len(o.workers) {
 		// Workers observe cancellation through their own contexts; the merge
 		// loop polls too so an exhausted-partition spin can't outlive it.
 		if err := ctx.poll(); err != nil {
-			return nil, false, err
+			return err
 		}
 		w := o.workers[o.cur]
-		r, ok := <-w.rows
+		b, ok := <-w.out
 		if ok {
-			return r, true, nil
+			out.Swap(b)
+			b.Reset()
+			select {
+			case w.free <- b:
+			default:
+			}
+			return nil
 		}
 		if w.err != nil {
-			return nil, false, w.err
+			return w.err
 		}
 		o.cur++
 	}
-	return nil, false, nil
+	return nil
 }
 
 // Close implements Op: cancel outstanding workers, wait for them, and fold
-// their metrics and stats into the parent context.
+// their metrics, transfer counts and stats into the parent context.
 func (o *Exchange) Close(ctx *Ctx) error {
 	if o.done == nil {
 		return nil
@@ -139,7 +174,8 @@ func (o *Exchange) Close(ctx *Ctx) error {
 	o.wg.Wait()
 	for _, w := range o.workers {
 		ctx.M.merge(w.ctx.M)
-		ctx.totalPulls += w.ctx.totalPulls
+		ctx.totalBatches += w.ctx.totalBatches
+		ctx.totalRows += w.ctx.totalRows
 		if ctx.stats != nil {
 			for op, st := range w.ctx.stats {
 				ctx.stats[op] = st

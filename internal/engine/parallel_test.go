@@ -100,8 +100,9 @@ func TestExchangeEarlyClose(t *testing.T) {
 	if err := ex.Open(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := ex.Next(ctx); err != nil || !ok {
-		t.Fatalf("first row: ok=%v err=%v", ok, err)
+	var b engine.Batch
+	if err := ex.NextBatch(ctx, &b); err != nil || b.Len() == 0 {
+		t.Fatalf("first batch: len=%d err=%v", b.Len(), err)
 	}
 	if err := ex.Close(ctx); err != nil {
 		t.Fatal(err)
@@ -113,7 +114,7 @@ func TestExchangeEarlyClose(t *testing.T) {
 	}
 }
 
-// failOp emits a few rows and then fails.
+// failOp emits one batch of a few rows and then fails.
 type failOp struct {
 	n   int
 	pos int
@@ -122,12 +123,16 @@ type failOp struct {
 var errBoom = errors.New("boom")
 
 func (o *failOp) Open(ctx *engine.Ctx) error { o.pos = 0; return nil }
-func (o *failOp) Next(ctx *engine.Ctx) (engine.Row, bool, error) {
+func (o *failOp) NextBatch(ctx *engine.Ctx, out *engine.Batch) error {
+	out.Reset()
 	if o.pos >= o.n {
-		return nil, false, errBoom
+		return errBoom
 	}
-	o.pos++
-	return engine.Row{{}}, true, nil
+	for o.pos < o.n && !out.Full() {
+		o.pos++
+		out.AppendRow(engine.Row{{}})
+	}
+	return nil
 }
 func (o *failOp) Close(ctx *engine.Ctx) error { return nil }
 func (o *failOp) Children() []engine.Op       { return nil }

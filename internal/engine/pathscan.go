@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"fmt"
+
+	"colorfulxml/internal/core"
+	"colorfulxml/internal/join"
+	"colorfulxml/internal/storage"
+)
+
+// PathScan is the path-summary access path: it probes the store's DataGuide
+// summary (storage.PathSummary) with a root-anchored colored label-path
+// pattern and reads exactly the nodes on matching paths, replacing an entire
+// structural-join chain for path expressions the summary fully resolves. It
+// emits the final step's nodes as single-column rows in start order, each
+// node at most once (a node has exactly one root path) — the multiplicity a
+// structural join would produce for multiple witnesses collapses, which is
+// value-equivalent for the deduplicated result sets compiled plans produce.
+//
+// A materializing leaf: the (summary-bounded) result is resolved and sorted
+// at Open, then emitted in bulk batches.
+type PathScan struct {
+	Color core.Color
+	Steps []storage.PathStep
+
+	nodes []storage.SNode
+	pos   int
+	held  int
+}
+
+// Open implements Op.
+func (o *PathScan) Open(ctx *Ctx) error {
+	ps, err := ctx.S.PathSummary(o.Color)
+	if err != nil {
+		return err
+	}
+	refs := ps.Match(o.Steps)
+	o.nodes = make([]storage.SNode, 0, len(refs))
+	for _, ref := range refs {
+		sn, err := ctx.S.StructByRef(ref, o.Color)
+		if err != nil {
+			return err
+		}
+		o.nodes = append(o.nodes, sn)
+	}
+	// Refs arrive per-path; merge into global start (document) order.
+	join.SortByStart(o.nodes)
+	o.pos = 0
+	o.held = len(o.nodes)
+	ctx.hold(o, o.held)
+	return nil
+}
+
+// NextBatch implements Op: a bulk emit of the resolved nodes (the per-batch
+// cancellation check in pullBatch suffices — there is no per-row work here).
+func (o *PathScan) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
+	o.pos += out.appendNodes(o.nodes[o.pos:])
+	return nil
+}
+
+// Close implements Op.
+func (o *PathScan) Close(ctx *Ctx) error {
+	ctx.release(o.held)
+	o.held = 0
+	o.nodes = nil
+	return nil
+}
+
+// Children implements Op.
+func (o *PathScan) Children() []Op { return nil }
+
+func (o *PathScan) String() string {
+	return fmt.Sprintf("PathScan{%s}%s", o.Color, storage.PathString(o.Steps))
+}

@@ -9,26 +9,34 @@ import (
 	"colorfulxml/internal/storage"
 )
 
-// endlessOp produces rows forever; used to prove cancellation interrupts a
-// runaway plan.
+// endlessOp produces full batches forever; used to prove cancellation
+// interrupts a runaway plan.
 type endlessOp struct{}
 
-func (endlessOp) Open(*Ctx) error              { return nil }
-func (endlessOp) Next(*Ctx) (Row, bool, error) { return Row{storage.SNode{}}, true, nil }
-func (endlessOp) Close(*Ctx) error             { return nil }
-func (endlessOp) Children() []Op               { return nil }
-func (endlessOp) String() string               { return "Endless" }
+func (endlessOp) Open(*Ctx) error { return nil }
+func (endlessOp) NextBatch(_ *Ctx, out *Batch) error {
+	out.Reset()
+	for !out.Full() {
+		out.AppendRow(Row{storage.SNode{}})
+	}
+	return nil
+}
+func (endlessOp) Close(*Ctx) error { return nil }
+func (endlessOp) Children() []Op   { return nil }
+func (endlessOp) String() string   { return "Endless" }
 
-// panicOp panics on the nth Next call.
+// panicOp emits one-row batches and panics on the nth NextBatch call.
 type panicOp struct{ n, at int }
 
 func (p *panicOp) Open(*Ctx) error { p.n = 0; return nil }
-func (p *panicOp) Next(*Ctx) (Row, bool, error) {
+func (p *panicOp) NextBatch(_ *Ctx, out *Batch) error {
+	out.Reset()
 	p.n++
 	if p.n >= p.at {
 		panic("operator bug")
 	}
-	return Row{storage.SNode{}}, true, nil
+	out.AppendRow(Row{storage.SNode{}})
+	return nil
 }
 func (p *panicOp) Close(*Ctx) error { return nil }
 func (p *panicOp) Children() []Op   { return nil }

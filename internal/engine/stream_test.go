@@ -20,21 +20,24 @@ func movieStore(t *testing.T) *storage.Store {
 	return s
 }
 
-// TestStreamingNext: rows arrive one at a time through the iterator
+// TestStreamingBatches: rows arrive in batches through the iterator
 // interface, and a plan may be closed early without exhausting it.
-func TestStreamingNext(t *testing.T) {
+func TestStreamingBatches(t *testing.T) {
 	s := movieStore(t)
 	op := &engine.ScanTag{Color: "red", Tag: "movie"}
 	ctx := &engine.Ctx{S: s}
 	if err := op.Open(ctx); err != nil {
 		t.Fatal(err)
 	}
-	r, ok, err := op.Next(ctx)
-	if err != nil || !ok {
-		t.Fatalf("first Next: ok=%v err=%v", ok, err)
+	var b engine.Batch
+	if err := op.NextBatch(ctx, &b); err != nil {
+		t.Fatalf("first NextBatch: %v", err)
 	}
-	if len(r) != 1 {
-		t.Fatalf("scan rows have one column, got %d", len(r))
+	if b.Len() == 0 {
+		t.Fatal("first batch is empty")
+	}
+	if b.Cols() != 1 || len(b.Row(0)) != 1 {
+		t.Fatalf("scan rows have one column, got %d", b.Cols())
 	}
 	// Abandon the scan early: Close must succeed and be idempotent.
 	if err := op.Close(ctx); err != nil {
@@ -116,9 +119,10 @@ func TestChildrenExposeWholeTree(t *testing.T) {
 	}
 }
 
-// TestPeakMaterialization: a scan-filter-project pipeline buffers nothing;
-// only explicit pipeline breakers (here a hash-join build side) hold rows,
-// and ExplainAnalyze reports their peak.
+// TestPeakMaterialization: a scan-filter-project pipeline holds only its
+// in-flight batches (bounded by pipeline depth × BatchSize), while explicit
+// pipeline breakers (here a hash-join build side) additionally hold whole
+// build sides, and ExplainAnalyze reports the peak of both.
 func TestPeakMaterialization(t *testing.T) {
 	s := movieStore(t)
 	streaming := &engine.Project{
@@ -133,9 +137,15 @@ func TestPeakMaterialization(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if an.PeakMaterialized != 0 {
-		t.Fatalf("streaming pipeline should buffer nothing, peak=%d\n%s",
+	if an.PeakMaterialized <= 0 {
+		t.Fatalf("in-flight batch rows should be counted, peak=%d\n%s",
 			an.PeakMaterialized, an.Text)
+	}
+	// Three transfer edges (scan->filter, filter->project, project->executor),
+	// each at most one batch in flight.
+	if an.PeakMaterialized > 3*engine.BatchSize {
+		t.Fatalf("streaming pipeline peak %d exceeds its in-flight batch bound %d\n%s",
+			an.PeakMaterialized, 3*engine.BatchSize, an.Text)
 	}
 	if len(an.Rows) == 0 {
 		t.Fatal("expected some matching names")
@@ -153,7 +163,7 @@ func TestPeakMaterialization(t *testing.T) {
 	if an.PeakMaterialized <= 0 {
 		t.Fatalf("hash join build side should be counted, peak=%d", an.PeakMaterialized)
 	}
-	if !strings.Contains(an.Text, "peak materialized") {
+	if !strings.Contains(an.Text, "peak live") {
 		t.Fatalf("analyzed text misses the peak line:\n%s", an.Text)
 	}
 }

@@ -15,10 +15,11 @@ import (
 // they ran on worker goroutines (workers carry their own stats contexts,
 // merged back when the exchange closes).
 //
-// Each operator span carries the operator's rows, cumulative Next wall time
-// (including children), and its nonzero join/materialization/content
-// counters as attributes. TraceExec is the expensive, opt-in sibling of
-// ExecContext — the default query path never pays per-pull clock reads.
+// Each operator span carries the operator's batches and rows, cumulative
+// NextBatch wall time (including children), and its nonzero
+// join/materialization/content counters as attributes. TraceExec is the
+// expensive, opt-in sibling of ExecContext — the default query path never
+// pays per-batch clock reads.
 func TraceExec(cctx context.Context, s *storage.Store, plan Op, parent *obs.Span) ([]Row, Metrics, error) {
 	ctx := &Ctx{S: s, stats: map[Op]*OpStats{}, timed: true}
 	if cctx != nil && cctx.Done() != nil {
@@ -29,7 +30,8 @@ func TraceExec(cctx context.Context, s *storage.Store, plan Op, parent *obs.Span
 	foldObs(ctx, sw, len(rows), err)
 	if parent != nil {
 		attachOpSpans(parent, plan, ctx.stats)
-		parent.SetAttr("pulls", ctx.totalPulls)
+		parent.SetAttr("batches", ctx.totalBatches)
+		parent.SetAttr("rows_transferred", ctx.totalRows)
 		parent.SetAttr("peak_materialized", ctx.peak)
 	}
 	if err != nil {
@@ -48,6 +50,7 @@ func attachOpSpans(parent *obs.Span, op Op, stats map[Op]*OpStats) {
 	}
 	sp := parent.Child(op.String())
 	sp.SetAttr("rows", st.Rows)
+	sp.SetAttr("batches", st.Batches)
 	setNZ := func(key string, v int) {
 		if v != 0 {
 			sp.SetAttr(key, v)

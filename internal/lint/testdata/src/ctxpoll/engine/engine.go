@@ -1,99 +1,163 @@
 // Package engine mirrors the operator protocol the ctxpoll analyzer guards:
-// a Next implementation that loops must reach the cancellation check — by
-// pulling child rows through pull(), by calling ctx.poll(), or by consulting
-// ctx.Cancel directly.
+// a NextBatch implementation that loops must reach the cancellation check —
+// by pulling child rows through a cursor's pull() or the executor's
+// pullBatch(), by calling ctx.poll(), or by consulting ctx.Cancel directly.
 package engine
 
 type Ctx struct {
 	Cancel chan struct{}
-	pulls  int
+	steps  int
 }
 
 func (c *Ctx) poll() error { return nil }
 
 type Row []int
 
-type Op interface {
-	Next(ctx *Ctx) (Row, bool, error)
+type Batch struct {
+	rows []Row
 }
 
-func pull(ctx *Ctx, o Op) (Row, bool, error) { return o.Next(ctx) }
+func (b *Batch) Reset()          { b.rows = b.rows[:0] }
+func (b *Batch) Len() int        { return len(b.rows) }
+func (b *Batch) Full() bool      { return len(b.rows) >= 4 }
+func (b *Batch) AppendRow(r Row) { b.rows = append(b.rows, r) }
+func (b *Batch) appendRows(rs []Row) int {
+	n := 0
+	for _, r := range rs {
+		if b.Full() {
+			break
+		}
+		b.rows = append(b.rows, r)
+		n++
+	}
+	return n
+}
 
-// Scan loops over its own iteration state with no touchpoint: flagged.
+type Op interface {
+	NextBatch(ctx *Ctx, out *Batch) error
+}
+
+func pullBatch(ctx *Ctx, o Op, out *Batch) error { return o.NextBatch(ctx, out) }
+
+type batchCursor struct {
+	child Op
+	buf   Batch
+	pos   int
+}
+
+func (c *batchCursor) pull(ctx *Ctx) (Row, bool, error) {
+	for c.pos >= c.buf.Len() {
+		if err := pullBatch(ctx, c.child, &c.buf); err != nil {
+			return nil, false, err
+		}
+		c.pos = 0
+		if c.buf.Len() == 0 {
+			return nil, false, nil
+		}
+	}
+	r := c.buf.rows[c.pos]
+	c.pos++
+	return r, true, nil
+}
+
+// Scan fills its batch from its own iteration state with no touchpoint:
+// flagged.
 type Scan struct {
 	refs []int
 	pos  int
 }
 
-func (o *Scan) Next(ctx *Ctx) (Row, bool, error) {
-	for o.pos < len(o.refs) { // want "never reaches the cancellation check"
+func (o *Scan) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
+	for o.pos < len(o.refs) && !out.Full() { // want "never reaches the cancellation check"
 		o.pos++
 		if o.refs[o.pos-1]%2 == 0 {
-			return Row{o.refs[o.pos-1]}, true, nil
+			out.AppendRow(Row{o.refs[o.pos-1]})
 		}
 	}
-	return nil, false, nil
+	return nil
 }
 
-// Non-Next methods are out of scope; their loops are not flagged.
+// Non-NextBatch methods are out of scope; their loops are not flagged.
 func (o *Scan) reset() {
 	for i := range o.refs {
 		o.refs[i] = 0
 	}
 }
 
-// PollScan polls each iteration: allowed.
+// PollScan polls each candidate while filling the batch: allowed.
 type PollScan struct {
 	refs []int
 	pos  int
 }
 
-func (o *PollScan) Next(ctx *Ctx) (Row, bool, error) {
-	for o.pos < len(o.refs) {
+func (o *PollScan) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
+	for o.pos < len(o.refs) && !out.Full() {
 		if err := ctx.poll(); err != nil {
-			return nil, false, err
+			return err
 		}
 		o.pos++
+		out.AppendRow(Row{o.refs[o.pos-1]})
 	}
-	return nil, false, nil
+	return nil
 }
 
-// Project pulls a child row before a bounded per-row copy loop: the pull is
-// the touchpoint, the inner loop is sanctioned.
-type Project struct {
-	Input Op
-	Cols  []int
+// Bulk emits a slice range per batch with no loop at all: allowed (the
+// per-batch check in pullBatch bounds its work).
+type Bulk struct {
+	rows []Row
+	pos  int
 }
 
-func (o *Project) Next(ctx *Ctx) (Row, bool, error) {
-	r, ok, err := pull(ctx, o.Input)
-	if err != nil || !ok {
-		return nil, false, err
-	}
-	nr := make(Row, len(o.Cols))
-	for j, c := range o.Cols {
-		nr[j] = r[c]
-	}
-	return nr, true, nil
+func (o *Bulk) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
+	o.pos += out.appendRows(o.rows[o.pos:])
+	return nil
 }
 
-// Drain consults ctx.Cancel directly: allowed.
+// Filter pulls child rows through a cursor: the pull is the touchpoint, the
+// fill loop is sanctioned.
+type Filter struct {
+	in batchCursor
+}
+
+func (o *Filter) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
+	for !out.Full() {
+		r, ok, err := o.in.pull(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if r[0]%2 == 0 {
+			out.AppendRow(r)
+		}
+	}
+	return nil
+}
+
+// Drain consults ctx.Cancel directly while draining a channel: allowed.
 type Drain struct {
 	ch chan Row
 }
 
-func (o *Drain) Next(ctx *Ctx) (Row, bool, error) {
-	for {
+func (o *Drain) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
+	for !out.Full() {
 		select {
 		case r, ok := <-o.ch:
 			if !ok {
-				return nil, false, nil
+				return nil
 			}
-			return r, true, nil
+			out.AppendRow(r)
 		case <-ctx.Cancel:
-			return nil, false, nil
+			return nil
 		}
 	}
+	return nil
 }
 
 // A poll inside a closure does not run on this loop's iterations: still
@@ -102,9 +166,22 @@ type LazyScan struct {
 	pos int
 }
 
-func (o *LazyScan) Next(ctx *Ctx) (Row, bool, error) {
+func (o *LazyScan) NextBatch(ctx *Ctx, out *Batch) error {
+	out.Reset()
 	check := func() error { return ctx.poll() }
 	_ = check
+	for o.pos < 10 { // want "never reaches the cancellation check"
+		o.pos++
+	}
+	return nil
+}
+
+// Legacy row-at-a-time Next methods remain in scope during transitions.
+type OldScan struct {
+	pos int
+}
+
+func (o *OldScan) Next(ctx *Ctx) (Row, bool, error) {
 	for o.pos < 10 { // want "never reaches the cancellation check"
 		o.pos++
 	}

@@ -10,6 +10,7 @@ import (
 	"colorfulxml/internal/join"
 	"colorfulxml/internal/mcxquery"
 	"colorfulxml/internal/pathexpr"
+	"colorfulxml/internal/storage"
 )
 
 // Compile analyzes and lowers a parsed query into a physical plan.
@@ -65,17 +66,24 @@ func Lower(lg *Logical, opt Options) (*Compiled, error) {
 	for _, vp := range lg.Vars {
 		var ch *chain
 		anchor := -1
+		lowered := false
 		if vp.Base != "" {
 			ch = lw.of[vp.Base]
 			anchor = ch.varCol[vp.Base]
 		} else {
 			ch = &chain{varCol: map[string]int{}}
 			lw.chains = append(lw.chains, ch)
+			var err error
+			if anchor, lowered, err = lw.trySummary(ch, vp); err != nil {
+				return nil, err
+			}
 		}
 		var err error
-		for _, st := range vp.Steps {
-			if anchor, err = lw.applyStep(ch, anchor, st); err != nil {
-				return nil, err
+		if !lowered {
+			for _, st := range vp.Steps {
+				if anchor, err = lw.applyStep(ch, anchor, st); err != nil {
+					return nil, err
+				}
 			}
 		}
 		ch.varCol[vp.Name] = anchor
@@ -122,6 +130,43 @@ func Lower(lg *Logical, opt Options) (*Compiled, error) {
 }
 
 // --- cost model -----------------------------------------------------------
+
+// Batch-aware per-row cost constants (DESIGN.md §11). The batched executor
+// amortizes pull overhead across BatchSize rows, so per-row costs reflect
+// only the work each row itself causes: an index scan appends a node into a
+// batch; a structural join probes the ancestor interval index once per
+// input row; a summary probe resolves a structural record and participates
+// in one start-order sort. The summary probe also pays a fixed cost to match
+// the pattern against the summary's distinct paths (and, on first use per
+// color, the amortized build).
+const (
+	costScanRow      = 1.0
+	costJoinProbe    = 2.5
+	costSummaryRow   = 1.2
+	costSummaryProbe = 64.0
+)
+
+// chainCost estimates the batched structural-join lowering of a root chain:
+// every step's tag population is scanned, and every step beyond the first
+// probes the ancestor index once per surviving input row (the compiler's
+// cardinality model keeps each step's whole tag population flowing, matching
+// applyStep's frac computation for root chains).
+func (lw *lowerer) chainCost(steps []LStep) float64 {
+	card := lw.tagCard(steps[0].Color, steps[0].Tag)
+	cost := card * costScanRow
+	for _, st := range steps[1:] {
+		sc := lw.tagCard(st.Color, st.Tag)
+		cost += sc*costScanRow + card*costJoinProbe
+		card = sc
+	}
+	return cost
+}
+
+// summaryCost estimates the summary-probe access path: a fixed pattern match
+// over the summary plus per-result resolution.
+func summaryCost(count float64) float64 {
+	return costSummaryProbe + count*costSummaryRow
+}
 
 func (lw *lowerer) tagCard(c core.Color, tag string) float64 {
 	if lw.cat == nil {
@@ -208,6 +253,61 @@ func (lw *lowerer) stepAccess(st LStep) (engine.Op, float64, []LPred) {
 	}
 	card := lw.tagCard(st.Color, st.Tag)
 	return lw.maybeParallel(&engine.ScanTag{Color: st.Color, Tag: st.Tag}, card), card, st.Preds
+}
+
+// trySummary lowers a root-anchored step chain to a path-summary probe
+// (engine.PathScan) when the chain is fully resolvable by the DataGuide-style
+// summary and the probe costs less than the structural-join chain — the
+// batched cost model's materialization choice: a summary probe materializes
+// exactly the result set at Open and bulk-emits it, while the join chain
+// streams every step's whole tag population through batch pipelines.
+//
+// Eligible chains have at least two steps (a single step is already a plain
+// index scan), stay in one color (the summary is per-tree), use only forward
+// child/descendant axes, and carry predicates only on the final step (the
+// summary resolves label paths, not values; final-step predicates apply
+// after the probe exactly as they would after a scan). The first step's
+// pattern is forced to the descendant axis, mirroring the join lowering:
+// applyStep's first step scans the whole tag population at any depth.
+func (lw *lowerer) trySummary(ch *chain, vp *VarPlan) (int, bool, error) {
+	pc, ok := lw.cat.(PathCatalog)
+	if !ok || len(vp.Steps) < 2 {
+		return 0, false, nil
+	}
+	c := vp.Steps[0].Color
+	steps := make([]storage.PathStep, len(vp.Steps))
+	for i, st := range vp.Steps {
+		if st.Color != c {
+			return 0, false, nil
+		}
+		if st.Axis != pathexpr.AxisChild && st.Axis != pathexpr.AxisDescendant {
+			return 0, false, nil
+		}
+		if i < len(vp.Steps)-1 && len(st.Preds) > 0 {
+			return 0, false, nil
+		}
+		steps[i] = storage.PathStep{Tag: st.Tag, Desc: i == 0 || st.Axis == pathexpr.AxisDescendant}
+	}
+	count, ok := pc.PathCount(c, steps)
+	if !ok || summaryCost(float64(count)) >= lw.chainCost(vp.Steps) {
+		return 0, false, nil
+	}
+	last := vp.Steps[len(vp.Steps)-1]
+	ch.op = &engine.PathScan{Color: c, Steps: steps}
+	ch.cols = []ColInfo{{Tag: last.Tag, Color: c}}
+	ch.card = float64(count)
+	anchor := 0
+	preds := append([]LPred{}, last.Preds...)
+	sort.SliceStable(preds, func(i, j int) bool {
+		return lw.predSel(last, preds[i]) < lw.predSel(last, preds[j])
+	})
+	for _, p := range preds {
+		var err error
+		if anchor, err = lw.applyPred(ch, anchor, last, p); err != nil {
+			return 0, false, err
+		}
+	}
+	return anchor, true, nil
 }
 
 // maybeParallel partitions a scan leaf across an exchange when parallelism is

@@ -122,6 +122,17 @@ type Catalog interface {
 	EqCard(c core.Color, tag, value string) float64
 }
 
+// PathCatalog is an optional Catalog extension: exact cardinalities of
+// root-anchored label paths, served by a DataGuide-style path summary
+// (storage.PathSummary). A catalog that implements it enables the
+// summary-probe access path (engine.PathScan) for fully-resolvable colored
+// path expressions.
+type PathCatalog interface {
+	// PathCount returns the exact number of nodes on paths matching steps in
+	// color c, and whether a summary could be consulted.
+	PathCount(c core.Color, steps []storage.PathStep) (int, bool)
+}
+
 // StoreCatalog reads exact cardinalities from a loaded store's tag and
 // content indexes (index-only, no record reads).
 type StoreCatalog struct{ Store *storage.Store }
@@ -134,6 +145,17 @@ func (sc StoreCatalog) TagCard(c core.Color, tag string) float64 {
 // EqCard implements Catalog.
 func (sc StoreCatalog) EqCard(c core.Color, tag, value string) float64 {
 	return float64(sc.Store.CountContent(c, tag, value))
+}
+
+// PathCount implements PathCatalog against the store's lazily built path
+// summary. A summary build failure (torn store) just disables the access
+// path; the structural-join lowering remains available.
+func (sc StoreCatalog) PathCount(c core.Color, steps []storage.PathStep) (int, bool) {
+	ps, err := sc.Store.PathSummary(c)
+	if err != nil {
+		return 0, false
+	}
+	return ps.Count(steps), true
 }
 
 // SchemaCatalog estimates cardinalities from schema quant statistics (paper

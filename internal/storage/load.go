@@ -101,6 +101,8 @@ func (s *Store) insertStruct(tag, content string, sn SNode) error {
 		return err
 	}
 	s.structLoc[structKey{sn.Elem, sn.Color}] = rid
+	// A new structural node may introduce a new root-anchored label path.
+	s.invalidatePathSummaries()
 	ref := packRID(rid)
 	s.tagIdx.Insert(tagKey(sn.Color, tag), ref)
 	if content != "" {

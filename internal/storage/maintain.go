@@ -43,6 +43,7 @@ func (s *Store) Clone() *Store {
 		nextID:     s.nextID,
 		maxStart:   make(map[core.Color]int64, len(s.maxStart)),
 		counts:     s.counts,
+		pathSums:   s.clonePathSums(),
 	}
 	for c, f := range s.structFile {
 		ns.structFile[c] = f

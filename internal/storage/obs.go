@@ -11,6 +11,9 @@ import "colorfulxml/internal/obs"
 var (
 	obsIndexProbes = obs.NewCounter("storage_index_probes_total")
 
+	obsPathSummaryBuilds = obs.NewCounter("storage_path_summary_builds_total")
+	obsPathSummaryProbes = obs.NewCounter("storage_path_summary_probes_total")
+
 	obsSnapshotClones  = obs.NewCounter("storage_snapshot_clones_total")
 	obsChangesApplied  = obs.NewCounter("storage_changes_applied_total")
 	obsCheckpointSaves = obs.NewCounter("storage_checkpoint_writes_total")

@@ -1,0 +1,203 @@
+package storage
+
+import (
+	"sort"
+	"strings"
+
+	"colorfulxml/internal/core"
+)
+
+// This file is the DataGuide-style path summary: one entry per distinct
+// root-anchored label path of a colored tree, carrying the structural-record
+// refs of its instances. The plan compiler consults it (through
+// plan.PathCatalog) to lower fully-resolvable colored path expressions to a
+// direct summary probe instead of a structural-join chain, and to cost that
+// access path with an exact cardinality.
+//
+// Summaries are per-color, built lazily on first probe by one pass over the
+// color's structural nodes in start order, and cached on the store. A cached
+// summary is immutable, so snapshot clones share it; only structural
+// mutations (inserts, recolorings, deletions, renumbering) invalidate the
+// cache — content and attribute updates leave every label path intact.
+
+// PathStep is one step of a root-anchored label-path pattern. Desc means the
+// step's tag may sit at any depth below the previous step (descendant axis,
+// "//tag"); otherwise it must be a direct child ("/tag"). The first step is
+// relative to the document, so Desc on it means "at any depth" and !Desc
+// means "a root element".
+type PathStep struct {
+	Tag  string
+	Desc bool
+}
+
+// PathString renders steps in XPath-ish form, for plan display.
+func PathString(steps []PathStep) string {
+	var b strings.Builder
+	for _, st := range steps {
+		if st.Desc {
+			b.WriteString("//")
+		} else {
+			b.WriteString("/")
+		}
+		b.WriteString(st.Tag)
+	}
+	return b.String()
+}
+
+// PathSummary is the summary of one colored tree: every distinct
+// root-anchored label path, with the refs of its instances in start order.
+type PathSummary struct {
+	paths map[string][]uint64
+}
+
+// pathSep joins path labels into map keys. Tags never contain '\x00'.
+const pathSep = "\x00"
+
+// buildPathSummary scans a color's structural nodes in global start order,
+// maintaining the ancestor stack, and buckets each node's ref under its
+// root-anchored label path.
+func (s *Store) buildPathSummary(c core.Color) (*PathSummary, error) {
+	ps := &PathSummary{paths: map[string][]uint64{}}
+	type frame struct {
+		end  int64
+		path string
+	}
+	var stack []frame
+	var scanErr error
+	obsIndexProbes.Inc()
+	s.startIdx.Prefix(string(c)+"|", func(_ string, refs []uint64) bool {
+		for _, ref := range refs {
+			sn, err := s.readStructRef(ref, c)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			e, err := s.Elem(sn.Elem)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			for len(stack) > 0 && stack[len(stack)-1].end < sn.Start {
+				stack = stack[:len(stack)-1]
+			}
+			path := e.Tag
+			if len(stack) > 0 {
+				path = stack[len(stack)-1].path + pathSep + e.Tag
+			}
+			stack = append(stack, frame{end: sn.End, path: path})
+			ps.paths[path] = append(ps.paths[path], ref)
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	return ps, nil
+}
+
+// PathSummary returns the (lazily built, cached) path summary of a color.
+// A color the store does not contain yields an empty summary.
+func (s *Store) PathSummary(c core.Color) (*PathSummary, error) {
+	s.pathMu.Lock()
+	if ps, ok := s.pathSums[c]; ok {
+		s.pathMu.Unlock()
+		obsPathSummaryProbes.Inc()
+		return ps, nil
+	}
+	s.pathMu.Unlock()
+
+	// Build outside the lock: the store snapshot is immutable while serving,
+	// and a racing duplicate build is harmless (last writer wins, both
+	// results are identical).
+	ps, err := s.buildPathSummary(c)
+	if err != nil {
+		return nil, err
+	}
+	obsPathSummaryBuilds.Inc()
+
+	s.pathMu.Lock()
+	if s.pathSums == nil {
+		s.pathSums = map[core.Color]*PathSummary{}
+	}
+	s.pathSums[c] = ps
+	s.pathMu.Unlock()
+	obsPathSummaryProbes.Inc()
+	return ps, nil
+}
+
+// invalidatePathSummaries drops cached summaries; called by every structural
+// mutation (content/attribute updates preserve label paths and do not).
+func (s *Store) invalidatePathSummaries() {
+	s.pathMu.Lock()
+	s.pathSums = nil
+	s.pathMu.Unlock()
+}
+
+// clonePathSums shares the cached summaries with a snapshot clone (they are
+// immutable; the clone invalidates its own copy of the map on structural
+// mutation without affecting the parent).
+func (s *Store) clonePathSums() map[core.Color]*PathSummary {
+	s.pathMu.Lock()
+	defer s.pathMu.Unlock()
+	if s.pathSums == nil {
+		return nil
+	}
+	m := make(map[core.Color]*PathSummary, len(s.pathSums))
+	for c, ps := range s.pathSums {
+		m[c] = ps
+	}
+	return m
+}
+
+// matchSteps reports whether a label path (split on pathSep) satisfies a
+// step pattern anchored at the path's first label.
+func matchSteps(steps []PathStep, labels []string) bool {
+	if len(steps) == 0 {
+		return len(labels) == 0
+	}
+	st := steps[0]
+	if !st.Desc {
+		return len(labels) > 0 && labels[0] == st.Tag && matchSteps(steps[1:], labels[1:])
+	}
+	for i := 0; i < len(labels); i++ {
+		if labels[i] == st.Tag && matchSteps(steps[1:], labels[i+1:]) {
+			return true
+		}
+	}
+	return false
+}
+
+// Match returns the refs of every node whose root-anchored label path
+// satisfies the pattern, grouped by path in sorted path order (deterministic,
+// but not globally start-ordered across paths — consumers needing document
+// order sort the resolved nodes). Each node appears at most once: it has
+// exactly one root path.
+func (ps *PathSummary) Match(steps []PathStep) []uint64 {
+	keys := make([]string, 0, len(ps.paths))
+	for path := range ps.paths {
+		if matchSteps(steps, strings.Split(path, pathSep)) {
+			keys = append(keys, path)
+		}
+	}
+	sort.Strings(keys)
+	var out []uint64
+	for _, k := range keys {
+		out = append(out, ps.paths[k]...)
+	}
+	return out
+}
+
+// Count returns the number of nodes Match would yield, without touching the
+// refs (the compiler's costing probe).
+func (ps *PathSummary) Count(steps []PathStep) int {
+	n := 0
+	for path, refs := range ps.paths {
+		if matchSteps(steps, strings.Split(path, pathSep)) {
+			n += len(refs)
+		}
+	}
+	return n
+}
+
+// Paths returns the number of distinct label paths in the summary.
+func (ps *PathSummary) Paths() int { return len(ps.paths) }

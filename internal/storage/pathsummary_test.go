@@ -1,0 +1,168 @@
+package storage_test
+
+import (
+	"fmt"
+	"testing"
+
+	"colorfulxml/internal/core"
+	"colorfulxml/internal/storage"
+)
+
+// summaryStore: <shop> with n <item> children, each holding a <name> leaf,
+// plus one <name> directly under the root (a second distinct path).
+func summaryStore(t *testing.T, n int) *storage.Store {
+	t.Helper()
+	db := core.NewDatabase("red")
+	root, err := db.AddElement(db.Document(), "shop", "red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.AddElementText(root, "name", "red", "the shop"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		item, err := db.AddElement(root, "item", "red")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.AddElementText(item, "name", "red", fmt.Sprintf("n%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := storage.Load(db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func steps(spec ...storage.PathStep) []storage.PathStep { return spec }
+
+func TestPathSummaryCounts(t *testing.T) {
+	s := summaryStore(t, 8)
+	ps, err := s.PathSummary("red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct root paths: shop, shop/name, shop/item, shop/item/name.
+	if got := ps.Paths(); got != 4 {
+		t.Fatalf("Paths() = %d, want 4", got)
+	}
+	for _, tc := range []struct {
+		pat  []storage.PathStep
+		want int
+	}{
+		// //name matches both the shop-level and the item-level names.
+		{steps(storage.PathStep{Tag: "name", Desc: true}), 9},
+		// //item/name matches only item-level names.
+		{steps(storage.PathStep{Tag: "item", Desc: true}, storage.PathStep{Tag: "name"}), 8},
+		// //shop/name requires name as a direct child of shop.
+		{steps(storage.PathStep{Tag: "shop", Desc: true}, storage.PathStep{Tag: "name"}), 1},
+		// //shop//name reaches both depths.
+		{steps(storage.PathStep{Tag: "shop", Desc: true}, storage.PathStep{Tag: "name", Desc: true}), 9},
+		// /name: no root element is a name.
+		{steps(storage.PathStep{Tag: "name"}), 0},
+		// /shop: the root element.
+		{steps(storage.PathStep{Tag: "shop"}), 1},
+	} {
+		if got := ps.Count(tc.pat); got != tc.want {
+			t.Errorf("Count(%s) = %d, want %d", storage.PathString(tc.pat), got, tc.want)
+		}
+		if got := len(ps.Match(tc.pat)); got != tc.want {
+			t.Errorf("len(Match(%s)) = %d, want %d", storage.PathString(tc.pat), got, tc.want)
+		}
+	}
+}
+
+func TestPathSummaryCacheAndInvalidation(t *testing.T) {
+	s := summaryStore(t, 4)
+	ps1, err := s.PathSummary("red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps2, err := s.PathSummary("red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps1 != ps2 {
+		t.Fatal("second probe should hit the cache")
+	}
+
+	// Content updates preserve every label path: cache survives.
+	items, err := s.ScanTag("red", "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UpdateContent(items[0].Elem, "renamed"); err != nil {
+		t.Fatal(err)
+	}
+	ps3, err := s.PathSummary("red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps3 != ps1 {
+		t.Fatal("content update should not invalidate the path summary")
+	}
+
+	// Structural deletion rebuilds with updated counts.
+	nodes, err := s.ScanTag("red", "item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteSubtree(nodes[0]); err != nil {
+		t.Fatal(err)
+	}
+	ps4, err := s.PathSummary("red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps4 == ps1 {
+		t.Fatal("structural deletion must invalidate the path summary")
+	}
+	pat := steps(storage.PathStep{Tag: "item", Desc: true}, storage.PathStep{Tag: "name"})
+	if got := ps4.Count(pat); got != 3 {
+		t.Fatalf("post-delete Count(//item/name) = %d, want 3", got)
+	}
+}
+
+func TestPathSummarySharedWithClone(t *testing.T) {
+	s := summaryStore(t, 4)
+	ps1, err := s.PathSummary("red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	psc, err := c.PathSummary("red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psc != ps1 {
+		t.Fatal("clone should share the immutable cached summary")
+	}
+	// A structural mutation in the clone invalidates only the clone's cache.
+	nodes, err := c.ScanTag("red", "item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteSubtree(nodes[0]); err != nil {
+		t.Fatal(err)
+	}
+	psp, err := s.PathSummary("red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psp != ps1 {
+		t.Fatal("parent cache must survive a clone's mutation")
+	}
+}
+
+func TestPathSummaryUnknownColor(t *testing.T) {
+	s := summaryStore(t, 2)
+	ps, err := s.PathSummary("blue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Paths() != 0 || ps.Count(steps(storage.PathStep{Tag: "shop", Desc: true})) != 0 {
+		t.Fatal("unknown color should yield an empty summary")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
 	"colorfulxml/internal/btree"
 	"colorfulxml/internal/core"
@@ -91,6 +92,13 @@ type Store struct {
 	maxStart map[core.Color]int64
 
 	counts SizeCounts
+
+	// pathSums caches lazily built per-color path summaries (pathsummary.go).
+	// Summaries are immutable, so clones share them; structural mutations
+	// invalidate. Guarded by pathMu because summaries build on first probe,
+	// which may happen from concurrent readers of a published snapshot.
+	pathMu   sync.Mutex
+	pathSums map[core.Color]*PathSummary
 }
 
 // SizeCounts is the Table 1 accounting: logical node counts plus physical

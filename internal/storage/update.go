@@ -302,6 +302,7 @@ func (s *Store) AddColorTo(id ElemID, parent SNode) (SNode, error) {
 // DeleteSubtree removes sn and its descendants from sn's colored tree.
 // Elements left with no structural node are removed entirely.
 func (s *Store) DeleteSubtree(sn SNode) error {
+	s.invalidatePathSummaries()
 	desc, err := s.Subtree(sn)
 	if err != nil {
 		return err
@@ -346,6 +347,9 @@ func (s *Store) DeleteSubtree(sn SNode) error {
 // gaps, preserving pre-order. It returns the renumbered image of track (so
 // in-flight callers can continue with a valid handle).
 func (s *Store) renumber(c core.Color, track SNode) (SNode, error) {
+	// Label paths survive renumbering, but cached summary refs point at
+	// rewritten records whose start order is rebuilt; drop the cache.
+	s.invalidatePathSummaries()
 	// Collect all structural nodes of the color in start order.
 	type item struct {
 		sn  SNode

@@ -14,7 +14,15 @@
 //
 //	mctbench -clients N [-client-ops N] [-concurrent-scale N]
 //	         [-parallel] [-parallel-workers N]
+//	         [-prepared | -nocache] [-maxinflight N]
 //	         [-durable DIR] [-nosync] [-validate]
+//
+// Clients run as sessions over the shared compiled-plan cache; -prepared
+// makes each client prepare its query mix once and execute statements,
+// -nocache opts clients out of the plan cache (a fresh compile per query,
+// the baseline for the cache's benefit), and -maxinflight N enables
+// admission control with weight limit N. The BENCH line reports the cache
+// hit rate and, with admission on, the rejection count and queue-wait p95.
 //
 // With -durable the concurrent benchmark runs against a database opened in
 // DIR: every writer commit goes through the write-ahead log, and the BENCH
@@ -48,11 +56,15 @@ func main() {
 		runs   = flag.Int("runs", 5, "timed runs per query (5 = paper's trimmed mean)")
 		cold   = flag.Bool("cold", false, "flush the buffer pool before each run (cold cache)")
 
+		t2serve   = flag.Bool("table2-serve", false, "run the Table 2 serving benchmark (compilable TPC-W MCT suite, -clients sessions; honors -prepared)")
 		clients   = flag.Int("clients", 0, "run the concurrent-serving benchmark with N reader clients")
 		clientOps = flag.Int("client-ops", experiment.DefaultConcurrent.Ops, "queries per client in concurrent mode")
 		concScale = flag.Int("concurrent-scale", experiment.DefaultConcurrent.Scale, "catalog items in concurrent mode")
 		parallel  = flag.Bool("parallel", false, "enable intra-query parallelism in concurrent mode")
 		parWork   = flag.Int("parallel-workers", 0, "exchange fan-out with -parallel (0 = GOMAXPROCS)")
+		prepared  = flag.Bool("prepared", false, "concurrent mode: clients use sessions with prepared statements (shared plan cache)")
+		nocache   = flag.Bool("nocache", false, "concurrent mode: clients opt out of the plan cache (fresh compile per query)")
+		maxInfl   = flag.Int("maxinflight", 0, "concurrent mode: admission-control weight limit (0 = disabled)")
 		durable   = flag.String("durable", "", "durable concurrent mode: database directory (WAL + checkpoints)")
 		nosync    = flag.Bool("nosync", false, "with -durable: skip the per-commit fsync")
 		validate  = flag.Bool("validate", false, "run the core invariant audit after load and recovery, reporting its wall time")
@@ -79,16 +91,38 @@ func main() {
 		}
 	}()
 
+	if *t2serve {
+		cfg := experiment.DefaultServe
+		if *clients > 0 {
+			cfg.Clients = *clients
+		}
+		cfg.Ops = *clientOps
+		cfg.Scale = *tpcw
+		cfg.Seed = *seed
+		cfg.Prepared = *prepared
+		res, err := experiment.Table2Serve(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("=== Table 2 serving throughput ===")
+		fmt.Print(experiment.FormatServe(res))
+		fmt.Println(res.BenchJSON())
+		return
+	}
+
 	if *clients > 0 {
 		res, err := experiment.Concurrent(experiment.ConcurrentConfig{
-			Clients:  *clients,
-			Ops:      *clientOps,
-			Scale:    *concScale,
-			Parallel: *parallel,
-			Workers:  *parWork,
-			Dir:      *durable,
-			NoSync:   *nosync,
-			Validate: *validate,
+			Clients:     *clients,
+			Ops:         *clientOps,
+			Scale:       *concScale,
+			Parallel:    *parallel,
+			Workers:     *parWork,
+			Dir:         *durable,
+			NoSync:      *nosync,
+			Validate:    *validate,
+			Prepared:    *prepared,
+			NoCache:     *nocache,
+			MaxInflight: *maxInfl,
 		})
 		if err != nil {
 			fail(err)

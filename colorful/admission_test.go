@@ -1,0 +1,147 @@
+package colorful
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"colorfulxml/internal/fixtures"
+)
+
+// TestAdmissionRejectsWhenSaturated: with the gate saturated, a waiter whose
+// queue wait exceeds the admission timeout fails with ErrOverloaded; once
+// capacity frees up, acquisition succeeds again.
+func TestAdmissionRejectsWhenSaturated(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	db := wrap(m.DB)
+	db.SetMaxInflight(1)
+	db.SetAdmissionTimeout(20 * time.Millisecond)
+
+	release, err := db.adm.acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.adm.acquire(context.Background(), 1); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("saturated acquire: err = %v, want ErrOverloaded", err)
+	}
+	if st := db.AdmissionStats(); st.Rejections != 1 || st.Inflight != 1 {
+		t.Fatalf("stats = %+v, want 1 rejection, 1 inflight", st)
+	}
+	release()
+	release2, err := db.adm.acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	release2()
+	if st := db.AdmissionStats(); st.Inflight != 0 || st.QueueDepth != 0 {
+		t.Fatalf("stats after drain = %+v, want idle gate", st)
+	}
+}
+
+// TestAdmissionQueueAdmitsOnRelease: a queued waiter is admitted as soon as
+// enough weight releases, well before its timeout.
+func TestAdmissionQueueAdmitsOnRelease(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	db := wrap(m.DB)
+	db.SetMaxInflight(2)
+	db.SetAdmissionTimeout(5 * time.Second)
+
+	release, err := db.adm.acquire(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan error, 1)
+	go func() {
+		rel, err := db.adm.acquire(context.Background(), 1)
+		if err == nil {
+			rel()
+		}
+		admitted <- err
+	}()
+	// Wait until the waiter is queued, then free the gate.
+	for db.AdmissionStats().QueueDepth == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	release()
+	if err := <-admitted; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+}
+
+// TestAdmissionContextCancel: a queued waiter whose context is canceled
+// leaves the queue with the context's error, not ErrOverloaded.
+func TestAdmissionContextCancel(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	db := wrap(m.DB)
+	db.SetMaxInflight(1)
+	db.SetAdmissionTimeout(5 * time.Second)
+
+	release, err := db.adm.acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := db.adm.acquire(ctx, 1)
+		done <- err
+	}()
+	for db.AdmissionStats().QueueDepth == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter: err = %v, want context.Canceled", err)
+	}
+	if st := db.AdmissionStats(); st.QueueDepth != 0 {
+		t.Fatalf("canceled waiter still queued: %+v", st)
+	}
+}
+
+// TestQueryOverloadedEndToEnd: with the gate held at capacity, a real query
+// through the session boundary reports ErrOverloaded (and counts as a query
+// error), while raising the limit restores service.
+func TestQueryOverloadedEndToEnd(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	db := wrap(m.DB)
+	db.SetMaxInflight(1)
+	db.SetAdmissionTimeout(10 * time.Millisecond)
+
+	release, err := db.adm.acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(namesQuery); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("query under saturation: err = %v, want ErrOverloaded", err)
+	}
+	s := db.Session()
+	defer s.Close()
+	if _, err := s.Query(namesQuery); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("session query under saturation: err = %v, want ErrOverloaded", err)
+	}
+	release()
+	if _, err := db.Query(namesQuery); err != nil {
+		t.Fatalf("query after release: %v", err)
+	}
+	// Disabling the gate admits everything immediately.
+	db.SetMaxInflight(0)
+	if _, err := db.Query(namesQuery); err != nil {
+		t.Fatalf("query with gate disabled: %v", err)
+	}
+}
+
+// TestAdmissionDisabledByDefault: a fresh DB never queues or rejects.
+func TestAdmissionDisabledByDefault(t *testing.T) {
+	m := fixtures.NewMovieDB()
+	db := wrap(m.DB)
+	for i := 0; i < 5; i++ {
+		if _, err := db.Query(namesQuery); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := db.AdmissionStats(); st.MaxInflight != 0 || st.Rejections != 0 || st.QueueDepth != 0 {
+		t.Fatalf("stats = %+v, want disabled idle gate", st)
+	}
+}

@@ -22,7 +22,6 @@ package colorful
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -83,6 +82,16 @@ type DB struct {
 	parallelWorkers   atomic.Int64
 	parallelThreshold atomic.Int64
 
+	// Session kernel (see session.go): the shared compiled-plan cache, the
+	// admission gate, the internal auto-session behind the DB-level query
+	// entry points, and the registry of user sessions DB.Close drains.
+	planCache  *plan.Cache
+	adm        admission
+	auto       *Session
+	sessMu     sync.Mutex
+	sessions   map[*Session]struct{}
+	sessClosed bool
+
 	// Slow-query log (see obs.go): threshold in nanoseconds, 0 = disabled.
 	slow          *obs.SlowLog
 	slowThreshold atomic.Int64
@@ -109,12 +118,16 @@ func New(colors ...Color) *DB {
 }
 
 func wrap(db *core.Database) *DB {
-	return &DB{
-		Database: db,
-		ev:       mcxquery.NewEvaluator(db),
-		ex:       update.NewExecutor(db),
-		slow:     obs.NewSlowLog(slowLogCapacity),
+	d := &DB{
+		Database:  db,
+		ev:        mcxquery.NewEvaluator(db),
+		ex:        update.NewExecutor(db),
+		slow:      obs.NewSlowLog(slowLogCapacity),
+		planCache: plan.NewCache(0),
+		sessions:  map[*Session]struct{}{},
 	}
+	d.auto = newSession(d, true)
+	return d
 }
 
 // Item is one result item: either a node (with the color it was selected
@@ -144,50 +157,13 @@ func (d *DB) Query(src string) ([]Item, error) {
 // work between checks) and abort with the context's error; the evaluator
 // path honors the context at entry. A canceled read-only query leaves the
 // database untouched.
+//
+// DB-level queries execute through an internal session that is never
+// closed, so they remain available after Close (reads stay in memory);
+// Session and Stmt (see session.go, stmt.go) expose the same path with
+// per-session defaults and prepared plans.
 func (d *DB) QueryContext(ctx context.Context, src string) ([]Item, error) {
-	sw := obs.Start()
-	out, route, err := d.queryRouted(ctx, src)
-	d.observeQuery(src, sw.ElapsedNanos(), len(out), route, err)
-	return out, err
-}
-
-// queryRouted runs one query and reports which route served it. All DB locks
-// are released by the time it returns, so observers may re-enter the DB.
-func (d *DB) queryRouted(ctx context.Context, src string) ([]Item, queryRoute, error) {
-	e, perr := mcxquery.ParseQuery(src)
-	readOnly := perr == nil && !plan.HasConstructors(e)
-	if readOnly {
-		out, cerr := d.queryCompiled(ctx, e)
-		if cerr == nil {
-			return out, routeCompiled, nil
-		}
-		if !errors.Is(cerr, plan.ErrUnsupported) {
-			return nil, routeCompiled, cerr
-		}
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, routeEvaluator, err
-	}
-	// Evaluator path. Constructor queries mutate the database and need the
-	// writer lock; unsupported-but-read-only queries (and parse errors,
-	// which the evaluator re-reports with its own diagnostics) share it.
-	if readOnly || perr != nil {
-		d.mu.RLock()
-		defer d.mu.RUnlock()
-		out, err := d.evalItems(src)
-		return out, routeEvaluator, err
-	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	// The evaluator may mutate the database even on a failing query, so the
-	// durable commit runs regardless of the query's outcome — the on-disk
-	// state must track whatever the in-memory state became.
-	m := d.beginCommit()
-	out, err := d.evalItems(src)
-	if cerr := d.commitChanges(m); err == nil && cerr != nil {
-		err = cerr
-	}
-	return out, routeConstructor, err
+	return d.auto.QueryContext(ctx, src)
 }
 
 // evalItems runs the reference evaluator under a lock the caller holds.
@@ -201,34 +177,6 @@ func (d *DB) evalItems(src string) ([]Item, error) {
 		out[i] = Item{Node: it.Node, Color: it.Color, Value: pathexpr.ItemString(it)}
 	}
 	return out, nil
-}
-
-// queryCompiled lowers a parsed constructor-free query to a physical plan
-// and executes it on the current snapshot, consuming result batches as they
-// stream out of the engine: only the output column's nodes are retained
-// (batch rows themselves are transient views into engine arenas). A
-// plan.ErrUnsupported return makes the caller fall back to the evaluator;
-// other errors are real.
-func (d *DB) queryCompiled(ctx context.Context, e pathexpr.Expr) ([]Item, error) {
-	sp, err := d.snapshotForQuery()
-	if err != nil {
-		return nil, err
-	}
-	c, err := plan.Compile(e, d.planOptions(sp.st))
-	if err != nil {
-		return nil, err
-	}
-	var nodes []storage.SNode
-	_, err = engine.ExecBatches(ctx, sp.st, c.Root, func(b *engine.Batch) error {
-		for i := 0; i < b.Len(); i++ {
-			nodes = append(nodes, b.Row(i)[c.OutCol])
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return d.mapNodes(nodes, c), nil
 }
 
 // mapNodes maps output-column structural nodes back to live core nodes under

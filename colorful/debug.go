@@ -33,6 +33,7 @@ const debugTraceTimeout = 30 * time.Second
 //	/debug/slowlog        this DB's slow-query log, newest first (JSON)
 //	/debug/trace?q=QUERY  run a read-only query with full tracing and
 //	                      return the span tree (?format=text for a tree)
+//	/debug/plancache      this DB's shared plan-cache counters (JSON)
 //	/debug/pprof/...      the standard runtime profiles
 //
 // The server runs until Close. Queries issued through /debug/trace count in
@@ -47,6 +48,7 @@ func (d *DB) ServeDebug(addr string) (*DebugServer, error) {
 	mux.HandleFunc("/debug/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
 	mux.HandleFunc("/debug/trace", s.handleTrace)
+	mux.HandleFunc("/debug/plancache", s.handlePlanCache)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -79,6 +81,10 @@ func (s *DebugServer) handleSlowlog(w http.ResponseWriter, r *http.Request) {
 		entries = []SlowQuery{}
 	}
 	writeJSON(w, entries)
+}
+
+func (s *DebugServer) handlePlanCache(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.db.PlanCacheStats())
 }
 
 func (s *DebugServer) handleTrace(w http.ResponseWriter, r *http.Request) {

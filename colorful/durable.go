@@ -152,10 +152,16 @@ func (d *DB) Checkpoint() error {
 	return d.checkpointLocked()
 }
 
-// Close seals the write-ahead log and releases the directory. The database
-// remains readable in memory, but further mutations report ErrClosed; a
-// later Open recovers everything committed. Close is idempotent.
+// Close drains and closes every open session (their in-flight queries
+// finish; further session and statement executions report ErrSessionClosed),
+// then seals the write-ahead log and releases the directory. The database
+// remains readable in memory through the DB-level query methods, but
+// further mutations report ErrClosed; a later Open recovers everything
+// committed. Close is idempotent.
 func (d *DB) Close() error {
+	// Drain before taking d.mu: in-flight session queries may need the lock
+	// themselves (constructor commits, evaluator reads).
+	d.drainSessions()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.dur == nil {

@@ -16,6 +16,7 @@ import (
 var (
 	obsQueries       = obs.NewCounter("db_queries_total")
 	obsCompiled      = obs.NewCounter("db_compiled_queries_total")
+	obsCachedQueries = obs.NewCounter("db_cached_queries_total")
 	obsFallbacks     = obs.NewCounter("db_evaluator_fallbacks_total")
 	obsConstructors  = obs.NewCounter("db_constructor_queries_total")
 	obsQueryErrors   = obs.NewCounter("db_query_errors_total")
@@ -24,6 +25,11 @@ var (
 	obsSlowQueries   = obs.NewCounter("db_slow_queries_total")
 
 	obsQueryNanos = obs.NewHistogram("db_query_nanos")
+
+	obsAdmInflight   = obs.NewGauge("db_admission_inflight_weight")
+	obsAdmQueueDepth = obs.NewGauge("db_admission_queue_depth")
+	obsAdmRejections = obs.NewCounter("db_admission_rejections_total")
+	obsAdmWaitNanos  = obs.NewHistogram("db_admission_wait_nanos")
 
 	obsSnapApplies   = obs.NewCounter("db_snapshot_incremental_applies_total")
 	obsSnapRebuilds  = obs.NewCounter("db_snapshot_full_rebuilds_total")
@@ -51,6 +57,12 @@ const (
 	// routeConstructor: the evaluator under the writer lock, because the
 	// query constructs nodes.
 	routeConstructor
+	// routeCached: the compiled route served by a plan-cache (or prepared
+	// statement) hit — parse/compile skipped.
+	routeCached
+	// routeRejected: refused by admission control before reaching any
+	// execution route; only the error counters apply.
+	routeRejected
 )
 
 // SetSlowQueryThreshold enables the slow-query log: queries taking at least
@@ -75,6 +87,8 @@ func (d *DB) observeQuery(src string, nanos int64, rows int, route queryRoute, e
 	switch route {
 	case routeCompiled:
 		obsCompiled.Inc()
+	case routeCached:
+		obsCachedQueries.Inc()
 	case routeEvaluator:
 		obsFallbacks.Inc()
 	case routeConstructor:
@@ -95,12 +109,12 @@ func (d *DB) observeQuery(src string, nanos int64, rows int, route queryRoute, e
 		Query:     src,
 		Millis:    float64(nanos) / 1e6,
 		Rows:      rows,
-		Fallback:  route != routeCompiled,
+		Fallback:  route != routeCompiled && route != routeCached,
 		UnixNanos: time.Now().UnixNano(),
 	}
 	if err != nil {
 		e.Err = err.Error()
-	} else if route == routeCompiled {
+	} else if route == routeCompiled || route == routeCached {
 		// Capture the annotated physical plan by re-analyzing against the
 		// current snapshot. Best-effort: a compile refused by a snapshot
 		// rebuild in flight just leaves the plan empty.

@@ -2,24 +2,22 @@ package colorful
 
 import (
 	"context"
-	"errors"
 	"fmt"
 
 	"colorfulxml/internal/engine"
 	"colorfulxml/internal/mcxquery"
 	"colorfulxml/internal/obs"
-	"colorfulxml/internal/pathexpr"
 	"colorfulxml/internal/plan"
-	"colorfulxml/internal/storage"
 )
 
 // TraceQuery runs a query like QueryContext but returns a trace: a span tree
-// covering the query's phases (parse, snapshot, compile, execute,
+// covering the query's phases (parse, admission, snapshot, compile, execute,
 // map-results; or evaluate and wal.commit on the evaluator and constructor
 // routes), with the execute span carrying one child span per physical
 // operator — an operator's span nests under its parent operator's, and an
 // Exchange's partition subtrees nest under the Exchange span even though
-// they ran on worker goroutines.
+// they ran on worker goroutines. A plan-cache hit replaces the compile span
+// with a "plancache" attribute on the root.
 //
 // Tracing is the expensive sibling of QueryContext (per-pull timing, plan
 // tree attribution); use it for debugging and the /debug/trace endpoint,
@@ -27,91 +25,30 @@ import (
 // ended) even when the query fails; the error is also recorded as a root
 // span attribute.
 func (d *DB) TraceQuery(ctx context.Context, src string) ([]Item, *obs.Span, error) {
+	return d.auto.TraceQuery(ctx, src)
+}
+
+// TraceQuery is DB.TraceQuery through this session: the same single
+// execution path as Session.QueryContext, with phase spans attached.
+func (s *Session) TraceQuery(ctx context.Context, src string) ([]Item, *obs.Span, error) {
 	root := obs.NewSpan("query")
 	root.SetAttr("query", src)
+	if err := s.begin(); err != nil {
+		root.SetAttr("error", err.Error())
+		root.End()
+		return nil, root, err
+	}
+	defer s.end()
 	sw := obs.Start()
-	out, route, err := d.traceRouted(ctx, src, root)
+	out, route, err := s.routed(ctx, src, root)
 	root.SetAttr("rows", len(out))
 	if err != nil {
 		root.SetAttr("error", err.Error())
 	}
 	root.End()
-	d.observeQuery(src, sw.ElapsedNanos(), len(out), route, err)
+	s.db.observeQuery(src, sw.ElapsedNanos(), len(out), route, err)
+	s.observe(route, err)
 	return out, root, err
-}
-
-// traceRouted is queryRouted with phase spans attached under root.
-func (d *DB) traceRouted(ctx context.Context, src string, root *obs.Span) ([]Item, queryRoute, error) {
-	ps := root.Child("parse")
-	e, perr := mcxquery.ParseQuery(src)
-	ps.End()
-	readOnly := perr == nil && !plan.HasConstructors(e)
-	if readOnly {
-		out, cerr := d.traceCompiled(ctx, e, root)
-		if cerr == nil {
-			return out, routeCompiled, nil
-		}
-		if !errors.Is(cerr, plan.ErrUnsupported) {
-			return nil, routeCompiled, cerr
-		}
-		root.SetAttr("fallback", cerr.Error())
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, routeEvaluator, err
-	}
-	if readOnly || perr != nil {
-		d.mu.RLock()
-		defer d.mu.RUnlock()
-		es := root.Child("evaluate")
-		out, err := d.evalItems(src)
-		es.End()
-		return out, routeEvaluator, err
-	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	m := d.beginCommit()
-	es := root.Child("evaluate")
-	out, err := d.evalItems(src)
-	es.End()
-	ws := root.Child("wal.commit")
-	cerr := d.commitChanges(m)
-	ws.End()
-	if err == nil && cerr != nil {
-		err = cerr
-	}
-	return out, routeConstructor, err
-}
-
-// traceCompiled is queryCompiled with snapshot/compile/execute/map-results
-// spans; the execute span receives the per-operator subtree from
-// engine.TraceExec.
-func (d *DB) traceCompiled(ctx context.Context, e pathexpr.Expr, root *obs.Span) ([]Item, error) {
-	ss := root.Child("snapshot")
-	sp, err := d.snapshotForQuery()
-	ss.End()
-	if err != nil {
-		return nil, err
-	}
-	cs := root.Child("compile")
-	c, err := plan.Compile(e, d.planOptions(sp.st))
-	cs.End()
-	if err != nil {
-		return nil, err
-	}
-	es := root.Child("execute")
-	rows, _, err := engine.TraceExec(ctx, sp.st, c.Root, es)
-	es.End()
-	if err != nil {
-		return nil, err
-	}
-	ms := root.Child("map-results")
-	nodes := make([]storage.SNode, len(rows))
-	for i, r := range rows {
-		nodes[i] = r[c.OutCol]
-	}
-	out := d.mapNodes(nodes, c)
-	ms.End()
-	return out, nil
 }
 
 // TraceText renders a query trace as an indented text tree with durations,

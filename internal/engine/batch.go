@@ -33,6 +33,12 @@ type Batch struct {
 	// travel with Swap — it describes this batch object's accounting, not
 	// its contents.
 	held int
+	// pool, when non-nil, supplies the row buffer and receives it back on
+	// free: set by the executor and by batchCursor.open from the execution's
+	// pool, so batches of a pooled execution recycle their buffers. Like
+	// held it stays with this batch object across Swap — whichever buffer
+	// the batch holds when freed goes to its own pool.
+	pool *MemPool
 }
 
 // Reset empties the batch. The next appended row fixes the new width.
@@ -66,7 +72,8 @@ func (b *Batch) appendSlot(cols int) []storage.SNode {
 	if b.n == 0 {
 		b.cols = cols
 		if cap(b.data) < BatchSize*cols {
-			b.data = make([]storage.SNode, 0, BatchSize*cols)
+			b.pool.putBuf(b.data)
+			b.data = b.pool.getBuf(BatchSize * cols)
 		}
 	} else if cols != b.cols {
 		panic("engine: mixed row widths in one batch")
@@ -128,8 +135,10 @@ func (b *Batch) Swap(o *Batch) {
 	b.data, o.data = o.data, b.data
 }
 
-// free drops the batch buffer so a closed operator holds no row memory.
+// free drops the batch buffer so a closed operator holds no row memory,
+// recycling it into the batch's pool when one is attached.
 func (b *Batch) free() {
+	b.pool.putBuf(b.data)
 	b.cols, b.n, b.data = 0, 0, nil
 }
 
@@ -145,24 +154,48 @@ const arenaChunkNodes = 16384
 // whole arena is garbage once the execution's rows are dropped. Allocating
 // rows in chunk-sized strides replaces the one-allocation-per-row regime of
 // the row-at-a-time executor.
+//
+// With a pool attached, chunks are drawn from it and remembered in taken;
+// release hands them back once the execution's rows are provably dead (the
+// streaming entry point, whose callers copy what they keep — see MemPool).
 type arena struct {
 	chunk []storage.SNode
 	used  int
+	pool  *MemPool
+	taken [][]storage.SNode
 }
 
-// alloc returns a zeroed slice of n nodes carved from the current chunk.
-// Oversized requests (wider than a quarter chunk) get their own allocation.
+// alloc returns a slice of n nodes carved from the current chunk, which the
+// caller fully overwrites (pooled chunks are dirty; both callers copy into
+// every node they are handed). Oversized requests (wider than a quarter
+// chunk) get their own allocation.
 func (a *arena) alloc(n int) []storage.SNode {
 	if n > arenaChunkNodes/4 {
 		return make([]storage.SNode, n)
 	}
 	if a.used+n > len(a.chunk) {
-		a.chunk = make([]storage.SNode, arenaChunkNodes)
+		a.chunk = a.pool.getChunk()
 		a.used = 0
+		if a.pool != nil {
+			a.taken = append(a.taken, a.chunk)
+		}
 	}
 	s := a.chunk[a.used : a.used+n : a.used+n]
 	a.used += n
 	return s
+}
+
+// release returns every pooled chunk drawn during the execution. Only the
+// pooled streaming executor calls it, after the last batch was visited and
+// the plan closed, so no live row can reference the recycled memory.
+func (a *arena) release() {
+	for i, c := range a.taken {
+		a.pool.putChunk(c)
+		a.taken[i] = nil
+	}
+	a.taken = a.taken[:0]
+	a.chunk = nil
+	a.used = 0
 }
 
 // copyRow copies a transient batch row into the query arena.
@@ -198,6 +231,7 @@ type batchCursor struct {
 // open (re)binds the cursor and opens the child.
 func (c *batchCursor) open(ctx *Ctx, child Op) error {
 	c.child = child
+	c.buf.pool = ctx.arena.pool
 	c.buf.Reset()
 	c.pos = 0
 	c.done = false

@@ -168,12 +168,16 @@ func (ctx *Ctx) release(n int) { ctx.live -= n }
 // they keep (the query arena exists for exactly this). Close releases state
 // and closes children, and is idempotent. Children returns the direct inputs
 // for plan rendering, so Explain can never silently drop an operator's
-// subtree.
+// subtree. Clone returns a fresh, unopened operator tree with identical
+// configuration, zeroed run state and every child cloned — a compiled plan
+// is a prototype, and each execution runs a clone, so one cached plan can
+// serve any number of concurrent executions (see clone.go).
 type Op interface {
 	Open(ctx *Ctx) error
 	NextBatch(ctx *Ctx, out *Batch) error
 	Close(ctx *Ctx) error
 	Children() []Op
+	Clone() Op
 	String() string
 }
 
@@ -269,6 +273,7 @@ func runBatches(ctx *Ctx, op Op, visit func(b *Batch) error) (err error) {
 		return err
 	}
 	var b Batch
+	b.pool = ctx.arena.pool
 	for {
 		if err := pullBatch(ctx, op, &b); err != nil {
 			op.Close(ctx)
@@ -284,7 +289,9 @@ func runBatches(ctx *Ctx, op Op, visit func(b *Batch) error) (err error) {
 	}
 	ctx.release(b.held)
 	b.held = 0
-	return op.Close(ctx)
+	err = op.Close(ctx)
+	b.free()
+	return err
 }
 
 // drain runs an operator to exhaustion and returns its rows, copied into the
@@ -344,7 +351,19 @@ func ExecContext(cctx context.Context, s *storage.Store, plan Op) ([]Row, Metric
 // is only valid for the duration of the call — visit copies what it keeps.
 // A non-nil error from visit aborts the execution and is returned.
 func ExecBatches(cctx context.Context, s *storage.Store, plan Op, visit func(b *Batch) error) (Metrics, error) {
+	return ExecBatchesPooled(cctx, s, nil, plan, visit)
+}
+
+// ExecBatchesPooled is ExecBatches drawing execution scratch memory (arena
+// chunks, batch buffers) from pool and returning it when the execution
+// finishes. Because visit's contract already requires copying anything kept
+// out of a batch, and streamed executions hand the caller no arena-backed
+// rows, recycling is invisible to correct callers. A nil pool is ExecBatches
+// exactly. The materializing entry points (Exec, TraceExec) return rows that
+// live in the arena and must never be pooled.
+func ExecBatchesPooled(cctx context.Context, s *storage.Store, pool *MemPool, plan Op, visit func(b *Batch) error) (Metrics, error) {
 	ctx := &Ctx{S: s}
+	ctx.arena.pool = pool
 	if cctx != nil && cctx.Done() != nil {
 		ctx.Cancel = cctx
 	}
@@ -354,6 +373,10 @@ func ExecBatches(cctx context.Context, s *storage.Store, plan Op, visit func(b *
 		rows += b.Len()
 		return visit(b)
 	})
+	// Whether the execution succeeded, failed or panicked, the plan is
+	// closed and every visited batch is past its validity window — the
+	// scratch the arena handed out is dead and safe to recycle.
+	ctx.arena.release()
 	foldObs(ctx, sw, rows, err)
 	if err != nil {
 		return ctx.M, err

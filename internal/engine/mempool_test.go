@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"colorfulxml/internal/fixtures"
+	"colorfulxml/internal/join"
+	"colorfulxml/internal/storage"
+)
+
+// TestMemPoolChunkReuse: the free list is deterministic — a released chunk
+// is the next one handed out, and retention is bounded.
+func TestMemPoolChunkReuse(t *testing.T) {
+	p := &MemPool{}
+	c := p.getChunk()
+	if got := p.Stats(); got.Reused != 0 {
+		t.Fatalf("fresh pool reported reuse: %+v", got)
+	}
+	p.putChunk(c)
+	c2 := p.getChunk()
+	if &c[0] != &c2[0] {
+		t.Fatal("released chunk was not the next one handed out")
+	}
+	if got := p.Stats(); got.Reused != 1 || got.Recycled != 1 {
+		t.Fatalf("stats = %+v, want 1 reused / 1 recycled", got)
+	}
+	// Retention is bounded: releases beyond the cap are dropped.
+	for i := 0; i < memPoolMaxChunks+3; i++ {
+		p.putChunk(make([]storage.SNode, arenaChunkNodes))
+	}
+	if got := p.Stats().Chunks; got != memPoolMaxChunks {
+		t.Fatalf("retained %d chunks, want cap %d", got, memPoolMaxChunks)
+	}
+	// Wrong-sized slices are never pooled.
+	p.putChunk(make([]storage.SNode, 10))
+	for i := 0; i < memPoolMaxChunks; i++ {
+		if got := len(p.getChunk()); got != arenaChunkNodes {
+			t.Fatalf("pooled chunk has %d nodes, want %d", got, arenaChunkNodes)
+		}
+	}
+}
+
+// TestMemPoolBufSizing: buffers are recycled only when big enough, and
+// always handed out empty.
+func TestMemPoolBufSizing(t *testing.T) {
+	p := &MemPool{}
+	b := p.getBuf(100)
+	b = append(b, storage.SNode{Start: 7})
+	p.putBuf(b)
+	got := p.getBuf(50)
+	if cap(got) < 50 || len(got) != 0 {
+		t.Fatalf("recycled buf: len=%d cap=%d, want empty with cap >= 50", len(got), cap(got))
+	}
+	if &b[:1][0] != &got[:1][0] {
+		t.Fatal("smaller request did not reuse the released buffer")
+	}
+	// A request larger than anything pooled allocates fresh.
+	p.putBuf(got)
+	big := p.getBuf(10_000)
+	if cap(big) < 10_000 {
+		t.Fatalf("oversize request: cap=%d, want >= 10000", cap(big))
+	}
+	// nil pool is inert.
+	var np *MemPool
+	if b := np.getBuf(8); cap(b) < 8 {
+		t.Fatal("nil pool getBuf under-allocated")
+	}
+	np.putBuf(b)
+	np.putChunk(np.getChunk())
+}
+
+// mempoolTestPlan is a plan with build sides and dedup, so executions use
+// the arena (build rows, pending outputs) as well as batch buffers.
+func mempoolTestPlan() Op {
+	return &Dedup{
+		Col: 1,
+		Input: &StructJoin{
+			Anc:     &ScanTag{Color: "red", Tag: "movie"},
+			Desc:    &ScanTag{Color: "red", Tag: "name"},
+			AncCol:  0,
+			DescCol: 0,
+			Axis:    join.AncestorDescendant,
+		},
+	}
+}
+
+func mempoolTestStore(t *testing.T) *storage.Store {
+	t.Helper()
+	m := fixtures.NewMovieDB()
+	s, err := storage.Load(m.DB, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func streamKeys(t *testing.T, s *storage.Store, pool *MemPool, proto Op) []string {
+	t.Helper()
+	var keys []string
+	_, err := ExecBatchesPooled(nil, s, pool, proto.Clone(), func(b *Batch) error {
+		for i := 0; i < b.Len(); i++ {
+			r := b.Row(i)
+			keys = append(keys, fmt.Sprintf("%v", r))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestExecBatchesPooledMatchesUnpooled: repeated pooled executions return
+// exactly what the unpooled executor returns, and from the second run on
+// the scratch actually comes from the pool.
+func TestExecBatchesPooledMatchesUnpooled(t *testing.T) {
+	s := mempoolTestStore(t)
+	proto := mempoolTestPlan()
+	want := streamKeys(t, s, nil, proto)
+	if len(want) == 0 {
+		t.Fatal("fixture plan returned no rows")
+	}
+	pool := &MemPool{}
+	for i := 0; i < 5; i++ {
+		got := streamKeys(t, s, pool, proto)
+		if len(got) != len(want) {
+			t.Fatalf("run %d: %d rows, want %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("run %d row %d: %q, want %q", i, j, got[j], want[j])
+			}
+		}
+	}
+	st := pool.Stats()
+	if st.Recycled == 0 || st.Reused == 0 {
+		t.Fatalf("pool never cycled scratch: %+v", st)
+	}
+}
+
+// TestMemPoolConcurrentExecutions: many goroutines execute clones of one
+// prototype against one shared pool — the cached-plan serving shape. All
+// results agree with a solo run. Run under -race.
+func TestMemPoolConcurrentExecutions(t *testing.T) {
+	s := mempoolTestStore(t)
+	proto := mempoolTestPlan()
+	want := streamKeys(t, s, nil, proto)
+	pool := &MemPool{}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				var n int
+				_, err := ExecBatchesPooled(nil, s, pool, proto.Clone(), func(b *Batch) error {
+					n += b.Len()
+					return nil
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if n != len(want) {
+					errs <- fmt.Errorf("pooled run returned %d rows, want %d", n, len(want))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

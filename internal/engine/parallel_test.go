@@ -136,6 +136,7 @@ func (o *failOp) NextBatch(ctx *engine.Ctx, out *engine.Batch) error {
 }
 func (o *failOp) Close(ctx *engine.Ctx) error { return nil }
 func (o *failOp) Children() []engine.Op       { return nil }
+func (o *failOp) Clone() engine.Op            { return &failOp{n: o.n} }
 func (o *failOp) String() string              { return "failOp" }
 
 func TestExchangePropagatesWorkerError(t *testing.T) {

@@ -23,6 +23,7 @@ func (endlessOp) NextBatch(_ *Ctx, out *Batch) error {
 }
 func (endlessOp) Close(*Ctx) error { return nil }
 func (endlessOp) Children() []Op   { return nil }
+func (endlessOp) Clone() Op        { return endlessOp{} }
 func (endlessOp) String() string   { return "Endless" }
 
 // panicOp emits one-row batches and panics on the nth NextBatch call.
@@ -40,6 +41,7 @@ func (p *panicOp) NextBatch(_ *Ctx, out *Batch) error {
 }
 func (p *panicOp) Close(*Ctx) error { return nil }
 func (p *panicOp) Children() []Op   { return nil }
+func (p *panicOp) Clone() Op        { return &panicOp{at: p.at} }
 func (p *panicOp) String() string   { return "Panicker" }
 
 func TestExecContextCancellation(t *testing.T) {

@@ -44,6 +44,17 @@ type ConcurrentConfig struct {
 	// recovery, reporting the audit's wall time. Durable runs also open with
 	// ValidateInvariants, so every incremental snapshot apply re-audits.
 	Validate bool
+	// Prepared makes each client open a session and prepare its query mix
+	// once, executing statements in the loop — the prepared-statement path
+	// over the shared plan cache.
+	Prepared bool
+	// NoCache runs each client through a session opted out of the plan
+	// cache: every query pays a fresh compile (the baseline Prepared is
+	// measured against).
+	NoCache bool
+	// MaxInflight, when positive, enables admission control with that
+	// weight limit at the session boundary.
+	MaxInflight int
 }
 
 // DefaultConcurrent mirrors the CLI defaults.
@@ -85,6 +96,18 @@ type ConcurrentResult struct {
 	Validated      bool    `json:"validated,omitempty"`
 	ValidateMillis float64 `json:"validate_millis,omitempty"`
 
+	// Session-kernel extras: the plan-cache traffic of this run's DB (and
+	// the derived hit rate), and — with admission control on — the gate's
+	// rejection count and queue-wait p95.
+	Prepared               bool    `json:"prepared,omitempty"`
+	NoCache                bool    `json:"nocache,omitempty"`
+	CacheHits              uint64  `json:"cache_hits"`
+	CacheMisses            uint64  `json:"cache_misses"`
+	CacheHitRate           float64 `json:"cache_hit_rate"`
+	MaxInflight            int     `json:"max_inflight,omitempty"`
+	AdmissionRejections    uint64  `json:"admission_rejections,omitempty"`
+	AdmissionWaitP95Micros float64 `json:"admission_wait_p95_micros,omitempty"`
+
 	// Obs is the process-wide instrument snapshot taken after the run,
 	// folding engine/storage/WAL/DB counters into the BENCH line.
 	Obs *obs.Snapshot `json:"obs,omitempty"`
@@ -99,6 +122,15 @@ func (r *ConcurrentResult) benchName() string {
 	}
 	if r.Parallel {
 		name += "-parallel"
+	}
+	if r.Prepared {
+		name += "-prepared"
+	}
+	if r.NoCache {
+		name += "-nocache"
+	}
+	if r.MaxInflight > 0 {
+		name += "-maxinflight"
 	}
 	return name
 }
@@ -185,6 +217,9 @@ func Concurrent(cfg ConcurrentConfig) (*ConcurrentResult, error) {
 		db.SetParallel(true)
 		db.SetParallelWorkers(cfg.Workers)
 	}
+	if cfg.MaxInflight > 0 {
+		db.SetMaxInflight(cfg.MaxInflight)
+	}
 	// Publish the initial snapshot outside the timed region.
 	if err := db.Refresh(); err != nil {
 		return nil, err
@@ -223,10 +258,35 @@ func Concurrent(cfg ConcurrentConfig) (*ConcurrentResult, error) {
 		readers.Add(1)
 		go func(seed int) {
 			defer readers.Done()
+			// Each client is one session. Prepared clients parse and compile
+			// their query mix once and execute statements; NoCache clients
+			// opt out of the plan cache so every query pays a fresh compile.
+			sess := db.Session()
+			defer sess.Close()
+			if cfg.NoCache {
+				sess.SetPlanCache(false)
+			}
+			var stmts []*colorful.Stmt
+			if cfg.Prepared {
+				for _, q := range concurrentQueries {
+					st, err := sess.Prepare(q)
+					if err != nil {
+						fail(fmt.Errorf("client %d prepare: %w", seed, err))
+						return
+					}
+					stmts = append(stmts, st)
+				}
+			}
 			for n := 0; n < cfg.Ops; n++ {
-				q := concurrentQueries[(seed+n)%len(concurrentQueries)]
+				i := (seed + n) % len(concurrentQueries)
 				t0 := time.Now()
-				if _, err := db.Query(q); err != nil {
+				var err error
+				if cfg.Prepared {
+					_, err = stmts[i].Query()
+				} else {
+					_, err = sess.Query(concurrentQueries[i])
+				}
+				if err != nil {
 					fail(fmt.Errorf("client %d: %w", seed, err))
 					return
 				}
@@ -269,6 +329,8 @@ update $i { replace $v with "%d" }`, e%100)
 
 	st := db.MaintStats()
 	ds := db.DurabilityStats()
+	cs := db.PlanCacheStats()
+	as := db.AdmissionStats()
 	var recoveryMillis float64
 	var rs storage.RecoveryStats
 	if cfg.Dir != "" {
@@ -327,7 +389,19 @@ update $i { replace $v with "%d" }`, e%100)
 		res.Validated = true
 		res.ValidateMillis = validateMillis
 	}
+	res.Prepared = cfg.Prepared
+	res.NoCache = cfg.NoCache
+	res.CacheHits = cs.Hits
+	res.CacheMisses = cs.Misses
+	if total := cs.Hits + cs.Misses; total > 0 {
+		res.CacheHitRate = float64(cs.Hits) / float64(total)
+	}
+	res.MaxInflight = cfg.MaxInflight
+	res.AdmissionRejections = as.Rejections
 	res.Obs = obs.Default.Snapshot()
+	if h, ok := res.Obs.Histograms["db_admission_wait_nanos"]; ok && cfg.MaxInflight > 0 {
+		res.AdmissionWaitP95Micros = h.P95 / 1e3
+	}
 	return res, nil
 }
 
@@ -360,6 +434,18 @@ func FormatConcurrent(r *ConcurrentResult) string {
 	}
 	if r.Validated {
 		fmt.Fprintf(&b, "validate:       %.1f ms (full core invariant audit, passed)\n", r.ValidateMillis)
+	}
+	mode := "per-query sessions"
+	if r.Prepared {
+		mode = "prepared statements"
+	} else if r.NoCache {
+		mode = "plan cache off"
+	}
+	fmt.Fprintf(&b, "plan cache:     %s, %d hits / %d misses (%.1f%% hit rate)\n",
+		mode, r.CacheHits, r.CacheMisses, 100*r.CacheHitRate)
+	if r.MaxInflight > 0 {
+		fmt.Fprintf(&b, "admission:      max inflight %d, %d rejections, queue-wait p95=%.0fµs\n",
+			r.MaxInflight, r.AdmissionRejections, r.AdmissionWaitP95Micros)
 	}
 	return b.String()
 }

@@ -1,0 +1,211 @@
+package experiment
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"colorfulxml/internal/engine"
+	"colorfulxml/internal/obs"
+	"colorfulxml/internal/plan"
+	"colorfulxml/internal/workload"
+)
+
+// This file implements the Table 2 serving experiment: the paper's TPC-W
+// query suite (the MCT texts inside the compilable subset) served by C
+// client goroutines against one loaded store — the workload shape of a
+// server answering a small vocabulary of query templates from many clients.
+// In prepared mode the clients share a compiled-plan cache and each
+// execution runs a clone of the cached plan, so parse, compilation and
+// costing are paid once per template; the baseline compiles every query
+// from text, which is what the query path did before the plan cache.
+
+// ServeConfig parameterizes the Table 2 serving experiment.
+type ServeConfig struct {
+	// Clients is the number of concurrent client goroutines; Ops the number
+	// of queries each issues (round-robin over the suite).
+	Clients int
+	Ops     int
+	// Scale and Seed parameterize the generated TPC-W dataset.
+	Scale int
+	Seed  int64
+	// Prepared shares one compiled-plan cache across the clients; off, every
+	// query pays a fresh parse + compile + costing.
+	Prepared bool
+}
+
+// DefaultServe mirrors the CLI defaults. The scale keeps individual
+// executions small enough that compilation cost is a realistic fraction of
+// per-query work, as it is for a template-serving workload.
+var DefaultServe = ServeConfig{Clients: 8, Ops: 400, Scale: 1, Seed: 42}
+
+// ServeResult is the measured outcome.
+type ServeResult struct {
+	Clients   int     `json:"clients"`
+	Ops       int     `json:"ops_per_client"`
+	Scale     int     `json:"scale"`
+	Prepared  bool    `json:"prepared,omitempty"`
+	Templates int     `json:"templates"` // compilable MCT suite queries served
+	Queries   int64   `json:"queries"`
+	Millis    float64 `json:"millis"`
+	QPS       float64 `json:"qps"`
+
+	P50Micros float64 `json:"p50_micros"`
+	P95Micros float64 `json:"p95_micros"`
+
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// Table2Serve runs the experiment.
+func Table2Serve(cfg ServeConfig) (*ServeResult, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = DefaultServe.Clients
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = DefaultServe.Ops
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = DefaultServe.Scale
+	}
+	tp, err := workload.LoadTPCW(cfg.Scale, cfg.Seed, 0)
+	if err != nil {
+		return nil, err
+	}
+	s := tp.MCT
+	opt := plan.Options{Catalog: plan.StoreCatalog{Store: s}}
+
+	// The served vocabulary: every TPC-W MCT text the compiler supports.
+	var texts []string
+	for _, q := range workload.TPCWQueries() {
+		text := workload.FaithfulText(q, workload.MCT, tp.Params)
+		if _, cerr := plan.CompileQuery(text, opt); cerr != nil {
+			if errors.Is(cerr, plan.ErrUnsupported) {
+				continue
+			}
+			return nil, fmt.Errorf("%s: %w", q.ID, cerr)
+		}
+		texts = append(texts, text)
+	}
+	if len(texts) == 0 {
+		return nil, errors.New("experiment: no compilable Table 2 queries")
+	}
+
+	cache := plan.NewCache(0)
+	epoch := s.StatsEpoch()
+	var (
+		wg      sync.WaitGroup
+		queries atomic.Int64
+		lat     obs.Histogram // per-query latency in microseconds
+		errMu   sync.Mutex
+		runErr  error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if runErr == nil {
+			runErr = err
+		}
+		errMu.Unlock()
+	}
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for n := 0; n < cfg.Ops; n++ {
+				text := texts[(seed+n)%len(texts)]
+				t0 := time.Now()
+				var compiled *plan.Compiled
+				var err error
+				if cfg.Prepared {
+					var ok bool
+					if compiled, ok = cache.Get(text, opt, epoch); !ok {
+						if compiled, err = plan.CompileQuery(text, opt); err == nil {
+							cache.Put(text, opt, epoch, compiled)
+						}
+					}
+				} else {
+					compiled, err = plan.CompileQuery(text, opt)
+				}
+				if err != nil {
+					fail(fmt.Errorf("client %d: %w", seed, err))
+					return
+				}
+				// Cached plans are shared prototypes; every execution runs a
+				// clone (uncached plans too, keeping the measured work equal).
+				// Both modes stream through the pooled executor drawing from
+				// the plan's own scratch pool — reuse emerges only when the
+				// plan object is reused, i.e. exactly on the cached path.
+				rows := 0
+				_, err = engine.ExecBatchesPooled(nil, s, compiled.Mem, compiled.Root.Clone(),
+					func(b *engine.Batch) error { rows += b.Len(); return nil })
+				if err != nil {
+					fail(fmt.Errorf("client %d: %w", seed, err))
+					return
+				}
+				lat.Observe(time.Since(t0).Microseconds())
+				queries.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	cs := cache.Stats()
+	res := &ServeResult{
+		Clients:     cfg.Clients,
+		Ops:         cfg.Ops,
+		Scale:       cfg.Scale,
+		Prepared:    cfg.Prepared,
+		Templates:   len(texts),
+		Queries:     queries.Load(),
+		Millis:      float64(elapsed.Microseconds()) / 1000,
+		QPS:         float64(queries.Load()) / elapsed.Seconds(),
+		P50Micros:   lat.Quantile(0.50),
+		P95Micros:   lat.Quantile(0.95),
+		CacheHits:   cs.Hits,
+		CacheMisses: cs.Misses,
+	}
+	if total := cs.Hits + cs.Misses; total > 0 {
+		res.CacheHitRate = float64(cs.Hits) / float64(total)
+	}
+	return res, nil
+}
+
+// BenchJSON renders the machine-readable result line.
+func (r *ServeResult) BenchJSON() string {
+	name := "table2-serve"
+	if r.Prepared {
+		name += "-prepared"
+	}
+	type named struct {
+		Name string `json:"name"`
+		*ServeResult
+	}
+	b, _ := json.Marshal(named{Name: name, ServeResult: r})
+	return "BENCH " + string(b)
+}
+
+// FormatServe renders the human-readable report.
+func FormatServe(r *ServeResult) string {
+	var b strings.Builder
+	mode := "compile per query"
+	if r.Prepared {
+		mode = "prepared (shared plan cache)"
+	}
+	fmt.Fprintf(&b, "clients=%d ops/client=%d tpcw-scale=%d templates=%d mode=%s\n",
+		r.Clients, r.Ops, r.Scale, r.Templates, mode)
+	fmt.Fprintf(&b, "total queries:  %d in %.1f ms (%.0f queries/s)\n", r.Queries, r.Millis, r.QPS)
+	fmt.Fprintf(&b, "latency:        p50=%.0fµs p95=%.0fµs\n", r.P50Micros, r.P95Micros)
+	fmt.Fprintf(&b, "plan cache:     %d hits / %d misses (%.1f%% hit rate)\n",
+		r.CacheHits, r.CacheMisses, 100*r.CacheHitRate)
+	return b.String()
+}

@@ -85,6 +85,7 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		VFSOnly,
 		CommitScope,
+		SessionClose,
 		CtxPoll,
 		ErrWrapSentinel,
 		Determinism,

@@ -10,6 +10,7 @@ import (
 
 func TestVFSOnly(t *testing.T)         { linttest.Run(t, lint.VFSOnly, "vfsonly") }
 func TestCommitScope(t *testing.T)     { linttest.Run(t, lint.CommitScope, "commitscope") }
+func TestSessionClose(t *testing.T)    { linttest.Run(t, lint.SessionClose, "sessionclose") }
 func TestCtxPoll(t *testing.T)         { linttest.Run(t, lint.CtxPoll, "ctxpoll") }
 func TestErrWrapSentinel(t *testing.T) { linttest.Run(t, lint.ErrWrapSentinel, "errwrapsentinel") }
 func TestDeterminism(t *testing.T)     { linttest.Run(t, lint.Determinism, "determinism") }

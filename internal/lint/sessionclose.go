@@ -1,0 +1,515 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// SessionClose enforces the session-kernel lifecycle contract of DESIGN.md
+// §12: every colorful.DB.Session() and Prepare() result must reach Close.
+// An unclosed Session pins the DB's drain forever — DB.Close waits for every
+// session to finish — and an unclosed Stmt pins its plan in the session for
+// as long as the session lives. The analyzer tracks each creation through
+// the function with the same three-state abstract interpretation the
+// commitscope analyzer uses (before the creation, live, closed-or-escaped),
+// joined across branches and iterated to a fixed point in loops.
+//
+// Ownership transfer ends the obligation here: returning the value, passing
+// it to a call, storing it in a field/slice/map/channel, or capturing it in
+// a function literal all move responsibility to the receiver, which this
+// per-function analysis cannot follow. What it can always flag: results
+// that are discarded outright (an unbound call, a blank assignment, a
+// method chained off the fresh value) and variables that are provably still
+// open on a return path with no deferred Close.
+var SessionClose = &Analyzer{
+	Name: "sessionclose",
+	Doc:  "colorful Session()/Prepare() results must reach Close on every path",
+	Run:  runSessionClose,
+}
+
+// sessionConstructors are the colorful-package functions whose results carry
+// a Close obligation.
+var sessionConstructors = map[string]bool{
+	"Session": true,
+	"Prepare": true,
+}
+
+// isSessionConstructor reports whether the call resolves to a Session or
+// Prepare method of the colorful package (suffix-scoped so fixture modules
+// mirroring the layout are covered too).
+func isSessionConstructor(info *types.Info, call *ast.CallExpr) bool {
+	obj := calleeObj(info, call)
+	if obj == nil || obj.Pkg() == nil || !sessionConstructors[obj.Name()] {
+		return false
+	}
+	return pathHasSuffix(obj.Pkg().Path(), "colorful")
+}
+
+func runSessionClose(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Function literals get their own pass: a session opened inside a
+			// goroutine or callback body must be closed on that body's paths.
+			bodies := []*ast.BlockStmt{fd.Body}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					bodies = append(bodies, fl.Body)
+				}
+				return true
+			})
+			for _, b := range bodies {
+				checkSessionClose(pass, b)
+			}
+		}
+	}
+	return nil
+}
+
+// checkSessionClose classifies every constructor call in one body (nested
+// function literals excluded — they are analyzed as their own bodies) and
+// flow-checks the ones bound to a variable.
+func checkSessionClose(pass *Pass, body *ast.BlockStmt) {
+	parents := parentMap(body)
+	for _, call := range sessionCalls(pass.Info, body) {
+		switch p := parents[call].(type) {
+		case *ast.AssignStmt:
+			trackAssigned(pass, body, call, p)
+		case *ast.ValueSpec:
+			for i, v := range p.Values {
+				if v != ast.Expr(call) || i >= len(p.Names) {
+					continue
+				}
+				trackSessionVar(pass, body, call, p.Names[i], nil)
+			}
+		case *ast.ExprStmt:
+			pass.Reportf(call.Pos(),
+				"result of %s is discarded; a Session/Stmt must reach Close", calleeName(call))
+		case *ast.SelectorExpr:
+			// A method chained off the fresh value: nothing holds it afterward.
+			if p.Sel.Name != "Close" {
+				pass.Reportf(call.Pos(),
+					"result of %s is not bound to a variable; it can never be closed", calleeName(call))
+			}
+		default:
+			// Return value, call argument, composite literal, channel send,
+			// parenthesis under one of those: ownership escapes this function.
+		}
+	}
+}
+
+// trackAssigned resolves which LHS of an assignment receives the
+// constructor result and flow-checks it.
+func trackAssigned(pass *Pass, body *ast.BlockStmt, call *ast.CallExpr, as *ast.AssignStmt) {
+	idx := 0
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, r := range as.Rhs {
+			if r == ast.Expr(call) {
+				idx = i
+			}
+		}
+	}
+	// Multi-value forms (st, err := s.Prepare(q)) bind the object first.
+	if idx >= len(as.Lhs) {
+		return
+	}
+	id, ok := as.Lhs[idx].(*ast.Ident)
+	if !ok {
+		// Stored straight into a field/index expression: ownership escapes.
+		return
+	}
+	// The companion of a multi-value form (st, err := s.Prepare(q)): on the
+	// path where that error is non-nil the constructor failed and there is
+	// nothing to close.
+	var errObj types.Object
+	for i, l := range as.Lhs {
+		if i == idx {
+			continue
+		}
+		if eid, ok := l.(*ast.Ident); ok && eid.Name != "_" {
+			if o := objectOf(pass.Info, eid); o != nil {
+				errObj = o
+			}
+		}
+	}
+	trackSessionVar(pass, body, call, id, errObj)
+}
+
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+func trackSessionVar(pass *Pass, body *ast.BlockStmt, call *ast.CallExpr, id *ast.Ident, errObj types.Object) {
+	if id.Name == "_" {
+		pass.Reportf(call.Pos(),
+			"result of %s is assigned to the blank identifier; it can never be closed", calleeName(call))
+		return
+	}
+	obj := objectOf(pass.Info, id)
+	if obj == nil {
+		return
+	}
+	fl := &sessFlow{pass: pass, create: call, obj: obj, errObj: errObj,
+		name: id.Name, reported: map[token.Pos]bool{}}
+	out := fl.stmt(body, sessPre)
+	if out&sessLive != 0 {
+		pass.Reportf(body.Rbrace,
+			"%s can reach the end of the function still open; close it (or defer Close) on every path", fl.name)
+	}
+}
+
+// sessionCalls collects constructor calls in source order, skipping nested
+// function literals.
+func sessionCalls(info *types.Info, body *ast.BlockStmt) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if c, ok := n.(*ast.CallExpr); ok && isSessionConstructor(info, c) {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// parentMap records each node's immediate parent within body.
+func parentMap(body *ast.BlockStmt) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// Abstract states for one tracked variable, as a bitmask so branch joins
+// are unions (mirroring the commitscope lattice).
+type sessState uint8
+
+const (
+	sessPre  sessState = 1 << iota // before the constructor call
+	sessLive                       // created, not yet closed or escaped
+	sessDone                       // closed, or ownership escaped
+	sessNone sessState = 0         // unreachable (terminated path)
+)
+
+// sessFlow evaluates one variable's create/close state machine over a body.
+// reported guards against duplicate diagnostics when the loop fixed point
+// re-evaluates a body.
+type sessFlow struct {
+	pass     *Pass
+	create   *ast.CallExpr
+	obj      types.Object
+	errObj   types.Object // companion error of a multi-value creation, if any
+	name     string
+	reported map[token.Pos]bool
+}
+
+// reportf emits at most one diagnostic per position for this flow.
+func (fl *sessFlow) reportf(pos token.Pos, format string, args ...any) {
+	if fl.reported[pos] {
+		return
+	}
+	fl.reported[pos] = true
+	fl.pass.Reportf(pos, format, args...)
+}
+
+func (fl *sessFlow) stmt(s ast.Stmt, in sessState) sessState {
+	if s == nil || in == sessNone {
+		return in
+	}
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range x.List {
+			in = fl.stmt(st, in)
+		}
+		return in
+	case *ast.IfStmt:
+		in = fl.stmt(x.Init, in)
+		in = fl.scan(in, x.Cond)
+		// An err-nil guard on the creation's companion error: on the failing
+		// branch the constructor returned nothing to close.
+		thenIn, elseIn := in, in
+		switch fl.errNilBranch(x.Cond) {
+		case errFailsThen: // if err != nil { ... }
+			thenIn = fl.failed(in)
+		case errFailsElse: // if err == nil { ... } else { ... }
+			elseIn = fl.failed(in)
+		}
+		thenOut := fl.stmt(x.Body, thenIn)
+		elseOut := elseIn
+		if x.Else != nil {
+			elseOut = fl.stmt(x.Else, elseIn)
+		}
+		return thenOut | elseOut
+	case *ast.ForStmt:
+		in = fl.stmt(x.Init, in)
+		in = fl.scan(in, x.Cond)
+		return fl.loop(in, func(s sessState) sessState {
+			s = fl.stmt(x.Body, s)
+			return fl.stmt(x.Post, s)
+		})
+	case *ast.RangeStmt:
+		in = fl.scan(in, x.X)
+		return fl.loop(in, func(s sessState) sessState { return fl.stmt(x.Body, s) })
+	case *ast.SwitchStmt:
+		in = fl.stmt(x.Init, in)
+		in = fl.scan(in, x.Tag)
+		return fl.cases(in, x.Body)
+	case *ast.TypeSwitchStmt:
+		in = fl.stmt(x.Init, in)
+		in = fl.stmt(x.Assign, in)
+		return fl.cases(in, x.Body)
+	case *ast.SelectStmt:
+		return fl.cases(in, x.Body)
+	case *ast.LabeledStmt:
+		return fl.stmt(x.Stmt, in)
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			in = fl.scan(in, r)
+		}
+		if in&sessLive != 0 {
+			fl.reportf(x.Pos(),
+				"return leaks %s while it is still open; close it (or defer Close) before returning", fl.name)
+		}
+		return sessNone
+	case *ast.BranchStmt:
+		return in
+	case *ast.ExprStmt:
+		if isTerminalCall(x.X) {
+			fl.scan(in, x.X)
+			return sessNone
+		}
+		return fl.scan(in, x.X)
+	case *ast.AssignStmt:
+		for _, e := range x.Rhs {
+			in = fl.scan(in, e)
+		}
+		for _, e := range x.Lhs {
+			// Assigning to the tracked variable (its definition, or a plain
+			// reassignment) is neither a use nor an escape.
+			if id, ok := ast.Unparen(e).(*ast.Ident); ok && fl.isVar(id) {
+				continue
+			}
+			in = fl.scan(in, e)
+		}
+		return in
+	case *ast.DeferStmt:
+		// A deferred Close guards every later exit; the immediate-transition
+		// approximation is the same one commitscope makes.
+		return fl.scan(in, x.Call)
+	case *ast.GoStmt:
+		return fl.scan(in, x.Call)
+	default:
+		return fl.scanStmt(in, s)
+	}
+}
+
+// Outcomes of matching an if condition against the companion error.
+const (
+	errNoGuard   = iota // not an err-nil check on the companion
+	errFailsThen        // err != nil: the then-branch is the failure path
+	errFailsElse        // err == nil: the else-branch is the failure path
+)
+
+// errNilBranch classifies cond as an err-nil guard on the creation's
+// companion error variable.
+func (fl *sessFlow) errNilBranch(cond ast.Expr) int {
+	if fl.errObj == nil {
+		return errNoGuard
+	}
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.NEQ && be.Op != token.EQL) {
+		return errNoGuard
+	}
+	isErr := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && fl.pass.Info.Uses[id] == fl.errObj
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if (isErr(be.X) && isNil(be.Y)) || (isNil(be.X) && isErr(be.Y)) {
+		if be.Op == token.NEQ {
+			return errFailsThen
+		}
+		return errFailsElse
+	}
+	return errNoGuard
+}
+
+// failed maps the state set onto the constructor-failed path: anything live
+// becomes done, because a failed Session()/Prepare returns nothing to close.
+func (fl *sessFlow) failed(in sessState) sessState {
+	if in&sessLive != 0 {
+		in = (in &^ sessLive) | sessDone
+	}
+	return in
+}
+
+func (fl *sessFlow) loop(in sessState, body func(sessState) sessState) sessState {
+	out := in
+	for i := 0; i < 3; i++ {
+		next := out | body(out)
+		if next == out {
+			break
+		}
+		out = next
+	}
+	return out
+}
+
+func (fl *sessFlow) cases(in sessState, body *ast.BlockStmt) sessState {
+	out := sessNone
+	hasDefault := false
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			s := in
+			for _, e := range c.List {
+				s = fl.scan(s, e)
+			}
+			if c.List == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+			in = s
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+		}
+		s := in
+		for _, st := range stmts {
+			s = fl.stmt(st, s)
+		}
+		out |= s
+	}
+	if !hasDefault {
+		out |= in
+	}
+	return out
+}
+
+// sessEvent is one state-affecting occurrence inside an expression, applied
+// in source order.
+type sessEvent struct {
+	pos  ast.Node
+	kind int // 0 create, 1 close, 2 escape
+}
+
+const (
+	evCreate = iota
+	evClose
+	evEscape
+)
+
+// scan applies the variable's transitions for every occurrence under e.
+func (fl *sessFlow) scan(in sessState, e ast.Expr) sessState {
+	if e == nil {
+		return in
+	}
+	return fl.scanStmt(in, e)
+}
+
+func (fl *sessFlow) scanStmt(in sessState, n ast.Node) sessState {
+	var events []sessEvent
+	skip := map[ast.Node]bool{}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if skip[m] {
+			return false
+		}
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			// Capturing the variable in a closure transfers ownership (a
+			// deferred closure Close, a t.Cleanup, a goroutine that closes).
+			if fl.references(x) {
+				events = append(events, sessEvent{pos: x, kind: evEscape})
+			}
+			return false
+		case *ast.CallExpr:
+			if x == fl.create {
+				events = append(events, sessEvent{pos: x, kind: evCreate})
+			}
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && fl.isVar(id) {
+					if sel.Sel.Name == "Close" {
+						events = append(events, sessEvent{pos: x, kind: evClose})
+					}
+					// A method call on the variable (Query, Stats, ...) is a
+					// use, not an escape; don't descend into the receiver.
+					skip[sel] = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok && fl.isVar(id) {
+				// Field access through the variable: a use, not an escape.
+				return false
+			}
+		case *ast.Ident:
+			// Only a genuine use escapes; the defining occurrence (`:=` LHS,
+			// ValueSpec name) is in Defs, not Uses.
+			if fl.pass.Info.Uses[x] == fl.obj {
+				events = append(events, sessEvent{pos: x, kind: evEscape})
+			}
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos.Pos() < events[j].pos.Pos() })
+	for _, ev := range events {
+		in = fl.transition(in, ev)
+	}
+	return in
+}
+
+func (fl *sessFlow) transition(in sessState, ev sessEvent) sessState {
+	switch ev.kind {
+	case evCreate:
+		if in&sessLive != 0 {
+			fl.reportf(ev.pos.Pos(),
+				"%s is reassigned while still open; close the previous Session/Stmt first", fl.name)
+		}
+		return sessLive
+	case evClose, evEscape:
+		return sessDone
+	}
+	return in
+}
+
+// isVar reports whether the identifier resolves to the tracked variable.
+func (fl *sessFlow) isVar(id *ast.Ident) bool {
+	return fl.pass.Info.Uses[id] == fl.obj || fl.pass.Info.Defs[id] == fl.obj
+}
+
+// references reports whether the tracked variable occurs anywhere under n.
+func (fl *sessFlow) references(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && fl.isVar(id) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

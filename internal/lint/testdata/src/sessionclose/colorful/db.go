@@ -1,0 +1,33 @@
+// Package colorful mirrors the session-kernel surface the analyzer guards:
+// DB.Session and Session.Prepare/DB.Prepare hand out values that must reach
+// Close — an open Session pins DB.Close's drain, an open Stmt pins its plan.
+package colorful
+
+import "errors"
+
+type DB struct{}
+
+func (d *DB) Session() *Session { return &Session{} }
+
+func (d *DB) Prepare(src string) (*Stmt, error) {
+	s := &Session{}
+	// Ownership escapes by being returned: conforming.
+	return s.Prepare(src)
+}
+
+type Session struct{}
+
+func (s *Session) Prepare(src string) (*Stmt, error) {
+	if src == "" {
+		return nil, errors.New("empty query")
+	}
+	return &Stmt{}, nil
+}
+
+func (s *Session) Query(src string) error { return nil }
+func (s *Session) Close() error           { return nil }
+
+type Stmt struct{}
+
+func (st *Stmt) Run() error   { return nil }
+func (st *Stmt) Close() error { return nil }

@@ -1,0 +1,3 @@
+module sessionclosefix
+
+go 1.22

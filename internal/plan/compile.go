@@ -126,6 +126,7 @@ func Lower(lg *Logical, opt Options) (*Compiled, error) {
 		OutCol:  col,
 		OutAttr: lg.Out.Attr,
 		Logical: lg,
+		Mem:     &engine.MemPool{},
 	}, nil
 }
 

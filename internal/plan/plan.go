@@ -230,4 +230,12 @@ type Compiled struct {
 	OutAttr string
 	// Logical is the analyzed IR the plan was lowered from.
 	Logical *Logical
+	// Mem recycles execution scratch memory across runs of this plan. A
+	// compiled plan is the natural owner of its executions' working set:
+	// reuse only materializes when the plan object itself is reused — a
+	// cache hit or a prepared statement — while a one-shot compilation
+	// starts cold and recycles nothing. Executors pass it to
+	// engine.ExecBatchesPooled; it is safe for any number of concurrent
+	// executions.
+	Mem *engine.MemPool
 }

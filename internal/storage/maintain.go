@@ -57,6 +57,10 @@ func (s *Store) Clone() *Store {
 	for c, v := range s.maxStart {
 		ns.maxStart[c] = v
 	}
+	// The clone starts structurally identical to its parent, so it inherits
+	// the stats epoch; the first structural change it absorbs moves it to a
+	// fresh one. (Atomics cannot be copied in the composite literal above.)
+	ns.statsEpoch.Store(s.statsEpoch.Load())
 	obsSnapshotClones.Inc()
 	return ns
 }

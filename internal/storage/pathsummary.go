@@ -126,11 +126,15 @@ func (s *Store) PathSummary(c core.Color) (*PathSummary, error) {
 }
 
 // invalidatePathSummaries drops cached summaries; called by every structural
-// mutation (content/attribute updates preserve label paths and do not).
+// mutation (content/attribute updates preserve label paths and do not). The
+// same call sites define the stats/schema epoch: whatever invalidates the
+// path summary also invalidates cached compiled plans, so the epoch bump
+// rides along here rather than being scattered over the mutators.
 func (s *Store) invalidatePathSummaries() {
 	s.pathMu.Lock()
 	s.pathSums = nil
 	s.pathMu.Unlock()
+	s.bumpStatsEpoch()
 }
 
 // clonePathSums shares the cached summaries with a snapshot clone (they are

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"colorfulxml/internal/btree"
 	"colorfulxml/internal/core"
@@ -99,6 +100,16 @@ type Store struct {
 	// which may happen from concurrent readers of a published snapshot.
 	pathMu   sync.Mutex
 	pathSums map[core.Color]*PathSummary
+
+	// statsEpoch is the stats/schema epoch of this store image: a
+	// process-unique token that changes whenever the structure (and hence the
+	// catalog statistics a compiled plan's cost choices were made from) may
+	// have changed. Content-only updates preserve it, so a plan cache keyed
+	// on the epoch stays hot across the common point-update workload, while
+	// structural mutations, renumbering and full rebuilds all move it.
+	// Atomic because readers (the plan cache) probe published snapshots
+	// concurrently with a clone being mutated before publication.
+	statsEpoch atomic.Uint64
 }
 
 // SizeCounts is the Table 1 accounting: logical node counts plus physical
@@ -125,11 +136,30 @@ func NewStore(poolPages int, colors ...core.Color) *Store {
 		maxStart:   map[core.Color]int64{},
 	}
 	s.elemFile = s.pages.CreateFile()
+	s.statsEpoch.Store(nextStatsEpoch())
 	for _, c := range colors {
 		s.addColor(c)
 	}
 	return s
 }
+
+// statsEpochCounter allocates process-unique stats epochs: every fresh store
+// image and every structural mutation draws a new value, so two store states
+// with different structure can never share an epoch — the property the
+// compiled-plan cache's invalidation relies on.
+var statsEpochCounter atomic.Uint64
+
+func nextStatsEpoch() uint64 { return statsEpochCounter.Add(1) }
+
+// StatsEpoch returns the store's current stats/schema epoch. A compiled plan
+// whose recorded epoch differs from the serving snapshot's may have been
+// cost-chosen against different structure and must be recompiled.
+func (s *Store) StatsEpoch() uint64 { return s.statsEpoch.Load() }
+
+// bumpStatsEpoch moves the store to a fresh epoch; called by every
+// structural mutation (alongside the path-summary invalidation, which guards
+// the same class of change).
+func (s *Store) bumpStatsEpoch() { s.statsEpoch.Store(nextStatsEpoch()) }
 
 func (s *Store) addColor(c core.Color) {
 	if _, ok := s.structFile[c]; ok {

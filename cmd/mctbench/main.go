@@ -30,6 +30,16 @@
 // of recovering the directory after the run. With -validate the full core
 // invariant audit runs after the load and after the recovery, and its wall
 // time is reported as validate_millis.
+//
+// A resilience mode runs the runtime chaos harness (internal/chaostest)
+// against a durable database in DIR — a seeded fault schedule under
+// concurrent writers and readers, differentially verified — and reports the
+// fault rate, mean time to recovery, and commits retried/rejected:
+//
+//	mctbench -chaos DIR [-chaos-events N] [-seed N]
+//
+// Any fault-tolerance contract violation (a lost acked commit, a visible
+// rolled-back write, a database stuck degraded) exits nonzero.
 package main
 
 import (
@@ -69,6 +79,9 @@ func main() {
 		nosync    = flag.Bool("nosync", false, "with -durable: skip the per-commit fsync")
 		validate  = flag.Bool("validate", false, "run the core invariant audit after load and recovery, reporting its wall time")
 		obsDump   = flag.String("obs-dump", "", "write the final observability registry snapshot to FILE as indented JSON")
+
+		chaosDir    = flag.String("chaos", "", "run the runtime chaos harness against database directory DIR: seeded fault injection under concurrent load, differentially verified")
+		chaosEvents = flag.Int("chaos-events", 0, "with -chaos: minimum injected fault events (0 = the acceptance default, 500)")
 	)
 	flag.Parse()
 
@@ -90,6 +103,21 @@ func main() {
 			fail(err)
 		}
 	}()
+
+	if *chaosDir != "" {
+		res, err := experiment.Chaos(experiment.ChaosConfig{
+			Dir:    *chaosDir,
+			Seed:   *seed,
+			Events: *chaosEvents,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("=== Runtime chaos harness ===")
+		fmt.Print(experiment.FormatChaos(res))
+		fmt.Println(res.BenchJSON())
+		return
+	}
 
 	if *t2serve {
 		cfg := experiment.DefaultServe

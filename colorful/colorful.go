@@ -65,6 +65,12 @@ type DB struct {
 	ev *mcxquery.Evaluator
 	ex *update.Executor
 
+	// coreRef aliases the embedded Database pointer for the lock-free
+	// snapshot fast paths: a degraded-mode rollback swaps the core instance
+	// under the writer lock, and lock-free readers must observe the swap
+	// atomically (see health.go).
+	coreRef atomic.Pointer[core.Database]
+
 	// mu guards the core database: mutators hold it exclusively, evaluator
 	// runs and result mapping hold it shared. Compiled execution holds no
 	// lock at all — it touches only an immutable snapshot.
@@ -96,9 +102,8 @@ type DB struct {
 	slow          *obs.SlowLog
 	slowThreshold atomic.Int64
 
-	// Durability (nil/zero for in-memory databases; see durable.go). dur
-	// and durErr are guarded by mu; a non-nil durErr poisons all further
-	// durable commits.
+	// Durability (nil/zero for in-memory databases; see durable.go). dur and
+	// durErr are guarded by mu; durErr is the terminal closed/failed marker.
 	dur         *storage.Durable
 	durOpts     Options
 	durErr      error
@@ -108,6 +113,25 @@ type DB struct {
 	ckptWG      sync.WaitGroup
 	ckptErrMu   sync.Mutex
 	ckptErr     error
+
+	// Health state machine (see health.go): healthy databases accept
+	// mutations; a durability failure rolls the mutation back and degrades
+	// to read-only serving until the background probe heals the disk.
+	health       atomic.Int32
+	causeMu      sync.Mutex
+	degradeCause error
+	degrades     atomic.Uint64
+	heals        atomic.Uint64
+	stopCh       chan struct{} // created by Open; closed once by Close
+	stopOnce     sync.Once
+
+	// Scrubber bookkeeping (see health.go).
+	scrubPasses      atomic.Uint64
+	scrubFiles       atomic.Uint64
+	scrubBytes       atomic.Uint64
+	scrubCorruptions atomic.Uint64
+	scrubLastMu      sync.Mutex
+	scrubLast        string
 }
 
 // New creates an empty database with the given colors. Colors can also be
@@ -126,6 +150,7 @@ func wrap(db *core.Database) *DB {
 		planCache: plan.NewCache(0),
 		sessions:  map[*Session]struct{}{},
 	}
+	d.coreRef.Store(db)
 	d.auto = newSession(d, true)
 	return d
 }
@@ -285,7 +310,11 @@ type UpdateResult struct {
 func (d *DB) Update(src string) (UpdateResult, error) {
 	obsUpdates.Inc()
 	d.mu.Lock()
-	m := d.beginCommit()
+	m, err := d.beginCommit()
+	if err != nil {
+		d.mu.Unlock()
+		return UpdateResult{}, err
+	}
 	res, err := d.ex.Apply(src)
 	if cerr := d.commitChanges(m); err == nil && cerr != nil {
 		err = cerr

@@ -34,6 +34,8 @@ const debugTraceTimeout = 30 * time.Second
 //	/debug/trace?q=QUERY  run a read-only query with full tracing and
 //	                      return the span tree (?format=text for a tree)
 //	/debug/plancache      this DB's shared plan-cache counters (JSON)
+//	/debug/health         this DB's serving state, degrade cause, and
+//	                      scrubber activity (JSON; see HealthInfo)
 //	/debug/pprof/...      the standard runtime profiles
 //
 // The server runs until Close. Queries issued through /debug/trace count in
@@ -49,6 +51,7 @@ func (d *DB) ServeDebug(addr string) (*DebugServer, error) {
 	mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
 	mux.HandleFunc("/debug/trace", s.handleTrace)
 	mux.HandleFunc("/debug/plancache", s.handlePlanCache)
+	mux.HandleFunc("/debug/health", s.handleHealth)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -85,6 +88,33 @@ func (s *DebugServer) handleSlowlog(w http.ResponseWriter, r *http.Request) {
 
 func (s *DebugServer) handlePlanCache(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.db.PlanCacheStats())
+}
+
+func (s *DebugServer) handleHealth(w http.ResponseWriter, r *http.Request) {
+	info := s.db.HealthInfo()
+	// A degraded or failed database still answers 200 — the endpoint reports
+	// state, it is not a liveness probe.
+	writeJSON(w, struct {
+		State            string `json:"state"`
+		Cause            string `json:"cause,omitempty"`
+		Degrades         uint64 `json:"degrades"`
+		Heals            uint64 `json:"heals"`
+		ScrubPasses      uint64 `json:"scrub_passes"`
+		ScrubFiles       uint64 `json:"scrub_files"`
+		ScrubBytes       uint64 `json:"scrub_bytes"`
+		ScrubCorruptions uint64 `json:"scrub_corruptions"`
+		LastCorruption   string `json:"last_corruption,omitempty"`
+	}{
+		State:            info.State.String(),
+		Cause:            info.Cause,
+		Degrades:         info.Degrades,
+		Heals:            info.Heals,
+		ScrubPasses:      info.ScrubPasses,
+		ScrubFiles:       info.ScrubFiles,
+		ScrubBytes:       info.ScrubBytes,
+		ScrubCorruptions: info.ScrubCorruptions,
+		LastCorruption:   info.LastCorruption,
+	})
 }
 
 func (s *DebugServer) handleTrace(w http.ResponseWriter, r *http.Request) {

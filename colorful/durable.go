@@ -3,6 +3,7 @@ package colorful
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"colorfulxml/internal/core"
 	"colorfulxml/internal/obs"
@@ -48,6 +49,20 @@ type Options struct {
 	// Expensive (it walks every node in every color); meant for tests and
 	// harnesses, not production serving.
 	ValidateInvariants bool
+	// Retry overrides the transient-failure retry schedule for WAL flushes
+	// and checkpoint installs. nil: vfs.DefaultRetryPolicy; a zero policy
+	// (&vfs.RetryPolicy{}) disables retries.
+	Retry *vfs.RetryPolicy
+	// ProbeInterval is how often the degraded-mode recovery probe checks
+	// whether the disk accepts writes again (0: 500ms).
+	ProbeInterval time.Duration
+	// ScrubInterval enables the online integrity scrubber: every interval it
+	// re-verifies up to ScrubBudget bytes of at-rest checkpoint and WAL data
+	// (0: scrubbing disabled).
+	ScrubInterval time.Duration
+	// ScrubBudget is the scrubber's per-increment I/O budget in bytes
+	// (0: 1 MiB).
+	ScrubBudget int64
 }
 
 // Open opens (creating if necessary) a durable database in dir, recovering
@@ -65,8 +80,12 @@ func OpenOptions(dir string, opts Options, colors ...Color) (*DB, error) {
 	if opts.NoSync {
 		policy = wal.SyncNever
 	}
+	retry := vfs.DefaultRetryPolicy
+	if opts.Retry != nil {
+		retry = *opts.Retry
+	}
 	dur, st, stats, err := storage.OpenDurable(dir, storage.DurableOptions{
-		FS: opts.FS, PoolPages: opts.PoolPages, Sync: policy,
+		FS: opts.FS, PoolPages: opts.PoolPages, Sync: policy, Retry: retry,
 	})
 	if err != nil {
 		return nil, err
@@ -88,7 +107,24 @@ func OpenOptions(dir string, opts Options, colors ...Color) (*DB, error) {
 	if d.durOpts.CheckpointBytes == 0 {
 		d.durOpts.CheckpointBytes = defaultCheckpointBytes
 	}
+	if d.durOpts.ProbeInterval <= 0 {
+		d.durOpts.ProbeInterval = 500 * time.Millisecond
+	}
+	if d.durOpts.ScrubBudget <= 0 {
+		d.durOpts.ScrubBudget = 1 << 20
+	}
 	d.recovery = stats
+	d.stopCh = make(chan struct{})
+	obsHealthState.Set(int64(Healthy))
+
+	// Publish the recovered state eagerly: the published snapshot is the
+	// rollback basis of degraded-mode error handling, so it must exist
+	// before the first durable commit (including the color registration
+	// right below).
+	if err := d.Refresh(); err != nil {
+		dur.Close()
+		return nil, fmt.Errorf("colorful: publishing recovered snapshot: %w", err)
+	}
 
 	// Register any missing colors; like every other mutation this commits
 	// through the WAL (AddDatabaseColor is a no-op for existing colors, so
@@ -97,9 +133,16 @@ func OpenOptions(dir string, opts Options, colors ...Color) (*DB, error) {
 	for _, c := range colors {
 		d.Database.AddDatabaseColor(c)
 	}
-	if err := d.commitChanges(m); err != nil {
-		dur.Close()
+	d.mu.Lock()
+	err = d.commitChanges(m)
+	d.mu.Unlock()
+	if err != nil {
+		d.Close()
 		return nil, err
+	}
+	go d.probeLoop()
+	if d.durOpts.ScrubInterval > 0 {
+		go d.scrubLoop()
 	}
 	return d, nil
 }
@@ -122,7 +165,7 @@ type DurabilityStats struct {
 }
 
 // DurabilityStats returns the durability counters; Durable is false for
-// in-memory databases and for closed or failed durable ones.
+// in-memory databases and for closed, degraded or failed durable ones.
 func (d *DB) DurabilityStats() DurabilityStats {
 	s := DurabilityStats{
 		Checkpoints: d.checkpoints.Load(),
@@ -130,7 +173,7 @@ func (d *DB) DurabilityStats() DurabilityStats {
 	}
 	d.mu.RLock()
 	if d.dur != nil && d.durErr == nil {
-		s.Durable = true
+		s.Durable = d.Health() == Healthy
 		s.WALBytes = d.dur.LogBytes()
 	}
 	d.mu.RUnlock()
@@ -149,6 +192,9 @@ func (d *DB) Checkpoint() error {
 	if d.dur == nil {
 		return errors.New("colorful: Checkpoint on a non-durable database")
 	}
+	if d.Health() == DegradedReadOnly {
+		return d.readOnlyErr()
+	}
 	return d.checkpointLocked()
 }
 
@@ -159,6 +205,10 @@ func (d *DB) Checkpoint() error {
 // further mutations report ErrClosed; a later Open recovers everything
 // committed. Close is idempotent.
 func (d *DB) Close() error {
+	// Stop the probe and scrubber first: they take d.mu themselves.
+	if d.stopCh != nil {
+		d.stopOnce.Do(func() { close(d.stopCh) })
+	}
 	// Drain before taking d.mu: in-flight session queries may need the lock
 	// themselves (constructor commits, evaluator reads).
 	d.drainSessions()
@@ -177,13 +227,25 @@ func (d *DB) Close() error {
 	return err
 }
 
-// beginCommit opens a durable commit scope. The caller must hold d.mu
+// beginCommit opens a durable commit scope, refusing — before the caller
+// mutates anything — when the database cannot commit: degraded (ErrReadOnly),
+// failed (ErrFailed), or closed (ErrClosed). The caller must hold d.mu
 // exclusively across beginCommit, the mutation, and commitChanges.
-func (d *DB) beginCommit() core.ChangeMark {
+func (d *DB) beginCommit() (core.ChangeMark, error) {
 	if d.dur == nil {
-		return core.ChangeMark{}
+		// In-memory databases (durErr nil) have no commit scope; closed
+		// durable ones refuse with ErrClosed.
+		return core.ChangeMark{}, d.durErr
 	}
-	return d.Database.Mark()
+	switch Health(d.health.Load()) {
+	case DegradedReadOnly:
+		obsMutationsRejected.Inc()
+		return core.ChangeMark{}, d.readOnlyErr()
+	case Failed:
+		obsMutationsRejected.Inc()
+		return core.ChangeMark{}, d.durErr
+	}
+	return d.Database.Mark(), nil
 }
 
 // commitChanges makes the mutation performed since the mark durable: its
@@ -192,9 +254,12 @@ func (d *DB) beginCommit() core.ChangeMark {
 // cannot carry — a ChangeComplex entry, or a mark invalidated by change-log
 // overflow — force a synchronous full checkpoint instead.
 //
-// A durability failure poisons the database: the in-memory state may
-// already include the mutation, so rather than silently diverging from the
-// on-disk state, every further commit reports the original error.
+// A durability failure (after the storage layer's transient-error retries
+// are exhausted) no longer poisons the database: the mutation is rolled
+// back in memory and the database degrades to read-only serving
+// (degradeLocked), recovering automatically when the disk heals. Only a
+// rollback the change log cannot support moves the database to the
+// terminal Failed state.
 func (d *DB) commitChanges(m core.ChangeMark) error {
 	if d.dur == nil {
 		return d.durErr // nil for purely in-memory databases
@@ -202,59 +267,74 @@ func (d *DB) commitChanges(m core.ChangeMark) error {
 	if d.durErr != nil {
 		return d.durErr
 	}
-	if err := d.takeCkptErr(); err != nil {
-		d.durErr = fmt.Errorf("colorful: background checkpoint failed, database is no longer durable: %w", err)
-		return d.durErr
-	}
 	changes, ok := d.Database.ChangesSince(m)
-	if ok {
-		if len(changes) == 0 {
-			return nil
+	if !ok {
+		// The mark was invalidated (change-log overflow or a concurrent
+		// drain): the mutation cannot be separated for rollback, so a full
+		// checkpoint is the only commit path and its failure is terminal.
+		if err := d.checkpointLocked(); err != nil {
+			return d.failLocked(fmt.Errorf("checkpoint after change-log overflow: %w", err))
 		}
-		complex := false
-		for _, ch := range changes {
-			if ch.Kind == core.ChangeComplex {
-				complex = true
-				break
-			}
+		return nil
+	}
+	// A failed background checkpoint install left the log without a new
+	// horizon (nothing is lost — the old checkpoint still anchors
+	// recovery). Retry it synchronously under this commit; a second
+	// failure degrades.
+	if err := d.takeCkptErr(); err != nil {
+		if cerr := d.checkpointLocked(); cerr != nil {
+			return d.degradeLocked(len(changes), fmt.Errorf("background checkpoint failed: %v; retry: %w", err, cerr))
 		}
-		if !complex {
-			if err := d.dur.Append(changes); err != nil {
-				d.durErr = fmt.Errorf("colorful: WAL append failed, database is no longer durable: %w", err)
-				return d.durErr
-			}
-			if t := d.durOpts.CheckpointBytes; t > 0 && d.dur.LogBytes() >= t {
-				d.autoCheckpointLocked()
-			}
-			return nil
+		return nil // the checkpoint covered this commit's changes too
+	}
+	if len(changes) == 0 {
+		return nil
+	}
+	complex := false
+	for _, ch := range changes {
+		if ch.Kind == core.ChangeComplex {
+			complex = true
+			break
 		}
 	}
-	return d.checkpointLocked()
+	if complex {
+		if err := d.checkpointLocked(); err != nil {
+			return d.degradeLocked(len(changes), err)
+		}
+		return nil
+	}
+	if err := d.dur.Append(changes); err != nil {
+		return d.degradeLocked(len(changes), err)
+	}
+	if t := d.durOpts.CheckpointBytes; t > 0 && d.dur.LogBytes() >= t {
+		d.autoCheckpointLocked()
+	}
+	return nil
 }
 
 // checkpointLocked rotates the WAL and synchronously installs a checkpoint
-// of the current state. Caller holds d.mu exclusively.
+// of the current state. On success the change log is drained and the
+// checkpoint image published as the current snapshot: the checkpoint
+// supersedes the log, and the drain keeps the rollback-basis invariant (the
+// published snapshot equals the state at the last drain, with no
+// ChangeComplex entry left undrained). Caller holds d.mu exclusively.
 func (d *DB) checkpointLocked() error {
 	sw := obs.Start()
 	d.ckptWG.Wait() // serialize with an in-flight background install
-	if err := d.takeCkptErr(); err != nil {
-		d.durErr = fmt.Errorf("colorful: background checkpoint failed, database is no longer durable: %w", err)
-		return d.durErr
-	}
+	d.takeCkptErr() // superseded: the synchronous install covers everything
 	epoch, err := d.dur.Rotate()
 	if err != nil {
-		d.durErr = fmt.Errorf("colorful: checkpoint failed, database is no longer durable: %w", err)
-		return d.durErr
+		return fmt.Errorf("colorful: checkpoint: %w", err)
 	}
 	st, err := storage.Load(d.Database, d.durOpts.PoolPages)
 	if err != nil {
-		d.durErr = fmt.Errorf("colorful: checkpoint failed, database is no longer durable: %w", err)
-		return d.durErr
+		return fmt.Errorf("colorful: checkpoint: %w", err)
 	}
 	if err := d.dur.InstallCheckpoint(epoch, st); err != nil {
-		d.durErr = fmt.Errorf("colorful: checkpoint failed, database is no longer durable: %w", err)
-		return d.durErr
+		return fmt.Errorf("colorful: checkpoint: %w", err)
 	}
+	d.Database.DrainChanges()
+	d.publish(st, d.Database.Generation())
 	d.checkpoints.Add(1)
 	obsCheckpoints.Inc()
 	obsCheckpointNanos.Observe(sw.ElapsedNanos())
@@ -282,6 +362,11 @@ func (d *DB) autoCheckpointLocked() {
 		d.ckptBusy.Store(false)
 		return
 	}
+	// The image is the current state under d.mu: drain and publish it now
+	// (not when the install finishes) to keep the rollback-basis invariant —
+	// the published snapshot equals the state at the last change-log drain.
+	d.Database.DrainChanges()
+	d.publish(st, d.Database.Generation())
 	dur := d.dur
 	d.ckptWG.Add(1)
 	sw := obs.Start()
@@ -306,8 +391,13 @@ func (d *DB) setCkptErr(err error) {
 	d.ckptErrMu.Unlock()
 }
 
+// takeCkptErr returns and clears the pending background-checkpoint failure.
+// Clearing matters: the caller either retries the checkpoint synchronously or
+// supersedes it, and a stale sticky error would poison commits forever.
 func (d *DB) takeCkptErr() error {
 	d.ckptErrMu.Lock()
 	defer d.ckptErrMu.Unlock()
-	return d.ckptErr
+	err := d.ckptErr
+	d.ckptErr = nil
+	return err
 }

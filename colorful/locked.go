@@ -10,12 +10,14 @@ import "colorfulxml/internal/core"
 // code that wants to skip the locking, at its own risk.
 //
 // Every mutator is also a durable commit scope: for databases created by
-// Open, the change-log entries the mutation produced are appended to the
-// write-ahead log (beginCommit/commitChanges, see durable.go) before the
-// wrapper returns, so an acknowledged mutation survives a crash. A
-// durability failure is reported through the wrapper's error (and poisons
-// further commits); wrappers without an error result rely on the poisoning
-// to surface the failure on the next erroring call.
+// Open, beginCommit admits the mutation (refusing up front — with
+// ErrReadOnly, ErrFailed or ErrClosed — when the database cannot commit)
+// and commitChanges appends the change-log entries the mutation produced to
+// the write-ahead log before the wrapper returns, so an acknowledged
+// mutation survives a crash. A durability failure that exhausts the storage
+// layer's retries rolls the mutation back and degrades the database to
+// read-only serving (see health.go); the failing wrapper reports the
+// rolled-back commit through its error.
 //
 // Mutations are NOT applied to the published query snapshot here — they
 // land in the core database and its change log, and the next query (or an
@@ -27,7 +29,11 @@ import "colorfulxml/internal/core"
 func (d *DB) AddElement(parent *Node, name string, c Color) (*Node, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	m := d.beginCommit()
+	m, err := d.beginCommit()
+	if err != nil {
+		return nil, err
+	}
+	parent = d.resolve(parent)
 	n, err := d.Database.AddElement(parent, name, c)
 	if cerr := d.commitChanges(m); err == nil && cerr != nil {
 		err = cerr
@@ -39,7 +45,11 @@ func (d *DB) AddElement(parent *Node, name string, c Color) (*Node, error) {
 func (d *DB) AddElementText(parent *Node, name string, c Color, text string) (*Node, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	m := d.beginCommit()
+	m, err := d.beginCommit()
+	if err != nil {
+		return nil, err
+	}
+	parent = d.resolve(parent)
 	n, err := d.Database.AddElementText(parent, name, c, text)
 	if cerr := d.commitChanges(m); err == nil && cerr != nil {
 		err = cerr
@@ -51,8 +61,12 @@ func (d *DB) AddElementText(parent *Node, name string, c Color, text string) (*N
 func (d *DB) Adopt(parent, n *Node, c Color) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	m := d.beginCommit()
-	err := d.Database.Adopt(parent, n, c)
+	m, err := d.beginCommit()
+	if err != nil {
+		return err
+	}
+	parent, n = d.resolve(parent), d.resolve(n)
+	err = d.Database.Adopt(parent, n, c)
 	if cerr := d.commitChanges(m); err == nil && cerr != nil {
 		err = cerr
 	}
@@ -63,8 +77,12 @@ func (d *DB) Adopt(parent, n *Node, c Color) error {
 func (d *DB) SetText(elem *Node, value string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	m := d.beginCommit()
-	err := d.Database.SetText(elem, value)
+	m, err := d.beginCommit()
+	if err != nil {
+		return err
+	}
+	elem = d.resolve(elem)
+	err = d.Database.SetText(elem, value)
 	if cerr := d.commitChanges(m); err == nil && cerr != nil {
 		err = cerr
 	}
@@ -75,7 +93,11 @@ func (d *DB) SetText(elem *Node, value string) error {
 func (d *DB) CopySubtree(n *Node, c Color) (*Node, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	m := d.beginCommit()
+	m, err := d.beginCommit()
+	if err != nil {
+		return nil, err
+	}
+	n = d.resolve(n)
 	cp, err := d.Database.CopySubtree(n, c)
 	if cerr := d.commitChanges(m); err == nil && cerr != nil {
 		err = cerr
@@ -83,13 +105,17 @@ func (d *DB) CopySubtree(n *Node, c Color) (*Node, error) {
 	return cp, err
 }
 
-// AddDatabaseColor registers a new color.
-func (d *DB) AddDatabaseColor(c Color) {
+// AddDatabaseColor registers a new color. The error is the commit's: a
+// degraded or closed database refuses the registration.
+func (d *DB) AddDatabaseColor(c Color) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	m := d.beginCommit()
+	m, err := d.beginCommit()
+	if err != nil {
+		return err
+	}
 	d.Database.AddDatabaseColor(c)
-	_ = d.commitChanges(m) // a failure poisons the DB and surfaces later
+	return d.commitChanges(m)
 }
 
 // NewElement creates a detached element in color c. Detached nodes are not
@@ -125,7 +151,11 @@ func (d *DB) NewPI(target, value string, c Color) (*Node, error) {
 func (d *DB) SetAttribute(elem *Node, name, value string) (*Node, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	m := d.beginCommit()
+	m, err := d.beginCommit()
+	if err != nil {
+		return nil, err
+	}
+	elem = d.resolve(elem)
 	a, err := d.Database.SetAttribute(elem, name, value)
 	if cerr := d.commitChanges(m); err == nil && cerr != nil {
 		err = cerr
@@ -137,28 +167,41 @@ func (d *DB) SetAttribute(elem *Node, name, value string) (*Node, error) {
 func (d *DB) Rename(n *Node, name string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	m := d.beginCommit()
-	err := d.Database.Rename(n, name)
+	m, err := d.beginCommit()
+	if err != nil {
+		return err
+	}
+	n = d.resolve(n)
+	err = d.Database.Rename(n, name)
 	if cerr := d.commitChanges(m); err == nil && cerr != nil {
 		err = cerr
 	}
 	return err
 }
 
-// RemoveAttribute removes an attribute if present.
-func (d *DB) RemoveAttribute(elem *Node, name string) {
+// RemoveAttribute removes an attribute if present. The error is the
+// commit's: a degraded or closed database refuses the removal.
+func (d *DB) RemoveAttribute(elem *Node, name string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	m := d.beginCommit()
+	m, err := d.beginCommit()
+	if err != nil {
+		return err
+	}
+	elem = d.resolve(elem)
 	d.Database.RemoveAttribute(elem, name)
-	_ = d.commitChanges(m) // a failure poisons the DB and surfaces later
+	return d.commitChanges(m)
 }
 
 // AppendText appends a text node to an element.
 func (d *DB) AppendText(elem *Node, value string) (*Node, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	m := d.beginCommit()
+	m, err := d.beginCommit()
+	if err != nil {
+		return nil, err
+	}
+	elem = d.resolve(elem)
 	t, err := d.Database.AppendText(elem, value)
 	if cerr := d.commitChanges(m); err == nil && cerr != nil {
 		err = cerr
@@ -170,8 +213,12 @@ func (d *DB) AppendText(elem *Node, value string) (*Node, error) {
 func (d *DB) AddColor(n *Node, c Color) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	m := d.beginCommit()
-	err := d.Database.AddColor(n, c)
+	m, err := d.beginCommit()
+	if err != nil {
+		return err
+	}
+	n = d.resolve(n)
+	err = d.Database.AddColor(n, c)
 	if cerr := d.commitChanges(m); err == nil && cerr != nil {
 		err = cerr
 	}
@@ -182,8 +229,12 @@ func (d *DB) AddColor(n *Node, c Color) error {
 func (d *DB) RemoveColor(n *Node, c Color) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	m := d.beginCommit()
-	err := d.Database.RemoveColor(n, c)
+	m, err := d.beginCommit()
+	if err != nil {
+		return err
+	}
+	n = d.resolve(n)
+	err = d.Database.RemoveColor(n, c)
 	if cerr := d.commitChanges(m); err == nil && cerr != nil {
 		err = cerr
 	}
@@ -194,8 +245,12 @@ func (d *DB) RemoveColor(n *Node, c Color) error {
 func (d *DB) Append(parent, child *Node, c Color) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	m := d.beginCommit()
-	err := d.Database.Append(parent, child, c)
+	m, err := d.beginCommit()
+	if err != nil {
+		return err
+	}
+	parent, child = d.resolve(parent), d.resolve(child)
+	err = d.Database.Append(parent, child, c)
 	if cerr := d.commitChanges(m); err == nil && cerr != nil {
 		err = cerr
 	}
@@ -206,8 +261,12 @@ func (d *DB) Append(parent, child *Node, c Color) error {
 func (d *DB) InsertBefore(parent, child, ref *Node, c Color) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	m := d.beginCommit()
-	err := d.Database.InsertBefore(parent, child, ref, c)
+	m, err := d.beginCommit()
+	if err != nil {
+		return err
+	}
+	parent, child, ref = d.resolve(parent), d.resolve(child), d.resolve(ref)
+	err = d.Database.InsertBefore(parent, child, ref, c)
 	if cerr := d.commitChanges(m); err == nil && cerr != nil {
 		err = cerr
 	}
@@ -218,8 +277,12 @@ func (d *DB) InsertBefore(parent, child, ref *Node, c Color) error {
 func (d *DB) Detach(child *Node, c Color) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	m := d.beginCommit()
-	err := d.Database.Detach(child, c)
+	m, err := d.beginCommit()
+	if err != nil {
+		return err
+	}
+	child = d.resolve(child)
+	err = d.Database.Detach(child, c)
 	if cerr := d.commitChanges(m); err == nil && cerr != nil {
 		err = cerr
 	}
@@ -230,8 +293,12 @@ func (d *DB) Detach(child *Node, c Color) error {
 func (d *DB) Delete(n *Node) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	m := d.beginCommit()
-	err := d.Database.Delete(n)
+	m, err := d.beginCommit()
+	if err != nil {
+		return err
+	}
+	n = d.resolve(n)
+	err = d.Database.Delete(n)
 	if cerr := d.commitChanges(m); err == nil && cerr != nil {
 		err = cerr
 	}
@@ -242,8 +309,12 @@ func (d *DB) Delete(n *Node) error {
 func (d *DB) DeleteSubtree(n *Node, c Color) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	m := d.beginCommit()
-	err := d.Database.DeleteSubtree(n, c)
+	m, err := d.beginCommit()
+	if err != nil {
+		return err
+	}
+	n = d.resolve(n)
+	err = d.Database.DeleteSubtree(n, c)
 	if cerr := d.commitChanges(m); err == nil && cerr != nil {
 		err = cerr
 	}

@@ -37,6 +37,15 @@ var (
 
 	obsCheckpoints     = obs.NewCounter("db_checkpoints_total")
 	obsCheckpointNanos = obs.NewHistogram("db_checkpoint_nanos")
+
+	// Fault-tolerance instruments (see health.go): the health gauge holds the
+	// Health enum value (0 healthy, 1 degraded-readonly, 2 failed).
+	obsCommitErrors      = obs.NewCounter("db_durability_commit_errors_total")
+	obsDegrades          = obs.NewCounter("db_degrades_total")
+	obsHeals             = obs.NewCounter("db_heals_total")
+	obsMutationsRejected = obs.NewCounter("db_mutations_rejected_total")
+	obsProbes            = obs.NewCounter("db_health_probes_total")
+	obsHealthState       = obs.NewGauge("db_health_state")
 )
 
 // SlowQuery re-exports the slow-query log entry type.

@@ -93,7 +93,9 @@ func (d *DB) Refresh() error {
 // has not been observed yet, so readers always see some statement-boundary
 // state.
 func (d *DB) currentSnapshot() (*snapshot, error) {
-	if sp := d.snap.Load(); sp != nil && sp.gen == d.Database.Generation() {
+	// coreRef (not the embedded field) keeps this fast path race-free
+	// against a degraded-mode core swap.
+	if sp := d.snap.Load(); sp != nil && sp.gen == d.coreRef.Load().Generation() {
 		return sp, nil
 	}
 	d.maintMu.Lock()
@@ -107,7 +109,7 @@ func (d *DB) currentSnapshot() (*snapshot, error) {
 // query to the reference evaluator instead of stalling it. Refresh and
 // Explain keep the blocking behavior.
 func (d *DB) snapshotForQuery() (*snapshot, error) {
-	if sp := d.snap.Load(); sp != nil && sp.gen == d.Database.Generation() {
+	if sp := d.snap.Load(); sp != nil && sp.gen == d.coreRef.Load().Generation() {
 		return sp, nil
 	}
 	if !d.maintMu.TryLock() {

@@ -313,17 +313,21 @@ func (s *Session) routedParsed(ctx context.Context, src string, e pathexpr.Expr,
 	// The evaluator may mutate the database even on a failing query, so the
 	// durable commit runs regardless of the query's outcome — the on-disk
 	// state must track whatever the in-memory state became.
-	m := d.beginCommit()
+	m, err := d.beginCommit()
+	if err != nil {
+		// Degraded/failed/closed: refused before anything mutated.
+		return nil, routeConstructor, err
+	}
 	es := childSpan(root, "evaluate")
-	out, err := d.evalItems(src)
+	out, err2 := d.evalItems(src)
 	endSpan(es)
 	ws := childSpan(root, "wal.commit")
 	cerr := d.commitChanges(m)
 	endSpan(ws)
-	if err == nil && cerr != nil {
-		err = cerr
+	if err2 == nil && cerr != nil {
+		err2 = cerr
 	}
-	return out, routeConstructor, err
+	return out, routeConstructor, err2
 }
 
 // compiled serves a constructor-free query from the compiled route: resolve

@@ -1,0 +1,51 @@
+package chaostest
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestChaosAcceptance is the acceptance run: at least 500 injected fault
+// events against concurrent writers and readers, differentially verified.
+func TestChaosAcceptance(t *testing.T) {
+	cfg := DefaultConfig(filepath.Join(t.TempDir(), "db"), 1)
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("chaos: %+v", rep)
+	if rep.Events < int64(cfg.Events) {
+		t.Fatalf("only %d fault events injected, want >= %d", rep.Events, cfg.Events)
+	}
+	if rep.Acked == 0 {
+		t.Fatal("no commit was ever acknowledged under chaos")
+	}
+	if rep.Reads == 0 {
+		t.Fatal("no verification read completed under chaos")
+	}
+	if rep.Outages > 0 && rep.Heals == 0 {
+		t.Fatalf("outages injected but no heal recorded: %+v", rep)
+	}
+}
+
+// TestChaosSeeds runs shorter schedules across several seeds so schedule
+// shapes beyond the acceptance seed stay covered.
+func TestChaosSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed chaos in -short mode")
+	}
+	for _, seed := range []int64{7, 23, 99} {
+		seed := seed
+		t.Run(filepath.Base(string(rune('a'+seed%26))), func(t *testing.T) {
+			cfg := DefaultConfig(filepath.Join(t.TempDir(), "db"), seed)
+			cfg.Events = 150
+			rep, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Events < int64(cfg.Events) {
+				t.Fatalf("only %d fault events injected, want >= %d", rep.Events, cfg.Events)
+			}
+		})
+	}
+}

@@ -127,6 +127,13 @@ func isDatabaseSelector(call *ast.CallExpr) bool {
 // scopeFlow evaluates the begin/commit state machine over a function body.
 type scopeFlow struct {
 	pass *Pass
+	// beginErrVar is the error variable of the most recent
+	// `m, err := d.beginCommit()` assignment. beginCommit refuses degraded,
+	// failed and closed databases before anything mutates, so the
+	// `if err != nil { return ... }` guard straight after it exits with NO
+	// scope open — the then-branch is analyzed in the before-scope state.
+	// Consumed by the first matching guard.
+	beginErrVar string
 }
 
 // stmt returns the set of states flowing out of s when entered with in.
@@ -143,7 +150,13 @@ func (fl *scopeFlow) stmt(s ast.Stmt, in scopeState) scopeState {
 	case *ast.IfStmt:
 		in = fl.stmt(x.Init, in)
 		in = fl.exprs(in, x.Cond)
-		thenOut := fl.stmt(x.Body, in)
+		thenIn := in
+		if fl.isBeginErrGuard(x.Cond) {
+			// beginCommit failed: the scope never opened on this branch.
+			thenIn = in&^sOpen | sBefore
+			fl.beginErrVar = ""
+		}
+		thenOut := fl.stmt(x.Body, thenIn)
 		elseOut := in
 		if x.Else != nil {
 			elseOut = fl.stmt(x.Else, in)
@@ -197,6 +210,7 @@ func (fl *scopeFlow) stmt(s ast.Stmt, in scopeState) scopeState {
 		for _, e := range x.Lhs {
 			in = fl.exprs(in, e)
 		}
+		fl.noteBeginAssign(x)
 		return in
 	case *ast.DeferStmt:
 		// A deferred commitChanges guards every later exit; approximating it
@@ -308,6 +322,47 @@ func (fl *scopeFlow) transition(in scopeState, call *ast.CallExpr) scopeState {
 		return sDone
 	}
 	return in
+}
+
+// noteBeginAssign records the error variable of a two-value beginCommit
+// assignment (`m, err := d.beginCommit()`); any other assignment to that
+// variable invalidates the note, so only the immediate refusal guard is
+// recognized.
+func (fl *scopeFlow) noteBeginAssign(x *ast.AssignStmt) {
+	if len(x.Rhs) == 1 && len(x.Lhs) == 2 {
+		if call, ok := ast.Unparen(x.Rhs[0]).(*ast.CallExpr); ok && calleeName(call) == "beginCommit" {
+			if id, ok := x.Lhs[1].(*ast.Ident); ok && id.Name != "_" {
+				fl.beginErrVar = id.Name
+				return
+			}
+		}
+	}
+	if fl.beginErrVar == "" {
+		return
+	}
+	for _, e := range x.Lhs {
+		if id, ok := e.(*ast.Ident); ok && id.Name == fl.beginErrVar {
+			fl.beginErrVar = ""
+			return
+		}
+	}
+}
+
+// isBeginErrGuard matches `<beginErrVar> != nil`.
+func (fl *scopeFlow) isBeginErrGuard(cond ast.Expr) bool {
+	if fl.beginErrVar == "" {
+		return false
+	}
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || b.Op.String() != "!=" {
+		return false
+	}
+	x, ok := ast.Unparen(b.X).(*ast.Ident)
+	if !ok || x.Name != fl.beginErrVar {
+		return false
+	}
+	y, ok := ast.Unparen(b.Y).(*ast.Ident)
+	return ok && y.Name == "nil"
 }
 
 // isTerminalCall recognizes statements that end the path: panic(...) and

@@ -13,9 +13,12 @@ import (
 // seed (the differential committed-prefix verification replays it on shadow
 // databases), and the WAL and checkpoint encoders must emit identical bytes
 // for identical state (corruption classification and the recovery tests pin
-// exact offsets). Three nondeterminism sources are flagged in the scoped
-// packages (internal/crashtest, internal/wal, internal/storage,
-// internal/pagestore):
+// exact offsets). The fault-injection layer joins the scope for the same
+// reason: the retry backoff's jitter and FaultFS's fault selection must
+// derive from explicit seeds, or a failing chaos run stops reproducing.
+// Three nondeterminism sources are flagged in the scoped packages
+// (internal/crashtest, internal/wal, internal/storage, internal/pagestore,
+// internal/vfs):
 //
 //   - time.Now/Since/Until: wall-clock input;
 //   - math/rand global functions (rand.Intn, rand.Shuffle, ...): process-
@@ -50,7 +53,8 @@ func runDeterminism(pass *Pass) error {
 	scoped := pathHasSuffix(pass.Path, "internal/crashtest") ||
 		pathHasSuffix(pass.Path, "internal/wal") ||
 		pathHasSuffix(pass.Path, "internal/storage") ||
-		pathHasSuffix(pass.Path, "internal/pagestore")
+		pathHasSuffix(pass.Path, "internal/pagestore") ||
+		pathHasSuffix(pass.Path, "internal/vfs")
 	if !scoped {
 		return nil
 	}

@@ -13,8 +13,11 @@ type DB struct {
 	Database *Database
 }
 
-func (d *DB) beginCommit()         {}
-func (d *DB) commitChanges() error { return nil }
+type mark struct{}
+
+func (d *DB) beginCommit() (mark, error) { return mark{}, nil }
+func (d *DB) commitChanges() error       { return nil }
+func (d *DB) fallible() error            { return nil }
 
 // Bracketed on every path: conforming.
 func (d *DB) AddElement(parent int, tag string) (int, error) {
@@ -38,6 +41,31 @@ func (d *DB) addTwo(parent int) error {
 		return nil // want "return inside an open commit scope"
 	}
 	d.Database.AddElement(parent, "b")
+	return d.commitChanges()
+}
+
+// beginCommit refuses a degraded or closed database before anything
+// mutates, so the error guard straight after it exits with no scope open:
+// conforming.
+func (d *DB) guarded(parent int) (int, error) {
+	m, err := d.beginCommit()
+	if err != nil {
+		return 0, err
+	}
+	_ = m
+	id := d.Database.AddElement(parent, "x")
+	return id, d.commitChanges()
+}
+
+// Once the error variable is reassigned, `err != nil` is no longer the
+// refusal guard; returning inside it leaks the open scope.
+func (d *DB) reassigned(parent int) error {
+	_, err := d.beginCommit()
+	err = d.fallible()
+	if err != nil {
+		return err // want "return inside an open commit scope"
+	}
+	d.Database.AddElement(parent, "x")
 	return d.commitChanges()
 }
 

@@ -1,0 +1,35 @@
+// Package vfs sits on the internal/vfs suffix: the fault-injection layer is
+// determinism-scoped because retry jitter and fault selection must replay
+// from a seed. Sleeping is fine (it consumes time, it doesn't read it);
+// reading the wall clock or the global generator is not.
+package vfs
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jitterBad(d time.Duration) time.Duration {
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1)) // want "global rand.Int63n"
+}
+
+func jitterGood(seed int64, d time.Duration) time.Duration {
+	// The sanctioned form: jitter from an explicitly seeded local generator.
+	rng := rand.New(rand.NewSource(seed))
+	return d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+}
+
+func budgetBad(start time.Time, budget time.Duration) bool {
+	return time.Since(start) > budget // want "time.Since"
+}
+
+func budgetGood(slept, budget time.Duration) bool {
+	// Budgets are accounted by summing the delays handed out, not by
+	// reading the clock.
+	return slept > budget
+}
+
+func backoffSleep(d time.Duration) {
+	// Sleeping is allowed: it produces no value the schedule can depend on.
+	time.Sleep(d)
+}

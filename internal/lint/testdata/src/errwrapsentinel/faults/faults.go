@@ -1,0 +1,51 @@
+// Package faults mirrors the fault-tolerance error surface — transient
+// storage sentinels (ErrDiskFull, ErrIO) and a health sentinel chain where
+// ErrReadOnly wraps ErrDegraded — and exercises the matching rules against
+// it. Chained sentinels raise the stakes: == on ErrReadOnly already fails
+// today for the wrapped form, and a %v rewrap would sever errors.Is for
+// every caller downstream.
+package faults
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	ErrDiskFull = errors.New("disk full")
+	ErrIO       = errors.New("i/o error")
+	ErrDegraded = errors.New("degraded")
+	// ErrReadOnly wraps ErrDegraded so callers can match either level.
+	ErrReadOnly = fmt.Errorf("mutations are disabled: %w", ErrDegraded)
+)
+
+func classifyBad(err error) bool {
+	if err == ErrDiskFull { // want "compared with =="
+		return true
+	}
+	return err != ErrIO // want "compared with !="
+}
+
+func classifyGood(err error) bool {
+	return errors.Is(err, ErrDiskFull) || errors.Is(err, ErrIO)
+}
+
+func degradedBad(err error) bool {
+	// Also wrong in spirit: ErrReadOnly is itself a wrapping error, so ==
+	// never matches a further-wrapped instance anyway.
+	return err == ErrReadOnly // want "compared with =="
+}
+
+func degradedGood(err error) bool {
+	// Matching the inner sentinel works through the ErrReadOnly chain.
+	return errors.Is(err, ErrDegraded)
+}
+
+func rewrapBad() error {
+	// Severs the ErrDegraded chain for every downstream errors.Is.
+	return fmt.Errorf("commit refused: %v", ErrReadOnly) // want "use %w so the chain keeps matching"
+}
+
+func rewrapGood(op string) error {
+	return fmt.Errorf("%s refused: %w", op, ErrReadOnly)
+}

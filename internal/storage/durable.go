@@ -64,6 +64,9 @@ type DurableOptions struct {
 	// Sync is the WAL fsync policy. The default (SyncAlways) makes every
 	// acknowledged commit crash-durable.
 	Sync wal.SyncPolicy
+	// Retry is the transient-failure retry schedule applied to WAL flushes
+	// and checkpoint installation (zero: fail on the first error).
+	Retry vfs.RetryPolicy
 }
 
 // RecoveryStats reports what OpenDurable found and replayed.
@@ -96,10 +99,16 @@ type Durable struct {
 	fs     vfs.FS
 	dir    string
 	policy wal.SyncPolicy
+	retry  vfs.RetryPolicy
+	pool   int
 
-	mu  sync.RWMutex // Append holds R, Rotate/Close hold W
+	mu  sync.RWMutex // Append holds R, Rotate/Reseal/Close hold W
 	w   *wal.Writer
 	seg uint64
+
+	scrubMu    sync.Mutex // serializes ScrubOnce; guards the cursor below
+	scrubEpoch uint64     // epoch the in-progress scrub pass started under
+	scrubPos   int        // next file index within that pass
 }
 
 // OpenDurable opens (creating if necessary) a durable store directory,
@@ -208,6 +217,15 @@ func OpenDurable(dir string, opts DurableOptions) (*Durable, *Store, RecoverySta
 			stats.TornTail = true
 			stats.TornSegment = name
 			stats.TornOffset = res.TornOffset
+			// Truncate the torn tail now, via tmp+rename: once this
+			// incarnation rotates, the segment is no longer final, and a
+			// torn record surviving in a non-final segment would read as
+			// hard corruption on the next recovery. A crash mid-truncation
+			// leaves either the original file (final again, tail re-dropped)
+			// or the clean prefix — both recoverable.
+			if err := replaceFile(fs, dir, name, data[:res.TornOffset]); err != nil {
+				return fail(fmt.Errorf("storage: truncating torn tail of %s: %w", name, err))
+			}
 		}
 		for _, rec := range res.Records {
 			if nextSeq != 0 && rec.Seq != nextSeq {
@@ -246,11 +264,15 @@ func OpenDurable(dir string, opts DurableOptions) (*Durable, *Store, RecoverySta
 		f.Close()
 		return fail(fmt.Errorf("storage: open durable %s: %w", dir, err))
 	}
+	w := wal.NewWriter(f, segFile(newSeg), nextSeq, opts.Sync)
+	w.SetRetry(opts.Retry)
 	d := &Durable{
 		fs:     fs,
 		dir:    dir,
 		policy: opts.Sync,
-		w:      wal.NewWriter(f, segFile(newSeg), nextSeq, opts.Sync),
+		retry:  opts.Retry,
+		pool:   opts.PoolPages,
+		w:      w,
 		seg:    newSeg,
 	}
 	// Sweep leftovers from interrupted checkpoints; best-effort.
@@ -322,15 +344,25 @@ func (d *Durable) Rotate() (uint64, error) {
 		return 0, fmt.Errorf("storage: sealing %s: %w", segFile(d.seg), err)
 	}
 	newSeg := d.seg + 1
-	f, err := d.fs.Create(vfs.Join(d.dir, segFile(newSeg)))
+	var f vfs.File
+	err := retrying(d.retry, func() error {
+		var err error
+		f, err = d.fs.Create(vfs.Join(d.dir, segFile(newSeg)))
+		if err != nil {
+			return err
+		}
+		if err := d.fs.SyncDir(d.dir); err != nil {
+			f.Close()
+			return err
+		}
+		return nil
+	})
 	if err != nil {
 		return 0, fmt.Errorf("storage: rotating WAL: %w", err)
 	}
-	if err := d.fs.SyncDir(d.dir); err != nil {
-		f.Close()
-		return 0, fmt.Errorf("storage: rotating WAL: %w", err)
-	}
-	d.w = wal.NewWriter(f, segFile(newSeg), nextSeq, d.policy)
+	w := wal.NewWriter(f, segFile(newSeg), nextSeq, d.policy)
+	w.SetRetry(d.retry)
+	d.w = w
 	d.seg = newSeg
 	return newSeg, nil
 }
@@ -341,6 +373,34 @@ func (d *Durable) Rotate() (uint64, error) {
 // current segment — the image is already frozen. On success all state below
 // the epoch is garbage-collected.
 func (d *Durable) InstallCheckpoint(epoch uint64, st *Store) error {
+	// The whole installation sequence up to the manifest move is retried as
+	// one unit on transient failure: every step before the final rename is
+	// re-runnable from scratch (the tmp files are simply rewritten), and the
+	// renames themselves are idempotent.
+	if err := retrying(d.retry, func() error { return d.installOnce(epoch, st) }); err != nil {
+		return err
+	}
+	// Point of no return passed: MANIFEST names the new epoch. Everything
+	// below it is unreferenced; removal is best-effort cleanup.
+	names, err := d.fs.ReadDir(d.dir)
+	if err != nil {
+		return nil
+	}
+	for _, name := range names {
+		if n, ok := parseNumbered(name, "wal-", ".log"); ok && n < epoch {
+			_ = d.fs.Remove(vfs.Join(d.dir, name))
+		}
+		if n, ok := parseNumbered(name, "checkpoint-", ".ckpt"); ok && n < epoch {
+			_ = d.fs.Remove(vfs.Join(d.dir, name))
+		}
+	}
+	return nil
+}
+
+// installOnce runs one attempt of the checkpoint installation sequence:
+// tmp + fsync + rename + dir-fsync for the checkpoint image, then the same
+// dance moving MANIFEST to the new epoch.
+func (d *Durable) installOnce(epoch uint64, st *Store) error {
 	final := vfs.Join(d.dir, ckptFile(epoch))
 	tmp := final + ".tmp"
 	f, err := d.fs.Create(tmp)
@@ -364,24 +424,7 @@ func (d *Durable) InstallCheckpoint(epoch uint64, st *Store) error {
 	if err := d.fs.SyncDir(d.dir); err != nil {
 		return fmt.Errorf("storage: checkpoint: %w", err)
 	}
-	if err := d.writeManifest(epoch); err != nil {
-		return err
-	}
-	// Point of no return passed: MANIFEST names the new epoch. Everything
-	// below it is unreferenced; removal is best-effort cleanup.
-	names, err := d.fs.ReadDir(d.dir)
-	if err != nil {
-		return nil
-	}
-	for _, name := range names {
-		if n, ok := parseNumbered(name, "wal-", ".log"); ok && n < epoch {
-			_ = d.fs.Remove(vfs.Join(d.dir, name))
-		}
-		if n, ok := parseNumbered(name, "checkpoint-", ".ckpt"); ok && n < epoch {
-			_ = d.fs.Remove(vfs.Join(d.dir, name))
-		}
-	}
-	return nil
+	return d.writeManifest(epoch)
 }
 
 func (d *Durable) writeManifest(epoch uint64) error {

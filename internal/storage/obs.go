@@ -21,4 +21,12 @@ var (
 
 	obsCheckpointWriteNanos = obs.NewHistogram("storage_checkpoint_write_nanos")
 	obsCheckpointLoadNanos  = obs.NewHistogram("storage_checkpoint_load_nanos")
+
+	obsRetries          = obs.NewCounter("storage_retries_total")
+	obsReseals          = obs.NewCounter("storage_reseals_total")
+	obsScrubFiles       = obs.NewCounter("storage_scrub_files_total")
+	obsScrubBytes       = obs.NewCounter("storage_scrub_bytes_total")
+	obsScrubCorruptions = obs.NewCounter("storage_scrub_corruptions_total")
+
+	obsRetryBackoffNanos = obs.NewHistogram("storage_retry_backoff_nanos")
 )

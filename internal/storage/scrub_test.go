@@ -1,0 +1,183 @@
+package storage_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"colorfulxml/internal/storage"
+)
+
+// scrubFixture builds a directory holding a live checkpoint and one sealed
+// WAL segment: commit, checkpoint (epoch 2), commit again, rotate (sealing
+// segment 2 with content, opening 3).
+func scrubFixture(t *testing.T) (*storage.Durable, string) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "db")
+	d, st, _, err := storage.OpenDurable(dir, storage.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	db := buildShadow(t)
+	commit(t, db, d, st)
+	epoch, err := d.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InstallCheckpoint(epoch, st); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.AddElementText(db.NodeByID(1), "item", "paper", "sealed"); err != nil {
+		t.Fatal(err)
+	}
+	commit(t, db, d, st)
+	if _, err := d.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	return d, dir
+}
+
+func TestScrubCleanPass(t *testing.T) {
+	d, _ := scrubFixture(t)
+	res, err := d.ScrubOnce(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PassComplete {
+		t.Fatalf("unbounded scrub did not complete a pass: %+v", res)
+	}
+	if res.Files != 2 || res.Bytes == 0 {
+		t.Fatalf("scrubbed %d files / %d bytes, want 2 files (checkpoint + sealed segment)", res.Files, res.Bytes)
+	}
+	if len(res.Corruptions) != 0 {
+		t.Fatalf("clean directory reported corruption: %+v", res.Corruptions)
+	}
+}
+
+func TestScrubBudgetAndCursor(t *testing.T) {
+	d, _ := scrubFixture(t)
+	// A 1-byte budget admits exactly one file per increment.
+	first, err := d.ScrubOnce(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Files != 1 || first.PassComplete {
+		t.Fatalf("budgeted increment = %+v, want 1 file and an unfinished pass", first)
+	}
+	second, err := d.ScrubOnce(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Files != 1 || !second.PassComplete {
+		t.Fatalf("second increment = %+v, want the final file completing the pass", second)
+	}
+	// The pass restarts from the top.
+	third, err := d.ScrubOnce(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Files != 2 || !third.PassComplete {
+		t.Fatalf("restarted pass = %+v, want both files again", third)
+	}
+}
+
+func TestScrubDetectsSegmentCorruption(t *testing.T) {
+	d, dir := scrubFixture(t)
+	// Flip a payload byte in the sealed segment (bit-rot at rest).
+	seg := filepath.Join(dir, "wal-00000002.log")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[20] ^= 0x40
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.ScrubOnce(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Corruptions) != 1 {
+		t.Fatalf("want 1 corruption, got %+v", res.Corruptions)
+	}
+	c := res.Corruptions[0]
+	if c.File != "wal-00000002.log" || c.Offset < 0 {
+		t.Fatalf("corruption not located: %+v", c)
+	}
+}
+
+func TestScrubDetectsCheckpointCorruption(t *testing.T) {
+	d, dir := scrubFixture(t)
+	ckpt := filepath.Join(dir, "checkpoint-00000002.ckpt")
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x80
+	if err := os.WriteFile(ckpt, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.ScrubOnce(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Corruptions) != 1 {
+		t.Fatalf("want 1 corruption, got %+v", res.Corruptions)
+	}
+	if c := res.Corruptions[0]; !strings.HasPrefix(c.File, "checkpoint-") {
+		t.Fatalf("corruption names %q, want the checkpoint", c.File)
+	}
+}
+
+// TestScrubHealedByCheckpoint verifies the heal path: after a fresh
+// checkpoint supersedes a corrupt sealed segment, the next pass is clean.
+func TestScrubHealedByCheckpoint(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	d, st, _, err := storage.OpenDurable(dir, storage.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	db := buildShadow(t)
+	commit(t, db, d, st)
+	if _, err := d.Rotate(); err != nil { // seal segment 1 with content
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, "wal-00000001.log")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[20] ^= 0x01
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.ScrubOnce(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Corruptions) == 0 {
+		t.Fatal("corruption not detected before heal")
+	}
+	// Heal: checkpoint the in-memory committed state; GC sweeps the
+	// damaged segment and the next pass has nothing to complain about.
+	epoch, err := d.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InstallCheckpoint(epoch, st); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := d.ScrubOnce(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Corruptions) != 0 {
+		t.Fatalf("corruption survived the healing checkpoint: %+v", res2.Corruptions)
+	}
+	if _, err := os.Stat(seg); !os.IsNotExist(err) {
+		t.Fatal("damaged segment survived GC")
+	}
+}

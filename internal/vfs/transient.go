@@ -1,0 +1,53 @@
+package vfs
+
+import (
+	"errors"
+	"syscall"
+)
+
+// This file is the error taxonomy of the durability stack: every I/O failure
+// is either transient (momentary resource exhaustion the operation may retry
+// — a full disk being cleaned up, an EIO from a wobbly device, an
+// interrupted syscall) or permanent (corruption, programming errors,
+// simulated power loss). The retry machinery (see retry.go) consults
+// IsTransient; everything it does not recognize is treated as permanent, so
+// an unknown failure is surfaced immediately rather than retried blindly.
+
+// ErrDiskFull is the typed sentinel for out-of-space failures. FaultFS
+// injects it, and IsTransient classifies it (like the underlying ENOSPC) as
+// transient: space is the canonical resource that comes back.
+var ErrDiskFull = errors.New("vfs: disk full")
+
+// ErrIO is the typed sentinel for generic device I/O failures. FaultFS
+// injects it for its transient fault episodes; IsTransient classifies it
+// (like EIO) as transient.
+var ErrIO = errors.New("vfs: i/o error")
+
+// errPermanent is wrapped by FaultFS's standing (permanent) faults so the
+// retry machinery gives up on them immediately even though they carry the
+// same surface sentinels.
+var errPermanent = errors.New("vfs: permanent fault")
+
+// IsTransient reports whether err is a momentary durability failure worth
+// retrying: the typed sentinels ErrDiskFull and ErrIO, and the ENOSPC, EIO,
+// EAGAIN, EINTR and EDQUOT errnos. A simulated crash (ErrCrashed) is never
+// transient — the crash-recovery harness models power loss, and retrying
+// through a power loss would be nonsense. Unknown errors are permanent by
+// default.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrCrashed) || errors.Is(err, errPermanent) {
+		return false
+	}
+	if errors.Is(err, ErrDiskFull) || errors.Is(err, ErrIO) {
+		return true
+	}
+	for _, errno := range []syscall.Errno{syscall.ENOSPC, syscall.EIO, syscall.EAGAIN, syscall.EINTR, syscall.EDQUOT} {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	return false
+}

@@ -11,7 +11,9 @@ var (
 	obsAppends = obs.NewCounter("wal_appends_total")
 	obsBytes   = obs.NewCounter("wal_bytes_total")
 	obsFsyncs  = obs.NewCounter("wal_fsyncs_total")
+	obsRetries = obs.NewCounter("wal_retries_total")
 
-	obsBatchRecords = obs.NewHistogram("wal_batch_records")
-	obsSyncNanos    = obs.NewHistogram("wal_sync_nanos")
+	obsBatchRecords      = obs.NewHistogram("wal_batch_records")
+	obsSyncNanos         = obs.NewHistogram("wal_sync_nanos")
+	obsRetryBackoffNanos = obs.NewHistogram("wal_retry_backoff_nanos")
 )

@@ -1,0 +1,163 @@
+package wal
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"colorfulxml/internal/vfs"
+)
+
+// testRetryPolicy retries instantly (no real sleeping) with a fixed seed.
+func testRetryPolicy() vfs.RetryPolicy {
+	return vfs.RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    4 * time.Millisecond,
+		Budget:      time.Second,
+		Seed:        7,
+		Sleep:       func(time.Duration) {},
+	}
+}
+
+func openSegment(t *testing.T, fs vfs.FS, dir string) (*Writer, string) {
+	t.Helper()
+	name := filepath.Join(dir, "wal-00000001.log")
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewWriter(f, name, 1, SyncAlways), name
+}
+
+func TestWriterRetriesTransientWrite(t *testing.T) {
+	dir := t.TempDir()
+	ffs := vfs.NewFaultFS(vfs.OS, 1)
+	w, name := openSegment(t, ffs, dir)
+	w.SetRetry(testRetryPolicy())
+
+	// Op 0 is the Create; op 1 the first Write. Fail it once, transiently.
+	ffs.Schedule(1, vfs.Fault{Err: vfs.ErrIO})
+	seq, err := w.Append([]byte("payload-a"))
+	if err != nil {
+		t.Fatalf("append through transient fault: %v", err)
+	}
+	if _, err := w.Append([]byte("payload-b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := vfs.OS.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReadSegment(data, name, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 2 || res.Torn {
+		t.Fatalf("recovered %d records (torn=%v), want 2 clean", len(res.Records), res.Torn)
+	}
+	if res.Records[0].Seq != seq {
+		t.Fatalf("first record seq %d, want %d", res.Records[0].Seq, seq)
+	}
+}
+
+func TestWriterContinuesPartialWrite(t *testing.T) {
+	dir := t.TempDir()
+	ffs := vfs.NewFaultFS(vfs.OS, 1)
+	w, name := openSegment(t, ffs, dir)
+	w.SetRetry(testRetryPolicy())
+
+	// The first Write delivers half its bytes then fails transiently; the
+	// retry must complete the torn record in place, not re-append it.
+	ffs.Schedule(1, vfs.Fault{Err: vfs.ErrDiskFull, PartialFrac: 0.5})
+	if _, err := w.Append([]byte("0123456789abcdef")); err != nil {
+		t.Fatalf("append through partial write: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := vfs.OS.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReadSegment(data, name, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 1 || res.Torn {
+		t.Fatalf("recovered %d records (torn=%v), want exactly 1 clean", len(res.Records), res.Torn)
+	}
+	if got := string(res.Records[0].Payload); got != "0123456789abcdef" {
+		t.Fatalf("payload %q corrupted by continuation", got)
+	}
+}
+
+func TestWriterRetriesTransientSync(t *testing.T) {
+	dir := t.TempDir()
+	ffs := vfs.NewFaultFS(vfs.OS, 1)
+	w, _ := openSegment(t, ffs, dir)
+	w.SetRetry(testRetryPolicy())
+
+	// Op 0 Create, op 1 Write, op 2 the fsync.
+	ffs.Schedule(2, vfs.Fault{Err: vfs.ErrIO})
+	if _, err := w.Append([]byte("x")); err != nil {
+		t.Fatalf("append through transient fsync fault: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterExhaustedRetryGoesSticky(t *testing.T) {
+	dir := t.TempDir()
+	ffs := vfs.NewFaultFS(vfs.OS, 1)
+	w, _ := openSegment(t, ffs, dir)
+	w.SetRetry(testRetryPolicy())
+
+	ffs.SetStanding(vfs.ErrIO) // outage longer than the retry schedule
+	_, err := w.Append([]byte("x"))
+	if !errors.Is(err, vfs.ErrIO) {
+		t.Fatalf("want ErrIO after exhausted retries, got %v", err)
+	}
+	ffs.Clear()
+	// The writer is poisoned: the segment state is unknown.
+	if _, err := w.Append([]byte("y")); err == nil {
+		t.Fatal("poisoned writer accepted another append")
+	}
+}
+
+func TestWriterRefusesPermanentFault(t *testing.T) {
+	dir := t.TempDir()
+	ffs := vfs.NewFaultFS(vfs.OS, 1)
+	w, _ := openSegment(t, ffs, dir)
+	w.SetRetry(testRetryPolicy())
+
+	ffs.Schedule(1, vfs.Fault{Err: vfs.Permanent(vfs.ErrIO)})
+	if _, err := w.Append([]byte("x")); err == nil {
+		t.Fatal("retried through a permanent fault")
+	}
+	if ffs.Injected() != 1 {
+		t.Fatalf("injected %d faults, want 1 (no retry consumed another)", ffs.Injected())
+	}
+}
+
+func TestWriterAbandon(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := openSegment(t, vfs.OS, dir)
+	if _, err := w.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	w.Abandon()
+	if _, err := w.Append([]byte("y")); err == nil {
+		t.Fatal("abandoned writer accepted an append")
+	}
+	if err := w.Sync(); err == nil {
+		t.Fatal("abandoned writer synced")
+	}
+}

@@ -184,6 +184,11 @@ type Writer struct {
 
 	flushMu   sync.Mutex // serializes flush+fsync; held while mu is free
 	syncedSeq uint64     // guarded by mu
+
+	// retry is the transient-failure retry schedule for writes and fsyncs
+	// (zero: fail on first error). Set before the first Append; not
+	// synchronized.
+	retry vfs.RetryPolicy
 }
 
 // NewWriter wraps an open segment file. startSeq is the sequence number the
@@ -191,6 +196,10 @@ type Writer struct {
 func NewWriter(f vfs.File, name string, startSeq uint64, policy SyncPolicy) *Writer {
 	return &Writer{f: f, name: name, policy: policy, nextSeq: startSeq}
 }
+
+// SetRetry arms transient-failure retries (see vfs.RetryPolicy) for this
+// writer's writes and fsyncs. Call before the first Append.
+func (w *Writer) SetRetry(p vfs.RetryPolicy) { w.retry = p }
 
 // Append frames payload as the next record, makes it durable per the sync
 // policy, and returns its sequence number. Under SyncAlways, when Append
@@ -241,19 +250,7 @@ func (w *Writer) flushThrough(seq uint64) error {
 	highest := w.nextSeq // records below this are in pending
 	w.mu.Unlock()
 
-	var err error
-	if len(pending) > 0 {
-		_, err = w.f.Write(pending)
-	}
-	if err == nil && w.policy == SyncAlways {
-		sw := obs.Start()
-		err = w.f.Sync()
-		obsFsyncs.Inc()
-		obsSyncNanos.Observe(sw.ElapsedNanos())
-		if recs > 0 {
-			obsBatchRecords.Observe(int64(recs))
-		}
-	}
+	err := w.writeAndSync(pending, recs, w.policy == SyncAlways)
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if err != nil {
@@ -281,19 +278,7 @@ func (w *Writer) Sync() error {
 	highest := w.nextSeq
 	w.mu.Unlock()
 
-	var err error
-	if len(pending) > 0 {
-		_, err = w.f.Write(pending)
-	}
-	if err == nil {
-		sw := obs.Start()
-		err = w.f.Sync()
-		obsFsyncs.Inc()
-		obsSyncNanos.Observe(sw.ElapsedNanos())
-		if recs > 0 {
-			obsBatchRecords.Observe(int64(recs))
-		}
-	}
+	err := w.writeAndSync(pending, recs, true)
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if err != nil {
@@ -301,6 +286,58 @@ func (w *Writer) Sync() error {
 		return w.err
 	}
 	w.syncedSeq = highest
+	return nil
+}
+
+// writeAndSync delivers pending to the segment file and (when doSync) fsyncs
+// it, retrying transient failures under one backoff schedule — the write and
+// the fsync share the per-flush retry budget. A partially delivered write
+// resumes from the written prefix: records are appended strictly
+// sequentially, so completing the torn record in place is framing-safe, and
+// recovery sees either the whole record or a dropped torn tail, never a
+// duplicate. Caller holds flushMu (so exactly one writer touches the file)
+// and must not hold mu (the backoff sleeps).
+func (w *Writer) writeAndSync(pending []byte, recs int, doSync bool) error {
+	b := vfs.NewBackoff(w.retry)
+	for len(pending) > 0 {
+		n, err := w.f.Write(pending)
+		if n > 0 && n <= len(pending) {
+			pending = pending[n:]
+		}
+		if err == nil {
+			if len(pending) > 0 {
+				return fmt.Errorf("short write: %d bytes left", len(pending))
+			}
+			break
+		}
+		delay, ok := b.Next(err)
+		if !ok {
+			return err
+		}
+		obsRetries.Inc()
+		obsRetryBackoffNanos.Observe(int64(delay))
+	}
+	if !doSync {
+		return nil
+	}
+	for {
+		sw := obs.Start()
+		err := w.f.Sync()
+		obsFsyncs.Inc()
+		obsSyncNanos.Observe(sw.ElapsedNanos())
+		if err == nil {
+			break
+		}
+		delay, ok := b.Next(err)
+		if !ok {
+			return err
+		}
+		obsRetries.Inc()
+		obsRetryBackoffNanos.Observe(int64(delay))
+	}
+	if recs > 0 {
+		obsBatchRecords.Observe(int64(recs))
+	}
 	return nil
 }
 
@@ -325,4 +362,17 @@ func (w *Writer) Close() error {
 		err = fmt.Errorf("wal: segment %s: %w", w.name, cerr)
 	}
 	return err
+}
+
+// Abandon closes the segment file without flushing buffered records and
+// leaves the writer permanently failed. It is the disposal path for a writer
+// whose segment is in an unknown state after an exhausted retry: the caller
+// reseals the log around a fresh checkpoint instead of trusting this file.
+func (w *Writer) Abandon() {
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_ = w.f.Close()
+	w.err = fmt.Errorf("wal: segment %s: abandoned", w.name)
 }

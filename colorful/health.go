@@ -87,6 +87,21 @@ func IsRetryable(err error) bool {
 // in-memory databases).
 func (d *DB) Health() Health { return Health(d.health.Load()) }
 
+// transitionHealth is the single writer of d.health: one CAS along one edge
+// of the serving state machine (Healthy <-> DegradedReadOnly, either ->
+// Failed). Routing every write through this choke point keeps the machine's
+// edges enforceable — the healthtransition analyzer rejects raw stores and
+// call sites naming an edge the machine does not have. Returns whether the
+// transition happened (false when the state already moved on, e.g. a degrade
+// racing a concurrent fail).
+func (d *DB) transitionHealth(from, to Health) bool {
+	if !d.health.CompareAndSwap(int32(from), int32(to)) {
+		return false
+	}
+	obsHealthState.Set(int64(to))
+	return true
+}
+
 // HealthInfo is a point-in-time view of the health machinery, also served
 // on /debug/health.
 type HealthInfo struct {
@@ -204,20 +219,23 @@ func (d *DB) degradeLocked(suffix int, cause error) error {
 	d.ex = update.NewExecutor(cdb)
 	d.publish(st, cdb.Generation())
 
-	d.health.Store(int32(DegradedReadOnly))
+	d.transitionHealth(Healthy, DegradedReadOnly)
 	d.setDegradeCause(cause)
 	d.degrades.Add(1)
 	obsDegrades.Inc()
-	obsHealthState.Set(int64(DegradedReadOnly))
 	return fmt.Errorf("colorful: commit failed and was rolled back, %w", d.readOnlyErr())
 }
 
 // failLocked moves the database to the terminal Failed state. Caller holds
-// d.mu exclusively.
+// d.mu exclusively. Failure is reachable from either live state: a commit
+// whose rollback machinery gave out fails from Healthy, a degraded database
+// whose recovery discovered unrecoverable damage fails from
+// DegradedReadOnly.
 func (d *DB) failLocked(cause error) error {
-	d.health.Store(int32(Failed))
+	if !d.transitionHealth(Healthy, Failed) {
+		d.transitionHealth(DegradedReadOnly, Failed)
+	}
 	d.setDegradeCause(cause)
-	obsHealthState.Set(int64(Failed))
 	d.durErr = fmt.Errorf("%w: %v", ErrFailed, cause)
 	return d.durErr
 }
@@ -277,11 +295,10 @@ func (d *DB) heal() bool {
 	d.Database.DrainChanges()
 	d.publish(st, d.Database.Generation())
 	d.checkpoints.Add(1)
-	d.health.Store(int32(Healthy))
+	d.transitionHealth(DegradedReadOnly, Healthy)
 	d.setDegradeCause(nil)
 	d.heals.Add(1)
 	obsHeals.Inc()
-	obsHealthState.Set(int64(Healthy))
 	return true
 }
 

@@ -1,0 +1,14 @@
+package colorful_test
+
+import (
+	"os"
+	"testing"
+
+	"colorfulxml/internal/lint/linttest"
+)
+
+// TestMain verifies no test leaves a goroutine behind: every DB the suite
+// opens must stop its probe, scrub, and checkpoint workers on Close.
+func TestMain(m *testing.M) {
+	os.Exit(linttest.VerifyTestMain(m))
+}

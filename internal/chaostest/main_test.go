@@ -1,0 +1,14 @@
+package chaostest
+
+import (
+	"os"
+	"testing"
+
+	"colorfulxml/internal/lint/linttest"
+)
+
+// TestMain verifies the chaos harness reaps every writer, reader, and
+// fault-injection goroutine it spawns, even across induced crashes.
+func TestMain(m *testing.M) {
+	os.Exit(linttest.VerifyTestMain(m))
+}

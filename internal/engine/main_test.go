@@ -1,0 +1,14 @@
+package engine_test
+
+import (
+	"os"
+	"testing"
+
+	"colorfulxml/internal/lint/linttest"
+)
+
+// TestMain verifies no test leaves a goroutine behind: Exchange workers
+// and parallel operators must drain when their pipeline closes.
+func TestMain(m *testing.M) {
+	os.Exit(linttest.VerifyTestMain(m))
+}

@@ -1,0 +1,308 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroutineLeak verifies the lifecycle of every `go` statement in the
+// program: a spawned goroutine must have a termination path the analyzer
+// can see. Accepted evidence, searched through the spawned body and
+// transitively through its (non-goroutine) callees:
+//
+//   - a receive from ctx.Done() (context cancellation),
+//   - a receive / range / select over a stop channel — a channel that some
+//     function in the program close()s (matched by field/var class, or by
+//     identity for function-local channels), or whose name marks it a
+//     lifecycle channel (done / stop / quit / exit / closing),
+//   - sync.WaitGroup tracking: the spawning function calls Add on a
+//     WaitGroup and the goroutine body (transitively) calls Done — accepted
+//     only when the body has no inescapable `for {}` loop, since a tracked
+//     goroutine that never returns still deadlocks the Wait.
+//
+// A goroutine whose body the analyzer cannot see at all (a call into a
+// dependency, or through a function value) is reported too: termination is
+// then unverifiable, and the site needs either restructuring or a
+// `//mctlint:ignore goroutineleak <why>` comment citing the external
+// contract that bounds it.
+var GoroutineLeak = &Analyzer{
+	Name:       "goroutineleak",
+	Doc:        "every go statement needs a visible termination path: ctx.Done, a closed stop channel, or WaitGroup tracking",
+	RunProgram: runGoroutineLeak,
+}
+
+// stopChanNames marks identifier fragments that label lifecycle channels.
+var stopChanNames = []string{"done", "stop", "quit", "exit", "closing"}
+
+type leakChecker struct {
+	cg *CallGraph
+	// closedClasses / closedObjs index every close(ch) in the program: by
+	// storage class for fields and package vars, by object identity for
+	// locals (closures close over the same types.Var).
+	closedClasses map[string]bool
+	closedObjs    map[types.Object]bool
+}
+
+func runGoroutineLeak(pass *ProgramPass) error {
+	lc := &leakChecker{
+		cg:            pass.Prog.CallGraph(),
+		closedClasses: map[string]bool{},
+		closedObjs:    map[types.Object]bool{},
+	}
+	for _, pkg := range pass.Prog.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "close" || pkg.Info.Uses[id] != types.Universe.Lookup("close") {
+					return true
+				}
+				arg := ast.Unparen(call.Args[0])
+				if class, ok := classOfExpr(pkg, arg); ok {
+					lc.closedClasses[class] = true
+				}
+				if id, ok := arg.(*ast.Ident); ok {
+					if obj := pkg.Info.Uses[id]; obj != nil {
+						lc.closedObjs[obj] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	for _, n := range sortedNodes(lc.cg) {
+		for _, cs := range n.Calls {
+			if !cs.Go {
+				continue
+			}
+			lc.checkGoStmt(pass, n, cs)
+		}
+	}
+	return nil
+}
+
+// checkGoStmt applies the evidence rules to one go statement.
+func (lc *leakChecker) checkGoStmt(pass *ProgramPass, n *FuncNode, cs *CallSite) {
+	type spawned struct {
+		body ast.Node
+		pkg  *Package
+	}
+	var bodies []spawned
+	if lit, ok := ast.Unparen(cs.Call.Fun).(*ast.FuncLit); ok {
+		bodies = []spawned{{lit.Body, n.Pkg}}
+	} else if len(cs.Callees) > 0 {
+		for _, callee := range cs.Callees {
+			bodies = append(bodies, spawned{callee.Decl.Body, callee.Pkg})
+		}
+	} else {
+		pass.Reportf(cs.Call.Pos(), "cannot verify termination of this goroutine: the callee is outside the analyzed program")
+		return
+	}
+
+	tracked := lc.spawnerAddsToWaitGroup(n)
+	for _, sp := range bodies {
+		if lc.hasTerminationEvidence(sp.body, sp.pkg, map[*FuncNode]bool{}) {
+			continue
+		}
+		if tracked &&
+			lc.callsWaitGroupDone(sp.body, sp.pkg, map[*FuncNode]bool{}) &&
+			!lc.hasInescapableLoop(sp.body, sp.pkg, map[*FuncNode]bool{}) {
+			continue
+		}
+		pass.Reportf(cs.Call.Pos(), "goroutine may never terminate: no ctx.Done or stop-channel receive on its paths and it is not WaitGroup-tracked")
+		return
+	}
+}
+
+// hasTerminationEvidence searches body (and its non-goroutine callees) for
+// a cancellation receive.
+func (lc *leakChecker) hasTerminationEvidence(body ast.Node, pkg *Package, visited map[*FuncNode]bool) bool {
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := x.(type) {
+		case *ast.GoStmt:
+			return false // a nested goroutine's lifecycle is checked at its own site
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW && lc.isStopChannel(pkg, v.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pkg.Info.Types[v.X].Type; t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan && lc.isStopChannel(pkg, v.X) {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			for _, callee := range lc.cg.resolveFuncExpr(pkg, v.Fun) {
+				if visited[callee] {
+					continue
+				}
+				visited[callee] = true
+				if lc.hasTerminationEvidence(callee.Decl.Body, callee.Pkg, visited) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isStopChannel recognizes ctx.Done() results, channels close()d somewhere
+// in the program, and lifecycle-named channels.
+func (lc *leakChecker) isStopChannel(pkg *Package, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		if obj, ok := calleeObj(pkg.Info, call).(*types.Func); ok &&
+			obj.Name() == "Done" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+			return true
+		}
+		return false
+	}
+	if class, ok := classOfExpr(pkg, e); ok && lc.closedClasses[class] {
+		return true
+	}
+	name := ""
+	switch v := e.(type) {
+	case *ast.Ident:
+		if lc.closedObjs[pkg.Info.Uses[v]] {
+			return true
+		}
+		name = v.Name
+	case *ast.SelectorExpr:
+		name = v.Sel.Name
+	}
+	name = strings.ToLower(name)
+	for _, frag := range stopChanNames {
+		if strings.Contains(name, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// spawnerAddsToWaitGroup reports whether n's body calls Add on a
+// sync.WaitGroup (the spawning half of the tracking idiom).
+func (lc *leakChecker) spawnerAddsToWaitGroup(n *FuncNode) bool {
+	found := false
+	ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+		if call, ok := x.(*ast.CallExpr); ok && isWaitGroupMethod(n.Pkg, call, "Add") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// callsWaitGroupDone searches body (and its non-goroutine callees) for a
+// WaitGroup.Done call.
+func (lc *leakChecker) callsWaitGroupDone(body ast.Node, pkg *Package, visited map[*FuncNode]bool) bool {
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := x.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if isWaitGroupMethod(pkg, v, "Done") {
+				found = true
+				return false
+			}
+			for _, callee := range lc.cg.resolveFuncExpr(pkg, v.Fun) {
+				if visited[callee] {
+					continue
+				}
+				visited[callee] = true
+				if lc.callsWaitGroupDone(callee.Decl.Body, callee.Pkg, visited) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isWaitGroupMethod(pkg *Package, call *ast.CallExpr, name string) bool {
+	obj, ok := calleeObj(pkg.Info, call).(*types.Func)
+	if !ok || obj.Name() != name || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	recv := obj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	named := derefNamed(recv.Type())
+	return named != nil && named.Obj().Name() == "WaitGroup"
+}
+
+// hasInescapableLoop reports whether body (or a callee on its control flow)
+// contains a `for {}` with no break, return, or terminating call — a loop a
+// WaitGroup-tracked goroutine could never leave.
+func (lc *leakChecker) hasInescapableLoop(body ast.Node, pkg *Package, visited map[*FuncNode]bool) bool {
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := x.(type) {
+		case *ast.GoStmt, *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if v.Cond == nil && !loopEscapes(v.Body) {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			for _, callee := range lc.cg.resolveFuncExpr(pkg, v.Fun) {
+				if visited[callee] {
+					continue
+				}
+				visited[callee] = true
+				if lc.hasInescapableLoop(callee.Decl.Body, callee.Pkg, visited) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// loopEscapes reports whether a loop body contains any statement that can
+// leave the loop: break (any target — an approximation), return, goto, or a
+// terminal call (panic / os.Exit).
+func loopEscapes(body *ast.BlockStmt) bool {
+	escapes := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if escapes {
+			return false
+		}
+		switch v := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			escapes = true
+		case *ast.BranchStmt:
+			if v.Tok == token.BREAK || v.Tok == token.GOTO {
+				escapes = true
+			}
+		case *ast.ExprStmt:
+			if isTerminalCall(v.X) {
+				escapes = true
+			}
+		}
+		return !escapes
+	})
+	return escapes
+}

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HealthTransition pins the fault-tolerance state machine of DESIGN §13 to
+// its legal edges. The DB's serving state (the atomic.Int32 `health` field)
+// has exactly one writer, the transitionHealth CAS choke point; every other
+// Store/Swap/CompareAndSwap on the field is a finding. Call sites of
+// transitionHealth must name both endpoints as Health constants, and the
+// (from, to) pair must be one of the state machine's edges:
+//
+//	Healthy          -> DegradedReadOnly  (durability failure rolled back)
+//	Healthy          -> Failed            (unrecoverable while healthy)
+//	DegradedReadOnly -> Failed            (unrecoverable while degraded)
+//	DegradedReadOnly -> Healthy           (probe healed the disk)
+//
+// Failed is terminal: no edge leaves it. The analyzer self-scopes to
+// packages declaring a struct field named health of type atomic.Int32, so
+// it runs on the colorful package and its fixtures and is inert elsewhere.
+var HealthTransition = &Analyzer{
+	Name: "healthtransition",
+	Doc:  "health state changes only through transitionHealth, along legal state-machine edges",
+	Run:  runHealthTransition,
+}
+
+// healthWriteMethods are the atomic.Int32 mutators a stray writer would use.
+var healthWriteMethods = map[string]bool{
+	"Store": true, "Swap": true, "CompareAndSwap": true, "Add": true,
+}
+
+// legalHealthEdges holds the state machine, keyed by constant names.
+var legalHealthEdges = map[[2]string]bool{
+	{"Healthy", "DegradedReadOnly"}: true,
+	{"Healthy", "Failed"}:           true,
+	{"DegradedReadOnly", "Failed"}:  true,
+	{"DegradedReadOnly", "Healthy"}: true,
+}
+
+func runHealthTransition(pass *Pass) error {
+	if !declaresHealthField(pass) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inChokePoint := fd.Name.Name == "transitionHealth"
+			ast.Inspect(fd.Body, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !inChokePoint && isHealthFieldWrite(pass, call) {
+					pass.Reportf(call.Pos(), "health state written outside transitionHealth: all transitions go through the state-machine choke point")
+				}
+				checkTransitionCall(pass, call)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// declaresHealthField reports whether the package declares a struct field
+// named health of type sync/atomic.Int32 — the analyzer's scope gate.
+func declaresHealthField(pass *Pass) bool {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if fieldIsAtomicHealth(st.Field(i)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func fieldIsAtomicHealth(f *types.Var) bool {
+	if f.Name() != "health" {
+		return false
+	}
+	named := derefNamed(f.Type())
+	return named != nil && named.Obj().Name() == "Int32" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// isHealthFieldWrite recognizes x.health.Store(...) and the other mutators
+// on the health field.
+func isHealthFieldWrite(pass *Pass, call *ast.CallExpr) bool {
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !healthWriteMethods[fun.Sel.Name] {
+		return false
+	}
+	field, ok := ast.Unparen(fun.X).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.Info.Uses[field.Sel].(*types.Var)
+	return ok && fieldIsAtomicHealth(obj)
+}
+
+// checkTransitionCall validates a transitionHealth call site: both
+// endpoints named Health constants, the pair a legal edge.
+func checkTransitionCall(pass *Pass, call *ast.CallExpr) {
+	obj := calleeObj(pass.Info, call)
+	if obj == nil || obj.Name() != "transitionHealth" || len(call.Args) < 2 {
+		return
+	}
+	names := make([]string, 2)
+	for i := 0; i < 2; i++ {
+		c, ok := healthConstName(pass, call.Args[i])
+		if !ok {
+			pass.Reportf(call.Args[i].Pos(), "health transition endpoints must be named Health constants, not computed values")
+			return
+		}
+		names[i] = c
+	}
+	if !legalHealthEdges[[2]string{names[0], names[1]}] {
+		pass.Reportf(call.Pos(), "illegal health transition %s -> %s: not an edge of the serving state machine", names[0], names[1])
+	}
+}
+
+// healthConstName resolves an argument to the name of a declared constant
+// of a type named Health.
+func healthConstName(pass *Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = v
+	case *ast.SelectorExpr:
+		id = v.Sel
+	default:
+		return "", false
+	}
+	c, ok := pass.Info.Uses[id].(*types.Const)
+	if !ok {
+		return "", false
+	}
+	named := derefNamed(c.Type())
+	if named == nil || named.Obj().Name() != "Health" {
+		return "", false
+	}
+	return c.Name(), true
+}

@@ -28,7 +28,12 @@ import (
 	"strings"
 )
 
-// Analyzer is one named check, mirroring analysis.Analyzer.
+// Analyzer is one named check, mirroring analysis.Analyzer. An analyzer is
+// either per-package (Run) or whole-program (RunProgram): per-package checks
+// see one type-checked package at a time, whole-program checks see every
+// loaded package at once plus the static call graph, which is what the
+// cross-package concurrency invariants (lock ordering, goroutine lifecycle)
+// need. Exactly one of Run / RunProgram is set.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and test expectations.
 	Name string
@@ -36,6 +41,8 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings through pass.Report.
 	Run func(pass *Pass) error
+	// RunProgram inspects the whole loaded program at once.
+	RunProgram func(pass *ProgramPass) error
 }
 
 // Pass carries one analyzer's view of one type-checked package.
@@ -69,6 +76,52 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
+// Program is the whole-program view handed to RunProgram analyzers: every
+// loaded package (sharing one FileSet, so positions resolve uniformly) and
+// the static call graph across them.
+type Program struct {
+	Packages []*Package
+	Fset     *token.FileSet
+	// CallGraph is built lazily by the first analyzer that asks for it.
+	callGraph *CallGraph
+}
+
+// NewProgram assembles a Program over the loaded packages.
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{Packages: pkgs}
+	if len(pkgs) > 0 {
+		p.Fset = pkgs[0].Fset
+	} else {
+		p.Fset = token.NewFileSet()
+	}
+	return p
+}
+
+// CallGraph returns the program's static call graph, building it on first
+// use.
+func (p *Program) CallGraph() *CallGraph {
+	if p.callGraph == nil {
+		p.callGraph = BuildCallGraph(p.Packages)
+	}
+	return p.callGraph
+}
+
+// ProgramPass carries one whole-program analyzer's view of the program.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	report func(Diagnostic)
+}
+
+// Report emits a diagnostic.
+func (p *ProgramPass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf formats and emits a diagnostic at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
 // Finding is a located diagnostic, ready for printing or matching.
 type Finding struct {
 	Analyzer string
@@ -91,15 +144,47 @@ func Analyzers() []*Analyzer {
 		Determinism,
 		AtomicSnapshot,
 		ObsRegister,
+		LockOrder,
+		GoroutineLeak,
+		BatchAlias,
+		HealthTransition,
 	}
 }
 
 // Run applies the analyzers to every package and returns the findings
-// sorted by file, line, column and analyzer name.
+// sorted by file, line, column and analyzer name. Per-package analyzers see
+// one package at a time; whole-program analyzers see all of them at once
+// through a shared Program. Findings carrying a matching
+// `//mctlint:ignore <analyzer> <reason>` suppression comment (on the
+// finding's line or the line above) are dropped.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	var out []Finding
+	var prog *Program
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		if prog == nil {
+			prog = NewProgram(pkgs)
+		}
+		a := a
+		pass := &ProgramPass{Analyzer: a, Prog: prog}
+		pass.report = func(d Diagnostic) {
+			out = append(out, Finding{
+				Analyzer: a.Name,
+				Position: prog.Fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+		if err := a.RunProgram(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", a.Name, err)
+		}
+	}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -120,6 +205,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 			}
 		}
 	}
+	out = filterSuppressed(pkgs, out)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Position.Filename != b.Position.Filename {
@@ -134,6 +220,53 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		return a.Analyzer < b.Analyzer
 	})
 	return out, nil
+}
+
+// suppressKey identifies one suppressed (file, line, analyzer) site.
+type suppressKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// filterSuppressed drops findings covered by an
+//
+//	//mctlint:ignore <analyzer> <reason>
+//
+// comment on the finding's own line or on the line directly above it. The
+// reason is mandatory — a bare ignore suppresses nothing — so every
+// suppression in the tree documents why the imprecision is acceptable.
+func filterSuppressed(pkgs []*Package, findings []Finding) []Finding {
+	suppressed := map[suppressKey]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//mctlint:ignore ")
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(text)
+					if len(fields) < 2 { // analyzer plus at least one reason word
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					suppressed[suppressKey{pos.Filename, pos.Line, fields[0]}] = true
+					suppressed[suppressKey{pos.Filename, pos.Line + 1, fields[0]}] = true
+				}
+			}
+		}
+	}
+	if len(suppressed) == 0 {
+		return findings
+	}
+	kept := findings[:0]
+	for _, f := range findings {
+		if !suppressed[suppressKey{f.Position.Filename, f.Position.Line, f.Analyzer}] {
+			kept = append(kept, f)
+		}
+	}
+	return kept
 }
 
 // --- shared scoping and AST helpers ---------------------------------------

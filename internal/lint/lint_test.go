@@ -17,6 +17,11 @@ func TestDeterminism(t *testing.T)     { linttest.Run(t, lint.Determinism, "dete
 func TestAtomicSnapshot(t *testing.T)  { linttest.Run(t, lint.AtomicSnapshot, "atomicsnapshot") }
 func TestObsRegister(t *testing.T)     { linttest.Run(t, lint.ObsRegister, "obsregister") }
 
+func TestLockOrder(t *testing.T)        { linttest.Run(t, lint.LockOrder, "lockorder") }
+func TestGoroutineLeak(t *testing.T)    { linttest.Run(t, lint.GoroutineLeak, "goroutineleak") }
+func TestBatchAlias(t *testing.T)       { linttest.Run(t, lint.BatchAlias, "batchalias") }
+func TestHealthTransition(t *testing.T) { linttest.Run(t, lint.HealthTransition, "healthtransition") }
+
 // TestRepoClean runs the whole suite over the repository itself: the tree
 // must stay free of diagnostics. A failure here is a real invariant
 // violation — fix the flagged code, not this test.

@@ -1,0 +1,44 @@
+package linttest
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLeakCheckCatchesDeliberateLeak proves the verifier actually detects
+// a leak: a goroutine parked on a channel nobody has closed yet must be
+// reported, and must stop being reported once released.
+func TestLeakCheckCatchesDeliberateLeak(t *testing.T) {
+	base := Snap()
+	release := make(chan struct{})
+	go func() { <-release }()
+
+	leaked := leakedStacks(base.ids, 50*time.Millisecond)
+	if len(leaked) != 1 {
+		t.Fatalf("expected exactly the deliberate leak, got %d stanza(s):\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	}
+	if !strings.Contains(leaked[0], "TestLeakCheckCatchesDeliberateLeak") {
+		t.Errorf("leak report does not name the leaking test:\n%s", leaked[0])
+	}
+
+	close(release)
+	if leaked := leakedStacks(base.ids, leakPatience); len(leaked) > 0 {
+		t.Errorf("released goroutine still reported as leaked:\n%s", strings.Join(leaked, "\n\n"))
+	}
+}
+
+// TestSnapshotExemptsExisting verifies the snapshot diff: a goroutine
+// alive before Snap is not a leak afterwards.
+func TestSnapshotExemptsExisting(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	go func() { <-release }()
+	time.Sleep(10 * time.Millisecond) // let the goroutine get a stack
+
+	base := Snap()
+	if leaked := leakedStacks(base.ids, 50*time.Millisecond); len(leaked) > 0 {
+		t.Errorf("pre-snapshot goroutine reported as leaked:\n%s", strings.Join(leaked, "\n\n"))
+	}
+}

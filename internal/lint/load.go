@@ -20,6 +20,7 @@ import (
 type Package struct {
 	Path  string
 	Name  string
+	Dir   string
 	Fset  *token.FileSet
 	Files []*ast.File
 	Types *types.Package
@@ -52,7 +53,11 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+		msg := bytes.TrimSpace(stderr.Bytes())
+		if len(msg) == 0 {
+			msg = []byte("(no stderr output)")
+		}
+		return nil, fmt.Errorf("lint: go list %v in %s: %v: %s", patterns, dir, err, msg)
 	}
 
 	exports := map[string]string{} // import path -> export data file
@@ -66,7 +71,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
 		}
 		if p.Error != nil {
-			return nil, fmt.Errorf("lint: loading %s: %s", p.ImportPath, p.Error.Err)
+			return nil, fmt.Errorf("lint: loading %s (in %s): %s", p.ImportPath, p.Dir, p.Error.Err)
 		}
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
@@ -113,6 +118,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		pkgs = append(pkgs, &Package{
 			Path:  t.ImportPath,
 			Name:  tpkg.Name(),
+			Dir:   t.Dir,
 			Fset:  fset,
 			Files: files,
 			Types: tpkg,

@@ -1,0 +1,81 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"colorfulxml/internal/lint"
+)
+
+// writeModule materializes a tiny module from name -> contents pairs and
+// returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, contents := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(contents), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoadSkipsBuildTaggedFiles: a file excluded by a build constraint must
+// not be parsed or type-checked — it references an undefined symbol, so
+// loading it would fail.
+func TestLoadSkipsBuildTaggedFiles(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":    "module tagfix\n\ngo 1.22\n",
+		"a.go":      "package tagfix\n\nfunc OK() int { return 1 }\n",
+		"tagged.go": "//go:build never_enabled_tag\n\npackage tagfix\n\nvar broken = undefinedSymbol\n",
+	})
+	pkgs, err := lint.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load with excluded build-tagged file: %v", err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 1 {
+		t.Fatalf("want 1 package with 1 file, got %d packages", len(pkgs))
+	}
+}
+
+// TestLoadWithoutCgo: with CGO_ENABLED=0 (the CI cross-compile default) the
+// loader must still resolve export data, and cgo-gated files drop out of
+// the package like any other constrained file.
+func TestLoadWithoutCgo(t *testing.T) {
+	t.Setenv("CGO_ENABLED", "0")
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module nocgofix\n\ngo 1.22\n",
+		"a.go":   "package nocgofix\n\nimport \"os\"\n\nfunc Hostname() (string, error) { return os.Hostname() }\n",
+		"cgo.go": "//go:build cgo\n\npackage nocgofix\n\nvar broken = undefinedSymbol\n",
+	})
+	pkgs, err := lint.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load with CGO_ENABLED=0: %v", err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 1 {
+		t.Fatalf("want 1 package with 1 file (cgo file excluded), got %+v", pkgs)
+	}
+}
+
+// TestLoadSkipsExternalTestsOnlyPackage: a directory holding only _test.go
+// files lists with no GoFiles; the loader must skip it without error and
+// still load its siblings.
+func TestLoadSkipsExternalTestsOnlyPackage(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":              "module testonlyfix\n\ngo 1.22\n",
+		"lib/lib.go":          "package lib\n\nfunc Lib() {}\n",
+		"onlytests/x_test.go": "package onlytests\n\nimport \"testing\"\n\nfunc TestX(t *testing.T) {}\n",
+	})
+	pkgs, err := lint.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load with tests-only sibling package: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Name != "lib" {
+		t.Fatalf("want only package lib, got %d packages", len(pkgs))
+	}
+}

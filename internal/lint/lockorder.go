@@ -1,0 +1,509 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LockOrder builds the program's global mutex-acquisition graph and checks
+// it two ways. Always: the graph must be acyclic — a cycle is a potential
+// deadlock regardless of documentation. When the module's DESIGN.md carries
+// a lock-order table (a markdown table between `<!-- lockorder:begin -->`
+// and `<!-- lockorder:end -->`, each row `| rank | `+"`class`"+` | note |`),
+// every acquisition edge must also agree with it: acquiring B while holding
+// A is legal only when A's rank is strictly smaller than B's, and an edge
+// between locks the table does not rank at all is an undocumented edge that
+// must be added to the table.
+//
+// Lock identity is by *class*, not instance: the field path pkg.Type.field
+// for mutex fields, pkg.var for package-level mutexes (an RWMutex's read and
+// write sides share the class). Edges are discovered by a forward may-held
+// dataflow over each function's CFG — Lock/RLock/TryLock add the class,
+// Unlock/RUnlock remove it, a deferred Unlock keeps it held to the
+// function's end — combined with transitive acquisition summaries at call
+// sites: while holding A, calling a function that (transitively) acquires B
+// records the edge A → B. Function literals and `go` statements are
+// excluded from summaries and event streams — a spawned goroutine does not
+// inherit its parent's held set. Local (function-scoped) mutexes and
+// self-edges are not tracked; see DESIGN.md §14 for the imprecision notes.
+var LockOrder = &Analyzer{
+	Name:       "lockorder",
+	Doc:        "mutex-acquisition graph must be acyclic and match the DESIGN.md lock-order table",
+	RunProgram: runLockOrder,
+}
+
+var lockAcquireMethods = map[string]bool{
+	"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true,
+}
+var lockReleaseMethods = map[string]bool{
+	"Unlock": true, "RUnlock": true,
+}
+
+// lockEdge is one observed acquisition ordering: to was acquired (directly
+// or via a callee) while from was held.
+type lockEdge struct{ from, to string }
+
+func runLockOrder(pass *ProgramPass) error {
+	prog := pass.Prog
+	cg := prog.CallGraph()
+	nodes := sortedNodes(cg)
+
+	// Transitive acquisition summaries: the lock classes calling a function
+	// may acquire, through any depth of (non-goroutine) calls.
+	trans := map[*FuncNode]map[string]bool{}
+	for _, n := range nodes {
+		trans[n] = directAcquires(n)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			for _, cs := range n.Calls {
+				if cs.Go || cs.InFuncLit {
+					continue
+				}
+				for _, callee := range cs.Callees {
+					for c := range trans[callee] {
+						if !trans[n][c] {
+							trans[n][c] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Edge discovery: per-function CFG dataflow of the may-held set.
+	edges := map[lockEdge]token.Pos{}
+	record := func(from, to string, pos token.Pos) {
+		if from == to {
+			return
+		}
+		e := lockEdge{from, to}
+		if old, ok := edges[e]; !ok || pos < old {
+			edges[e] = pos
+		}
+	}
+	for _, n := range nodes {
+		collectLockEdges(n, trans, record)
+	}
+
+	ranks, haveTable := loadLockRanks(prog)
+
+	keys := make([]lockEdge, 0, len(edges))
+	for e := range edges {
+		keys = append(keys, e)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	if haveTable {
+		for _, e := range keys {
+			rf, okf := ranks[e.from]
+			rt, okt := ranks[e.to]
+			switch {
+			case okf && okt && rf >= rt:
+				pass.Reportf(edges[e], "acquiring %s while holding %s violates the documented lock order (DESIGN.md ranks %s at %d, %s at %d)",
+					e.to, e.from, e.from, rf, e.to, rt)
+			case !okf || !okt:
+				pass.Reportf(edges[e], "undocumented lock-order edge %s -> %s: add it to the DESIGN.md lock-order table", e.from, e.to)
+			}
+		}
+	}
+
+	reportLockCycles(pass, keys, edges)
+	return nil
+}
+
+// directAcquires returns the lock classes n acquires on its own control
+// flow (excluding function literals, go statements, and defers).
+func directAcquires(n *FuncNode) map[string]bool {
+	out := map[string]bool{}
+	forEachLockStmt(n.Pkg, n.Decl.Body, func(call *ast.CallExpr, method, class string) {
+		if lockAcquireMethods[method] {
+			out[class] = true
+		}
+	}, nil)
+	return out
+}
+
+// forEachLockStmt walks body in source order, skipping function literals,
+// go statements, and defer statements, invoking onLock for each mutex
+// Lock/Unlock-family call with a resolvable class and onCall for every
+// other call expression.
+func forEachLockStmt(pkg *Package, body ast.Node, onLock func(*ast.CallExpr, string, string), onCall func(*ast.CallExpr)) {
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch v := x.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if method, class, ok := lockCallClass(pkg, v); ok {
+				onLock(v, method, class)
+				return true
+			}
+			if onCall != nil {
+				onCall(v)
+			}
+		}
+		return true
+	})
+}
+
+// collectLockEdges runs the may-held dataflow over n's CFG, recording an
+// edge for every class acquired — directly or through a callee's summary —
+// while another class is held.
+func collectLockEdges(n *FuncNode, trans map[*FuncNode]map[string]bool, record func(from, to string, pos token.Pos)) {
+	cfg := BuildCFG(n.Decl.Body)
+	sites := map[*ast.CallExpr]*CallSite{}
+	for _, cs := range n.Calls {
+		sites[cs.Call] = cs
+	}
+
+	in := make([]map[string]bool, len(cfg.Blocks))
+	out := make([]map[string]bool, len(cfg.Blocks))
+	visited := make([]bool, len(cfg.Blocks))
+
+	transfer := func(b *Block, held map[string]bool, emit bool) map[string]bool {
+		h := map[string]bool{}
+		for c := range held {
+			h[c] = true
+		}
+		for _, s := range b.Stmts {
+			forEachLockStmt(n.Pkg, s, func(call *ast.CallExpr, method, class string) {
+				if lockAcquireMethods[method] {
+					if emit {
+						for held := range h {
+							record(held, class, call.Pos())
+						}
+					}
+					h[class] = true
+				} else {
+					delete(h, class)
+				}
+			}, func(call *ast.CallExpr) {
+				cs := sites[call]
+				if cs == nil || cs.Go || len(h) == 0 {
+					return
+				}
+				if !emit {
+					return
+				}
+				for _, callee := range cs.Callees {
+					for acq := range trans[callee] {
+						for held := range h {
+							record(held, acq, call.Pos())
+						}
+					}
+				}
+			})
+		}
+		return h
+	}
+
+	// Fixpoint on the held sets, then one emitting pass.
+	work := []int{cfg.Entry.Index}
+	in[cfg.Entry.Index] = map[string]bool{}
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		b := cfg.Blocks[i]
+		newOut := transfer(b, in[i], false)
+		// An unvisited block must propagate even when its output state is
+		// empty — emptiness is indistinguishable from "not yet computed"
+		// otherwise, and the walk would stall at the entry block.
+		if visited[i] && lockSetEqual(newOut, out[i]) {
+			continue
+		}
+		visited[i] = true
+		out[i] = newOut
+		for _, succ := range b.Succs {
+			merged := lockSetUnion(in[succ.Index], newOut)
+			if in[succ.Index] == nil || !lockSetEqual(merged, in[succ.Index]) {
+				in[succ.Index] = merged
+				work = append(work, succ.Index)
+			}
+		}
+	}
+	for _, b := range cfg.Blocks {
+		if in[b.Index] == nil {
+			continue // unreachable
+		}
+		transfer(b, in[b.Index], true)
+	}
+}
+
+func lockSetUnion(a, b map[string]bool) map[string]bool {
+	u := map[string]bool{}
+	for c := range a {
+		u[c] = true
+	}
+	for c := range b {
+		u[c] = true
+	}
+	return u
+}
+
+func lockSetEqual(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for c := range a {
+		if !b[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// lockCallClass recognizes x.Lock() / x.mu.RLock() / pkgvar.Unlock() calls
+// on sync.Mutex / sync.RWMutex, returning the method name and the lock's
+// class key.
+func lockCallClass(pkg *Package, call *ast.CallExpr) (method, class string, ok bool) {
+	fun, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	m := fun.Sel.Name
+	if !lockAcquireMethods[m] && !lockReleaseMethods[m] {
+		return "", "", false
+	}
+	obj, isFn := pkg.Info.Uses[fun.Sel].(*types.Func)
+	if !isFn || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	recv := obj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", "", false
+	}
+	if named := derefNamed(recv.Type()); named == nil ||
+		(named.Obj().Name() != "Mutex" && named.Obj().Name() != "RWMutex") {
+		return "", "", false
+	}
+	// The holder expression: either the mutex itself (x.mu, pkgvar) or, for
+	// an embedded mutex, the embedding struct (class by its type).
+	holder := fun.X
+	if named := derefNamed(pkg.Info.Types[holder].Type); named != nil &&
+		!(named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync") {
+		class = named.Obj().Pkg().Name() + "." + named.Obj().Name()
+		return m, class, true
+	}
+	class, ok = classOfExpr(pkg, holder)
+	if !ok {
+		return "", "", false
+	}
+	return m, class, true
+}
+
+// classOfExpr names the storage location an expression denotes, as a class
+// key shared by every instance: pkgname.Type.field for struct fields,
+// pkgname.var for package-level variables. Local variables and arbitrary
+// expressions have no class.
+func classOfExpr(pkg *Package, e ast.Expr) (string, bool) {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[v]; ok {
+			if named := derefNamed(sel.Recv()); named != nil && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + v.Sel.Name, true
+			}
+			return "", false
+		}
+		// Qualified identifier: pkgname.Var.
+		if obj, ok := pkg.Info.Uses[v.Sel].(*types.Var); ok && obj.Pkg() != nil {
+			return obj.Pkg().Name() + "." + obj.Name(), true
+		}
+	case *ast.Ident:
+		if obj, ok := pkg.Info.Uses[v].(*types.Var); ok && obj.Pkg() != nil &&
+			obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Name() + "." + obj.Name(), true
+		}
+	}
+	return "", false
+}
+
+// derefNamed unwraps pointers down to a named type; nil if the core type is
+// unnamed.
+func derefNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// sortedNodes returns the call graph's nodes in source order, so the
+// analysis (and in particular edge positions) is deterministic.
+func sortedNodes(cg *CallGraph) []*FuncNode {
+	nodes := make([]*FuncNode, 0, len(cg.Nodes))
+	for _, n := range cg.Nodes {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Decl.Pos() < nodes[j].Decl.Pos() })
+	return nodes
+}
+
+// reportLockCycles finds strongly connected components of the acquisition
+// graph and reports each multi-node component as one potential-deadlock
+// finding, positioned at the component's first recorded edge.
+func reportLockCycles(pass *ProgramPass, keys []lockEdge, edges map[lockEdge]token.Pos) {
+	adj := map[string][]string{}
+	var classes []string
+	seen := map[string]bool{}
+	for _, e := range keys {
+		adj[e.from] = append(adj[e.from], e.to)
+		for _, c := range []string{e.from, e.to} {
+			if !seen[c] {
+				seen[c] = true
+				classes = append(classes, c)
+			}
+		}
+	}
+	sort.Strings(classes)
+
+	// Tarjan's SCC, iterative enough for a handful of lock classes.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var sccs [][]string
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, ok := index[w]; !ok {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				sccs = append(sccs, comp)
+			}
+		}
+	}
+	for _, c := range classes {
+		if _, ok := index[c]; !ok {
+			strong(c)
+		}
+	}
+
+	for _, comp := range sccs {
+		sort.Strings(comp)
+		pos := token.Pos(0)
+		in := map[string]bool{}
+		for _, c := range comp {
+			in[c] = true
+		}
+		for _, e := range keys {
+			if in[e.from] && in[e.to] {
+				if p := edges[e]; pos == 0 || p < pos {
+					pos = p
+				}
+			}
+		}
+		pass.Reportf(pos, "lock-order cycle among {%s}: these mutexes are acquired in both orders (potential deadlock)",
+			strings.Join(comp, ", "))
+	}
+}
+
+// loadLockRanks parses the documented lock order out of the module's
+// DESIGN.md: rows of a markdown table between the lockorder:begin / end
+// markers, each carrying an integer rank cell and a backtick-quoted class
+// cell. Returns ok=false when no module DESIGN.md or no marked table exists
+// (cycle detection still runs).
+func loadLockRanks(prog *Program) (map[string]int, bool) {
+	if len(prog.Packages) == 0 {
+		return nil, false
+	}
+	root := moduleRoot(prog.Packages[0].Dir)
+	if root == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(root, "DESIGN.md"))
+	if err != nil {
+		return nil, false
+	}
+	text := string(data)
+	_, after, found := strings.Cut(text, "<!-- lockorder:begin -->")
+	if !found {
+		return nil, false
+	}
+	table, _, found := strings.Cut(after, "<!-- lockorder:end -->")
+	if !found {
+		return nil, false
+	}
+	ranks := map[string]int{}
+	for _, line := range strings.Split(table, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "|") {
+			continue
+		}
+		cells := strings.Split(strings.Trim(line, "|"), "|")
+		rank := -1
+		class := ""
+		for _, cell := range cells {
+			cell = strings.TrimSpace(cell)
+			if rank < 0 {
+				if n, err := strconv.Atoi(cell); err == nil {
+					rank = n
+					continue
+				}
+			}
+			if class == "" {
+				if i := strings.IndexByte(cell, '`'); i >= 0 {
+					if j := strings.IndexByte(cell[i+1:], '`'); j >= 0 {
+						class = cell[i+1 : i+1+j]
+					}
+				}
+			}
+		}
+		if rank >= 0 && class != "" {
+			ranks[class] = rank
+		}
+	}
+	return ranks, len(ranks) > 0
+}
+
+// moduleRoot walks up from dir to the directory holding go.mod.
+func moduleRoot(dir string) string {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return ""
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,3 @@
+module batchaliasfix
+
+go 1.22

@@ -1,0 +1,3 @@
+module goroutineleakfix
+
+go 1.22

@@ -1,0 +1,96 @@
+// Package leak exercises the goroutineleak analyzer: every go statement
+// needs visible termination evidence (ctx.Done, a closed stop channel, or
+// WaitGroup tracking of a body that can actually return).
+package leak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// Violation: an unbounded loop with no cancellation signal and no tracking.
+func spinsForever() {
+	go func() { // want "goroutine may never terminate"
+		for {
+			work()
+		}
+	}()
+}
+
+// Violation: a call through a function value has no resolvable body, so
+// termination cannot be verified.
+func spawnsOpaque(fn func()) {
+	go fn() // want "cannot verify termination"
+}
+
+// Legal: the same opaque spawn, with the external contract cited.
+func spawnsOpaqueSuppressed(fn func()) {
+	//mctlint:ignore goroutineleak the callback contract requires fn to return when its input closes
+	go fn()
+}
+
+// Legal: the loop selects on ctx.Done and returns.
+func watchesContext(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// Worker holds a neutrally-named channel; the analyzer accepts it as a stop
+// channel because Close closes it somewhere in the program, not because of
+// its name.
+type Worker struct {
+	ch chan struct{}
+}
+
+func (w *Worker) run() {
+	for {
+		select {
+		case <-w.ch:
+			return
+		default:
+			work()
+		}
+	}
+}
+
+// Legal: go w.run() resolves to a body that receives from the closed channel.
+func (w *Worker) Start() {
+	go w.run()
+}
+
+func (w *Worker) Close() {
+	close(w.ch)
+}
+
+// Legal: WaitGroup-tracked goroutine with a bounded loop.
+func tracked(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			work()
+		}
+	}()
+}
+
+// Violation: WaitGroup tracking does not excuse an inescapable for {} —
+// the goroutine never returns, so Wait deadlocks instead of leaking.
+func trackedButStuck(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // want "goroutine may never terminate"
+		defer wg.Done()
+		for {
+			work()
+		}
+	}()
+}

@@ -1,0 +1,3 @@
+module healthtransitionfix
+
+go 1.22

@@ -1,0 +1,52 @@
+// Package serving exercises the healthtransition analyzer: the atomic
+// health field has one writer (transitionHealth), and call sites must name
+// legal state-machine edges with Health constants.
+package serving
+
+import "sync/atomic"
+
+type Health int32
+
+const (
+	Healthy Health = iota
+	DegradedReadOnly
+	Failed
+)
+
+type DB struct {
+	health atomic.Int32
+}
+
+// transitionHealth is the choke point: the only function allowed to write
+// the health field.
+func (d *DB) transitionHealth(from, to Health) bool {
+	return d.health.CompareAndSwap(int32(from), int32(to))
+}
+
+// Legal edges of the serving state machine.
+func (d *DB) degrade() { d.transitionHealth(Healthy, DegradedReadOnly) }
+func (d *DB) heal()    { d.transitionHealth(DegradedReadOnly, Healthy) }
+func (d *DB) fail() {
+	if !d.transitionHealth(Healthy, Failed) {
+		d.transitionHealth(DegradedReadOnly, Failed)
+	}
+}
+
+// Violation: a stray write bypassing the choke point.
+func (d *DB) sneakyWrite() {
+	d.health.Store(int32(Failed)) // want "health state written outside transitionHealth"
+}
+
+// Violation: Failed is terminal — no edge leaves it.
+func (d *DB) resurrect() {
+	d.transitionHealth(Failed, Healthy) // want "illegal health transition Failed -> Healthy"
+}
+
+// Violation: endpoints must be named constants the analyzer can check, not
+// computed values.
+func (d *DB) dynamic(next Health) {
+	d.transitionHealth(next, Failed) // want "endpoints must be named Health constants"
+}
+
+// Legal: reading the field is unrestricted.
+func (d *DB) state() Health { return Health(d.health.Load()) }

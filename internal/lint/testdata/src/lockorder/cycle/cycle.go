@@ -1,0 +1,22 @@
+// Package cycle acquires two mutexes in both orders: a lock-order cycle
+// (reported at the first edge) on top of two undocumented edges, since
+// neither mutex appears in the fixture DESIGN.md table.
+package cycle
+
+import "sync"
+
+var muA, muB sync.Mutex
+
+func aThenB() {
+	muA.Lock()
+	muB.Lock() // want "undocumented lock-order edge" // want "lock-order cycle among"
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func bThenA() {
+	muB.Lock()
+	muA.Lock() // want "undocumented lock-order edge"
+	muA.Unlock()
+	muB.Unlock()
+}

@@ -1,0 +1,216 @@
+package client
+
+import (
+	"context"
+	"time"
+
+	"colorfulxml/colorful"
+)
+
+// Options tunes a client DB. The zero value gets sensible defaults.
+type Options struct {
+	// PoolSize caps live connections. Default 4.
+	PoolSize int
+	// DialTimeout bounds connect + handshake (and checkout pings). Default 5s.
+	DialTimeout time.Duration
+	// CallTimeout is the per-call deadline applied when the caller's
+	// context has none. 0 (the default) means no deadline.
+	CallTimeout time.Duration
+	// MaxRetries is how many times a retryable failure (per
+	// colorful.IsRetryable: admission-gate overload) is retried on a fresh
+	// checkout with exponential backoff. Default 3; negative disables.
+	MaxRetries int
+	// RetryBackoff is the initial backoff between retries, doubling each
+	// attempt. Default 10ms.
+	RetryBackoff time.Duration
+	// IdlePingAfter makes checkout ping a connection that sat idle longer
+	// than this before handing it out. Default 1s; negative disables.
+	IdlePingAfter time.Duration
+	// ClientName is reported to the server in the handshake. Default
+	// "client".
+	ClientName string
+}
+
+func (o Options) withDefaults() Options {
+	if o.PoolSize <= 0 {
+		o.PoolSize = 4
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 10 * time.Millisecond
+	}
+	if o.IdlePingAfter == 0 {
+		o.IdlePingAfter = time.Second
+	}
+	if o.ClientName == "" {
+		o.ClientName = "client"
+	}
+	return o
+}
+
+// DB is the pooled facade over one mctserved address, mirroring
+// colorful.DB's Query/Prepare surface. Safe for concurrent use.
+type DB struct {
+	pool *Pool
+	opt  Options
+}
+
+// Open connects to addr with default options and validates the address
+// with one dial + ping. The DB must be Closed.
+func Open(addr string) (*DB, error) { return OpenOptions(addr, Options{}) }
+
+// OpenOptions is Open with explicit tuning.
+func OpenOptions(addr string, opt Options) (*DB, error) {
+	opt = opt.withDefaults()
+	db := &DB{pool: newPool(addr, opt), opt: opt}
+	ctx, cancel := context.WithTimeout(context.Background(), opt.DialTimeout)
+	defer cancel()
+	c, err := db.pool.Get(ctx)
+	if err != nil {
+		db.pool.Close()
+		return nil, err
+	}
+	pingErr := c.Ping(ctx)
+	c.Release()
+	if pingErr != nil {
+		db.pool.Close()
+		return nil, pingErr
+	}
+	return db, nil
+}
+
+// Close shuts the pool down. In-flight calls fail or complete; their
+// connections are destroyed on return.
+func (db *DB) Close() error {
+	db.pool.Close()
+	return nil
+}
+
+// Pool exposes the underlying pool (for direct Get/Release control).
+func (db *DB) Pool() *Pool { return db.pool }
+
+// callCtx applies the default CallTimeout when the caller set no deadline.
+func (db *DB) callCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok || db.opt.CallTimeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, db.opt.CallTimeout)
+}
+
+// do runs fn on a checked-out connection, retrying retryable failures
+// (admission-gate overload) on a fresh checkout with exponential backoff.
+// Overload rejections happen before any execution server-side, so the
+// retry is safe for updates too.
+func (db *DB) do(ctx context.Context, fn func(c *Conn) error) error {
+	backoff := db.opt.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		c, err := db.pool.Get(ctx)
+		if err != nil {
+			return err
+		}
+		err = fn(c)
+		c.Release()
+		if err == nil {
+			return nil
+		}
+		if attempt >= db.opt.MaxRetries || !colorful.IsRetryable(err) {
+			return err
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		backoff *= 2
+	}
+}
+
+// Query runs a one-shot query with the default call timeout.
+func (db *DB) Query(src string) ([]Item, error) {
+	return db.QueryContext(context.Background(), src)
+}
+
+// QueryContext runs a one-shot query; the context deadline rides to the
+// server as the request's execution budget.
+func (db *DB) QueryContext(ctx context.Context, src string) ([]Item, error) {
+	ctx, cancel := db.callCtx(ctx)
+	defer cancel()
+	var out []Item
+	err := db.do(ctx, func(c *Conn) error {
+		items, err := c.Query(ctx, src)
+		if err != nil {
+			return err
+		}
+		out = items
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Update applies a mutation batch.
+func (db *DB) Update(src string) (UpdateResult, error) {
+	return db.UpdateContext(context.Background(), src)
+}
+
+// UpdateContext applies a mutation batch with a deadline.
+func (db *DB) UpdateContext(ctx context.Context, src string) (UpdateResult, error) {
+	ctx, cancel := db.callCtx(ctx)
+	defer cancel()
+	var out UpdateResult
+	err := db.do(ctx, func(c *Conn) error {
+		res, err := c.Update(ctx, src)
+		if err != nil {
+			return err
+		}
+		out = res
+		return nil
+	})
+	return out, err
+}
+
+// Ping verifies the server answers.
+func (db *DB) Ping(ctx context.Context) error {
+	ctx, cancel := db.callCtx(ctx)
+	defer cancel()
+	return db.do(ctx, func(c *Conn) error { return c.Ping(ctx) })
+}
+
+// Health fetches the server database's health state.
+func (db *DB) Health(ctx context.Context) (HealthInfo, error) {
+	ctx, cancel := db.callCtx(ctx)
+	defer cancel()
+	var out HealthInfo
+	err := db.do(ctx, func(c *Conn) error {
+		h, err := c.Health(ctx)
+		if err != nil {
+			return err
+		}
+		out = h
+		return nil
+	})
+	return out, err
+}
+
+// ServerStats fetches the server's serving snapshot.
+func (db *DB) ServerStats(ctx context.Context) (ServerStats, error) {
+	ctx, cancel := db.callCtx(ctx)
+	defer cancel()
+	var out ServerStats
+	err := db.do(ctx, func(c *Conn) error {
+		s, err := c.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		out = s
+		return nil
+	})
+	return out, err
+}

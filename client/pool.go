@@ -1,0 +1,134 @@
+package client
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Pool is a fixed-capacity connection pool with health-checked checkout.
+// Capacity is enforced by the slots channel (one token per live
+// connection); idle connections park in the idle channel. There is no
+// background goroutine: health is verified at checkout, and a connection
+// that breaks mid-call is destroyed on return instead of parked.
+type Pool struct {
+	addr   string
+	opt    Options
+	idle   chan *Conn
+	slots  chan struct{}
+	closed atomic.Bool
+}
+
+func newPool(addr string, opt Options) *Pool {
+	return &Pool{
+		addr:  addr,
+		opt:   opt,
+		idle:  make(chan *Conn, opt.PoolSize),
+		slots: make(chan struct{}, opt.PoolSize),
+	}
+}
+
+// Get checks out a connection: an idle one that passes the health check,
+// or a fresh dial when a capacity slot is free. It blocks until one of
+// those or ctx expires. Every returned Conn must reach Release (healthy
+// return) or Close (destroy).
+func (p *Pool) Get(ctx context.Context) (*Conn, error) {
+	for {
+		if p.closed.Load() {
+			return nil, ErrClosed
+		}
+		// Fast path: an idle connection is waiting.
+		select {
+		case c := <-p.idle:
+			if p.healthy(ctx, c) {
+				return c, nil
+			}
+			p.destroy(c)
+			continue
+		default:
+		}
+		select {
+		case c := <-p.idle:
+			if p.healthy(ctx, c) {
+				return c, nil
+			}
+			p.destroy(c)
+		case p.slots <- struct{}{}:
+			c, err := Dial(p.addr, p.opt)
+			if err != nil {
+				<-p.slots
+				return nil, err
+			}
+			c.pool = p
+			return c, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// healthy vets an idle connection at checkout: broken ones fail outright,
+// and one idle past IdlePingAfter must answer a bounded Ping (catching
+// server restarts and half-open sockets before the caller's request rides
+// on them).
+func (p *Pool) healthy(ctx context.Context, c *Conn) bool {
+	if c.broken {
+		return false
+	}
+	if p.opt.IdlePingAfter <= 0 || time.Since(c.lastUsed) < p.opt.IdlePingAfter {
+		return true
+	}
+	pingCtx, cancel := context.WithTimeout(ctx, p.opt.DialTimeout)
+	defer cancel()
+	return c.Ping(pingCtx) == nil
+}
+
+// put returns a checked-out connection: healthy ones park for reuse,
+// broken ones are destroyed, and anything returned after Close is
+// destroyed too.
+func (p *Pool) put(c *Conn) {
+	if c.broken || p.closed.Load() {
+		p.destroy(c)
+		return
+	}
+	c.lastUsed = time.Now()
+	select {
+	case p.idle <- c:
+	default:
+		p.destroy(c)
+		return
+	}
+	// Close may have drained idle between our check and the park; re-check
+	// so no connection outlives the pool.
+	if p.closed.Load() {
+		p.drainIdle()
+	}
+}
+
+// destroy closes the socket and frees the capacity slot.
+func (p *Pool) destroy(c *Conn) {
+	c.broken = true
+	c.nc.Close()
+	select {
+	case <-p.slots:
+	default:
+	}
+}
+
+func (p *Pool) drainIdle() {
+	for {
+		select {
+		case c := <-p.idle:
+			p.destroy(c)
+		default:
+			return
+		}
+	}
+}
+
+// Close marks the pool closed and destroys idle connections. Checked-out
+// connections are destroyed as they come back.
+func (p *Pool) Close() {
+	p.closed.Store(true)
+	p.drainIdle()
+}

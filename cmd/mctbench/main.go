@@ -40,16 +40,38 @@
 //
 // Any fault-tolerance contract violation (a lost acked commit, a visible
 // rolled-back write, a database stuck degraded) exits nonzero.
+//
+// A network mode measures the same catalog workload across the wire
+// protocol (cmd/mctserved, client pool, per-connection sessions):
+//
+//	mctbench -network [-connect ADDR | -connect-file FILE]
+//	         [-clients N] [-client-ops N] [-concurrent-scale N]
+//	         [-pool N] [-prepared] [-maxinflight N]
+//
+// Without -connect/-connect-file the server runs in-process on a loopback
+// socket (still the full TCP + frame path); with them the benchmark drives
+// a separately started mctserved, exercising true two-process serving. A
+// companion -serve mode boots a catalog mctserved inline and blocks until
+// SIGTERM, for harnesses that want both halves from one binary:
+//
+//	mctbench -serve ADDR [-addr-file FILE] [-concurrent-scale N]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
 	"colorfulxml/internal/experiment"
 	"colorfulxml/internal/obs"
+	"colorfulxml/internal/server"
 )
 
 func main() {
@@ -82,6 +104,13 @@ func main() {
 
 		chaosDir    = flag.String("chaos", "", "run the runtime chaos harness against database directory DIR: seeded fault injection under concurrent load, differentially verified")
 		chaosEvents = flag.Int("chaos-events", 0, "with -chaos: minimum injected fault events (0 = the acceptance default, 500)")
+
+		network     = flag.Bool("network", false, "run the network serving benchmark (catalog workload over the wire protocol)")
+		connect     = flag.String("connect", "", "network mode: benchmark a running mctserved at ADDR (default: in-process loopback server)")
+		connectFile = flag.String("connect-file", "", "network mode: read the server address from FILE (as written by mctserved -addr-file)")
+		pool        = flag.Int("pool", 0, "network mode: client connection-pool size (0 = one per client)")
+		serveAddr   = flag.String("serve", "", "boot a catalog mctserved on ADDR and block until SIGTERM (server half of the two-process bench)")
+		addrFile    = flag.String("addr-file", "", "with -serve: write the bound address to FILE once listening")
 	)
 	flag.Parse()
 
@@ -103,6 +132,40 @@ func main() {
 			fail(err)
 		}
 	}()
+
+	if *serveAddr != "" {
+		if err := runServe(*serveAddr, *addrFile, *concScale, *maxInfl); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if *network {
+		addr := *connect
+		if *connectFile != "" {
+			b, err := os.ReadFile(*connectFile)
+			if err != nil {
+				fail(err)
+			}
+			addr = strings.TrimSpace(string(b))
+		}
+		res, err := experiment.Network(experiment.NetworkConfig{
+			Addr:        addr,
+			Clients:     *clients,
+			Ops:         *clientOps,
+			Scale:       *concScale,
+			PoolSize:    *pool,
+			Prepared:    *prepared,
+			MaxInflight: *maxInfl,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("=== Network serving throughput ===")
+		fmt.Print(experiment.FormatNetwork(res))
+		fmt.Println(res.BenchJSON())
+		return
+	}
 
 	if *chaosDir != "" {
 		res, err := experiment.Chaos(experiment.ChaosConfig{
@@ -197,17 +260,61 @@ func main() {
 		fmt.Print(experiment.FormatCompiled(rows))
 		fmt.Println()
 	}
-	if *all || *fig11 || *fig12 {
+	runFigures(*all, *fig11, *fig12, fail)
+}
+
+// runServe boots a catalog-store wire server and blocks until SIGTERM,
+// draining gracefully — the server half of the two-process network bench.
+func runServe(addr, addrFile string, scale, maxInflight int) error {
+	db, err := experiment.NewCatalogDB(scale)
+	if err != nil {
+		return err
+	}
+	if maxInflight > 0 {
+		db.SetMaxInflight(maxInflight)
+	}
+	srv := server.New(db, server.Options{Name: "mctbench-serve"})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if addrFile != "" {
+		tmp := addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, addrFile); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "mctbench: serving catalog (scale %d) on %s\n", scale, ln.Addr())
+
+	stopSig := make(chan os.Signal, 2)
+	signal.Notify(stopSig, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		<-stopSig
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck // drain outcome is reported by Serve returning
+	}()
+	if err := srv.Serve(ln); err != nil {
+		return err
+	}
+	return db.Close()
+}
+
+func runFigures(all, fig11, fig12 bool, fail func(error)) {
+	if all || fig11 || fig12 {
 		rows, err := experiment.Figures()
 		if err != nil {
 			fail(err)
 		}
-		if *all || *fig11 {
+		if all || fig11 {
 			fmt.Println("=== Figure 11 ===")
 			fmt.Print(experiment.FormatFigure(rows, true))
 			fmt.Println()
 		}
-		if *all || *fig12 {
+		if all || fig12 {
 			fmt.Println("=== Figure 12 ===")
 			fmt.Print(experiment.FormatFigure(rows, false))
 			fmt.Println()

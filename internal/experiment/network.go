@@ -1,0 +1,247 @@
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"colorfulxml/client"
+	"colorfulxml/colorful"
+	"colorfulxml/internal/obs"
+	"colorfulxml/internal/server"
+)
+
+// NetworkConfig drives the network serving benchmark: the catalog workload
+// of the Concurrent experiment, but with every query crossing the wire
+// protocol — client pool, frames, per-connection sessions — instead of
+// calling into colorful.DB in-process.
+type NetworkConfig struct {
+	// Addr is an mctserved address to benchmark against. Empty boots an
+	// in-process server on a loopback listener (still a real TCP socket and
+	// the full wire path).
+	Addr string
+	// Clients is the number of concurrent client goroutines (default 8).
+	Clients int
+	// Ops is the number of queries per client (default 200).
+	Ops int
+	// Scale is the catalog size for the in-process server; ignored when
+	// Addr is set (the remote server populated its own store). Default 1000.
+	Scale int
+	// PoolSize caps the client connection pool (default = Clients).
+	PoolSize int
+	// Prepared routes queries through client.Stmt instead of one-shot Query.
+	Prepared bool
+	// MaxInflight applies admission control on the in-process server.
+	MaxInflight int
+}
+
+// DefaultNetwork mirrors the bench-gate invocation.
+var DefaultNetwork = NetworkConfig{Clients: 8, Ops: 200, Scale: 1000}
+
+// NetworkResult is the measured outcome.
+type NetworkResult struct {
+	Clients   int     `json:"clients"`
+	Ops       int     `json:"ops_per_client"`
+	Scale     int     `json:"scale,omitempty"`
+	PoolSize  int     `json:"pool_size"`
+	Prepared  bool    `json:"prepared,omitempty"`
+	InProcess bool    `json:"in_process"`
+	Queries   int64   `json:"queries"`
+	Millis    float64 `json:"millis"`
+	QPS       float64 `json:"qps"`
+
+	P50Micros float64 `json:"p50_micros"`
+	P95Micros float64 `json:"p95_micros"`
+	P99Micros float64 `json:"p99_micros"`
+
+	// Server-side accounting fetched over the wire after the run.
+	ServerRequests  uint64 `json:"server_requests"`
+	ServerResponses uint64 `json:"server_responses"`
+
+	Obs *obs.Snapshot `json:"obs,omitempty"`
+}
+
+// NewCatalogDB builds the in-memory catalog store the Concurrent
+// experiment serves (red catalog/items/names, green featured/votes) —
+// exported so mctserved and the e2e harness boot the same datagen store
+// the benchmarks use.
+func NewCatalogDB(scale int) (*colorful.DB, error) {
+	return buildCatalog(ConcurrentConfig{Scale: scale})
+}
+
+// CatalogQueries returns the catalog read mix (a full scan, an equality
+// lookup, and a cross-hierarchy navigation), the vocabulary every network
+// client drives.
+func CatalogQueries() []string {
+	return append([]string(nil), concurrentQueries...)
+}
+
+// Network runs the benchmark and returns throughput plus latency
+// quantiles measured at the client.
+func Network(cfg NetworkConfig) (*NetworkResult, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = DefaultNetwork.Clients
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = DefaultNetwork.Ops
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = DefaultNetwork.Scale
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = cfg.Clients
+	}
+
+	addr := cfg.Addr
+	inProcess := addr == ""
+	if inProcess {
+		db, err := NewCatalogDB(cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.MaxInflight > 0 {
+			db.SetMaxInflight(cfg.MaxInflight)
+		}
+		srv := server.New(db, server.Options{Name: "mctbench-serve"})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		go srv.Serve(ln) //nolint:errcheck // exits on Shutdown below
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx) //nolint:errcheck // benchmark teardown
+		}()
+		addr = ln.Addr().String()
+	}
+
+	cdb, err := client.OpenOptions(addr, client.Options{PoolSize: cfg.PoolSize, ClientName: "mctbench"})
+	if err != nil {
+		return nil, err
+	}
+	defer cdb.Close()
+
+	queries := CatalogQueries()
+	stmts := make([]*client.Stmt, 0, len(queries))
+	if cfg.Prepared {
+		for _, q := range queries {
+			st, err := cdb.Prepare(q)
+			if err != nil {
+				return nil, fmt.Errorf("prepare %q: %w", q, err)
+			}
+			defer st.Close()
+			stmts = append(stmts, st)
+		}
+	}
+
+	var (
+		wg      sync.WaitGroup
+		done    atomic.Int64
+		lat     obs.Histogram // per-query latency in microseconds
+		failMu  sync.Mutex
+		failErr error
+	)
+	start := time.Now()
+	for cid := 0; cid < cfg.Clients; cid++ {
+		wg.Add(1)
+		go func(cid int) {
+			defer wg.Done()
+			for i := 0; i < cfg.Ops; i++ {
+				q := (cid + i) % len(queries)
+				t0 := time.Now()
+				var err error
+				if cfg.Prepared {
+					_, err = stmts[q].Query()
+				} else {
+					_, err = cdb.Query(queries[q])
+				}
+				if err != nil {
+					failMu.Lock()
+					if failErr == nil {
+						failErr = fmt.Errorf("client %d op %d: %w", cid, i, err)
+					}
+					failMu.Unlock()
+					return
+				}
+				lat.Observe(time.Since(t0).Microseconds())
+				done.Add(1)
+			}
+		}(cid)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if failErr != nil {
+		return nil, failErr
+	}
+
+	res := &NetworkResult{
+		Clients:   cfg.Clients,
+		Ops:       cfg.Ops,
+		PoolSize:  cfg.PoolSize,
+		Prepared:  cfg.Prepared,
+		InProcess: inProcess,
+		Queries:   done.Load(),
+		Millis:    float64(elapsed.Microseconds()) / 1000,
+		QPS:       float64(done.Load()) / elapsed.Seconds(),
+		P50Micros: lat.Quantile(0.50),
+		P95Micros: lat.Quantile(0.95),
+		P99Micros: lat.Quantile(0.99),
+	}
+	if inProcess {
+		res.Scale = cfg.Scale
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if st, err := cdb.ServerStats(ctx); err == nil {
+		res.ServerRequests = st.Requests
+		res.ServerResponses = st.Responses
+	}
+	res.Obs = obs.Default.Snapshot()
+	return res, nil
+}
+
+func (r *NetworkResult) benchName() string {
+	name := "network-serve"
+	if r.Prepared {
+		name += "-prepared"
+	}
+	return name
+}
+
+// BenchJSON renders the machine-readable result line, prefixed with
+// "BENCH" so harnesses can grep it out of mixed output.
+func (r *NetworkResult) BenchJSON() string {
+	type named struct {
+		Name string `json:"name"`
+		*NetworkResult
+	}
+	clean := *r
+	clean.Obs = nil // keep the gated line compact
+	b, _ := json.Marshal(named{Name: r.benchName(), NetworkResult: &clean})
+	return "BENCH " + string(b)
+}
+
+// FormatNetwork renders the human-readable report.
+func FormatNetwork(r *NetworkResult) string {
+	var b strings.Builder
+	mode := "one-shot queries"
+	if r.Prepared {
+		mode = "prepared statements"
+	}
+	where := "remote server"
+	if r.InProcess {
+		where = fmt.Sprintf("in-process loopback server (catalog scale %d)", r.Scale)
+	}
+	fmt.Fprintf(&b, "Network serving: %d clients x %d ops, %s, pool %d, %s\n",
+		r.Clients, r.Ops, mode, r.PoolSize, where)
+	fmt.Fprintf(&b, "  %d queries in %.1f ms -> %.0f qps (p50 %.0fus p95 %.0fus p99 %.0fus)\n",
+		r.Queries, r.Millis, r.QPS, r.P50Micros, r.P95Micros, r.P99Micros)
+	fmt.Fprintf(&b, "  server: %d requests, %d responses\n", r.ServerRequests, r.ServerResponses)
+	return b.String()
+}

@@ -11,8 +11,11 @@ import (
 // §12: every colorful.DB.Session() and Prepare() result must reach Close.
 // An unclosed Session pins the DB's drain forever — DB.Close waits for every
 // session to finish — and an unclosed Stmt pins its plan in the session for
-// as long as the session lives. The analyzer tracks each creation through
-// the function with the same three-state abstract interpretation the
+// as long as the session lives. The network client carries the same shape of
+// obligation: a Pool.Get checkout holds a capacity slot until Release (or
+// Close), and a client.Open/Dial/Prepare result holds sockets or server
+// handles until Close. The analyzer tracks each creation through the
+// function with the same three-state abstract interpretation the
 // commitscope analyzer uses (before the creation, live, closed-or-escaped),
 // joined across branches and iterated to a fixed point in loops.
 //
@@ -25,26 +28,48 @@ import (
 // open on a return path with no deferred Close.
 var SessionClose = &Analyzer{
 	Name: "sessionclose",
-	Doc:  "colorful Session()/Prepare() results must reach Close on every path",
+	Doc:  "colorful Session()/Prepare() and client Get/Dial/Open results must reach Close or Release on every path",
 	Run:  runSessionClose,
 }
 
-// sessionConstructors are the colorful-package functions whose results carry
-// a Close obligation.
-var sessionConstructors = map[string]bool{
-	"Session": true,
-	"Prepare": true,
+// sessionConstructors are the functions whose results carry a close
+// obligation, keyed by the package-path suffix that defines them: the
+// colorful session kernel, and the network client's pooled handles.
+var sessionConstructors = map[string]map[string]bool{
+	"colorful": {
+		"Session": true,
+		"Prepare": true,
+	},
+	"client": {
+		"Get":         true, // Pool.Get checkout holds a capacity slot
+		"Dial":        true,
+		"Open":        true,
+		"OpenOptions": true,
+		"Prepare":     true,
+	},
 }
 
-// isSessionConstructor reports whether the call resolves to a Session or
-// Prepare method of the colorful package (suffix-scoped so fixture modules
+// sessionClosers are the methods that discharge the obligation. Release is
+// the client pool's healthy-return path; Close retires or destroys.
+var sessionClosers = map[string]bool{
+	"Close":   true,
+	"Release": true,
+}
+
+// isSessionConstructor reports whether the call resolves to one of the
+// tracked constructors (suffix-scoped by package path so fixture modules
 // mirroring the layout are covered too).
 func isSessionConstructor(info *types.Info, call *ast.CallExpr) bool {
 	obj := calleeObj(info, call)
-	if obj == nil || obj.Pkg() == nil || !sessionConstructors[obj.Name()] {
+	if obj == nil || obj.Pkg() == nil {
 		return false
 	}
-	return pathHasSuffix(obj.Pkg().Path(), "colorful")
+	for suffix, names := range sessionConstructors {
+		if names[obj.Name()] && pathHasSuffix(obj.Pkg().Path(), suffix) {
+			return true
+		}
+	}
+	return false
 }
 
 func runSessionClose(pass *Pass) error {
@@ -92,7 +117,7 @@ func checkSessionClose(pass *Pass, body *ast.BlockStmt) {
 				"result of %s is discarded; a Session/Stmt must reach Close", calleeName(call))
 		case *ast.SelectorExpr:
 			// A method chained off the fresh value: nothing holds it afterward.
-			if p.Sel.Name != "Close" {
+			if !sessionClosers[p.Sel.Name] {
 				pass.Reportf(call.Pos(),
 					"result of %s is not bound to a variable; it can never be closed", calleeName(call))
 			}
@@ -454,7 +479,7 @@ func (fl *sessFlow) scanStmt(in sessState, n ast.Node) sessState {
 			}
 			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
 				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && fl.isVar(id) {
-					if sel.Sel.Name == "Close" {
+					if sessionClosers[sel.Sel.Name] {
 						events = append(events, sessEvent{pos: x, kind: evClose})
 					}
 					// A method call on the variable (Query, Stats, ...) is a

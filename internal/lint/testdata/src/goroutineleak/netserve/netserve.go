@@ -1,0 +1,114 @@
+// Package netserve exercises the goroutineleak analyzer over the
+// network-serving shape: an accept loop watching a stop channel,
+// WaitGroup-tracked per-connection handlers, and the variants of each that
+// leak.
+package netserve
+
+import "sync"
+
+type conn struct{}
+
+func (c *conn) readFrame() bool { return false }
+func (c *conn) respond()        {}
+
+type listener struct{}
+
+func (l *listener) accept() (*conn, bool) { return &conn{}, true }
+func (l *listener) close()                {}
+
+// Server mirrors the mctserved lifecycle: the accept loop watches stopCh,
+// per-connection handlers are WaitGroup-tracked, and Shutdown closes the
+// channel and waits for the handlers.
+type Server struct {
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+func NewServer() *Server { return &Server{stopCh: make(chan struct{})} }
+
+// serveLoop accepts until shutdown; its select receives from the closed
+// stop channel, which is the loop's termination evidence.
+func (s *Server) serveLoop(l *listener) {
+	for {
+		select {
+		case <-s.stopCh:
+			s.wg.Wait()
+			return
+		default:
+		}
+		c, ok := l.accept()
+		if !ok {
+			return
+		}
+		s.wg.Add(1)
+		go s.handle(c)
+	}
+}
+
+// handle drains one connection; it is WaitGroup-tracked by serveLoop and
+// its read loop is bounded by the connection closing.
+func (s *Server) handle(c *conn) {
+	defer s.wg.Done()
+	for c.readFrame() {
+		c.respond()
+	}
+}
+
+// Legal: the spawn resolves to serveLoop's body, whose stop-channel receive
+// is found transitively.
+func (s *Server) Start(l *listener) {
+	go s.serveLoop(l)
+}
+
+func (s *Server) Shutdown() {
+	close(s.stopCh)
+	s.wg.Wait()
+}
+
+// awaitStop blocks until shutdown; callers inherit its evidence.
+func (s *Server) awaitStop() {
+	<-s.stopCh
+}
+
+// Legal: the drain watcher's evidence is one call deep, in awaitStop.
+func (s *Server) drainWatcher(l *listener) {
+	go func() {
+		s.awaitStop()
+		l.close()
+	}()
+}
+
+// Violation: a per-connection goroutine with no tracking and no stop signal
+// spins on the connection forever, even after shutdown.
+func (s *Server) handleUntracked(c *conn) {
+	go func() { // want "goroutine may never terminate"
+		for {
+			c.respond()
+		}
+	}()
+}
+
+// Violation: WaitGroup tracking does not excuse an accept loop that never
+// checks the stop channel — Shutdown's Wait would deadlock on it.
+func (s *Server) acceptForever(l *listener) {
+	s.wg.Add(1)
+	go func() { // want "goroutine may never terminate"
+		defer s.wg.Done()
+		for {
+			c, _ := l.accept()
+			c.respond()
+		}
+	}()
+}
+
+// Violation: a connection callback through a function value has no
+// resolvable body to verify.
+func (s *Server) onConnUnchecked(fn func()) {
+	go fn() // want "cannot verify termination"
+}
+
+// Legal: the same opaque spawn with the serving contract cited.
+func (s *Server) onConn(fn func()) {
+	//mctlint:ignore goroutineleak the handler contract requires fn to return when its connection closes
+	go fn()
+}

@@ -1,0 +1,107 @@
+// Network-client cases for the sessionclose analyzer: pool checkouts must
+// reach Release or Close, dialed connections and opened DBs must reach
+// Close, and prepared statements over the pool carry the same obligation as
+// session statements.
+package app
+
+import "sessionclosefix/client"
+
+// Release discharges a checkout exactly like Close: conforming.
+func released(p *client.Pool) error {
+	c, err := p.Get()
+	if err != nil {
+		return err
+	}
+	defer c.Release()
+	return c.Query("q")
+}
+
+// Destroying a broken connection with Close also discharges it.
+func destroyed(p *client.Pool) error {
+	c, err := p.Get()
+	if err != nil {
+		return err
+	}
+	err = c.Query("q")
+	c.Close()
+	return err
+}
+
+// A checkout that is neither Released nor Closed pins a pool slot forever.
+func checkoutLeak(p *client.Pool) error {
+	c, err := p.Get()
+	if err != nil {
+		return err
+	}
+	return c.Query("q") // want "return leaks c while it is still open"
+}
+
+// Released on the happy path, leaked when the health probe fails.
+func halfReleased(p *client.Pool) error {
+	c, err := p.Get()
+	if err != nil {
+		return err
+	}
+	if err := c.Ping(); err != nil {
+		return err // want "return leaks c while it is still open"
+	}
+	c.Release()
+	return nil
+}
+
+// An unbound Get can never return its slot.
+func checkoutDiscard(p *client.Pool) {
+	p.Get() // want "result of Get is discarded"
+}
+
+// Dial hands out a live socket; the err-nil guard is the failure path.
+func dialed(addr string) error {
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	return c.Ping()
+}
+
+// Blank-assigning a dialed connection leaks the socket.
+func dialBlanked(addr string) {
+	_, _ = client.Dial(addr, client.Options{}) // want "assigned to the blank identifier"
+}
+
+// Ownership of an opened DB transfers to the caller by return: conforming.
+func open(addr string) (*client.DB, error) {
+	return client.Open(addr)
+}
+
+// OpenOptions closed on the probe-failure path, returned on success.
+func openChecked(addr string) (*client.DB, error) {
+	db, err := client.OpenOptions(addr, client.Options{PoolSize: 2})
+	if err != nil {
+		return nil, err
+	}
+	if err := db.Query("probe"); err != nil {
+		db.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// A pool-wide prepared statement leaks like a session statement.
+func prepareLeak(db *client.DB, q string) error {
+	st, err := db.Prepare(q)
+	if err != nil {
+		return err
+	}
+	return st.Query() // want "return leaks st while it is still open"
+}
+
+// The conforming shape: deferred Close after the err-nil guard.
+func prepareClosed(db *client.DB, q string) error {
+	st, err := db.Prepare(q)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	return st.Query()
+}

@@ -1,0 +1,54 @@
+// Package client mirrors the network-client surface the analyzer guards:
+// Pool.Get checkouts hold a capacity slot until Release (or Close), and
+// Dial/Open/OpenOptions/Prepare results hold sockets or server handles
+// until Close.
+package client
+
+import "errors"
+
+type Options struct{ PoolSize int }
+
+type Pool struct{}
+
+func (p *Pool) Get() (*Conn, error) { return &Conn{}, nil }
+
+type Conn struct{}
+
+func (c *Conn) Query(src string) error { return nil }
+func (c *Conn) Ping() error            { return nil }
+func (c *Conn) Release()               {}
+func (c *Conn) Close() error           { return nil }
+
+func Dial(addr string, opt Options) (*Conn, error) {
+	if addr == "" {
+		return nil, errors.New("empty address")
+	}
+	return &Conn{}, nil
+}
+
+type DB struct{}
+
+// Open's obligation escapes by being returned: conforming.
+func Open(addr string) (*DB, error) { return OpenOptions(addr, Options{}) }
+
+func OpenOptions(addr string, opt Options) (*DB, error) {
+	if addr == "" {
+		return nil, errors.New("empty address")
+	}
+	return &DB{}, nil
+}
+
+func (db *DB) Query(src string) error { return nil }
+func (db *DB) Close() error           { return nil }
+
+func (db *DB) Prepare(src string) (*Stmt, error) {
+	if src == "" {
+		return nil, errors.New("empty query")
+	}
+	return &Stmt{}, nil
+}
+
+type Stmt struct{}
+
+func (st *Stmt) Query() error { return nil }
+func (st *Stmt) Close() error { return nil }

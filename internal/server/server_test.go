@@ -1,0 +1,520 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"colorfulxml/client"
+	"colorfulxml/colorful"
+	"colorfulxml/internal/experiment"
+	"colorfulxml/internal/server"
+	"colorfulxml/internal/vfs"
+	"colorfulxml/internal/wire"
+)
+
+// startServer boots srv on an ephemeral loopback port and tears it down
+// with the test. It returns the server and its dialable address.
+func startServer(t *testing.T, db *colorful.DB, opts server.Options) (*server.Server, string) {
+	t.Helper()
+	srv := server.New(db, opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return srv, ln.Addr().String()
+}
+
+// startCatalog serves a fresh in-memory catalog store of the given scale.
+func startCatalog(t *testing.T, scale int, opts server.Options) (*colorful.DB, *server.Server, string) {
+	t.Helper()
+	db, err := experiment.NewCatalogDB(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	srv, addr := startServer(t, db, opts)
+	return db, srv, addr
+}
+
+// TestServeSmoke drives every client-visible operation against a live
+// server and cross-checks query results with the in-process engine.
+func TestServeSmoke(t *testing.T) {
+	db, srv, addr := startCatalog(t, 50, server.Options{})
+	cdb, err := client.Open(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cdb.Close()
+
+	ctx := context.Background()
+	if err := cdb.Ping(ctx); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+
+	for _, q := range experiment.CatalogQueries() {
+		want, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("in-process %q: %v", q, err)
+		}
+		got, err := cdb.Query(q)
+		if err != nil {
+			t.Fatalf("over wire %q: %v", q, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%q: wire returned %d items, in-process %d", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Value != want[i].Value || got[i].Color != string(want[i].Color) {
+				t.Fatalf("%q item %d: wire %+v, in-process {%s %q}", q, i, got[i], want[i].Color, want[i].Value)
+			}
+		}
+	}
+
+	// Prepared path returns the same rows as one-shot.
+	q := experiment.CatalogQueries()[0]
+	st, err := cdb.Prepare(q)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	defer st.Close()
+	oneShot, err := cdb.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prepared, err := st.Query()
+	if err != nil {
+		t.Fatalf("prepared query: %v", err)
+	}
+	if len(prepared) != len(oneShot) {
+		t.Fatalf("prepared returned %d items, one-shot %d", len(prepared), len(oneShot))
+	}
+
+	// Update over the wire mutates the served store.
+	res, err := cdb.Update(`
+for $i in document("db")/{red}descendant::item[{red}child::name = "Item 7"]
+update $i { insert <flag>1</flag> }`)
+	if err != nil {
+		t.Fatalf("update over wire: %v", err)
+	}
+	if res.Tuples == 0 {
+		t.Fatal("update matched no tuples")
+	}
+	hits, err := cdb.Query(`document("db")/{red}descendant::flag`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 {
+		t.Fatalf("inserted flag count = %d, want 1", len(hits))
+	}
+
+	h, err := cdb.Health(ctx)
+	if err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	if h.State != colorful.Healthy {
+		t.Fatalf("health state = %v, want Healthy", h.State)
+	}
+
+	stats, err := cdb.ServerStats(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	// The Stats request itself is mid-flight when the snapshot is taken, so
+	// it is counted as read but not yet answered.
+	if stats.Requests == 0 || stats.Responses != stats.Requests-1 {
+		t.Fatalf("server stats requests=%d responses=%d, want responses = requests-1", stats.Requests, stats.Responses)
+	}
+	if stats.Draining {
+		t.Fatal("server reports draining mid-test")
+	}
+	_ = srv
+}
+
+// TestBigBatchSpansFrames forces a tiny server chunk size so a full scan
+// streams across many Items frames, and checks nothing is lost or
+// reordered at the seams.
+func TestBigBatchSpansFrames(t *testing.T) {
+	db, _, addr := startCatalog(t, 300, server.Options{ChunkItems: 7})
+	cdb, err := client.Open(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cdb.Close()
+
+	q := `document("db")/{red}descendant::item/{red}child::name`
+	want, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) < 100 {
+		t.Fatalf("scan too small to span frames: %d items", len(want))
+	}
+	got, err := cdb.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("wire scan returned %d items, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Value != want[i].Value {
+			t.Fatalf("item %d = %q, want %q (chunk seam reorder?)", i, got[i].Value, want[i].Value)
+		}
+	}
+
+	// The prepared/Execute/Fetch path drains a server cursor in the same
+	// tiny chunks.
+	st, err := cdb.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	fetched, err := st.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fetched) != len(want) {
+		t.Fatalf("cursor drain returned %d items, want %d", len(fetched), len(want))
+	}
+}
+
+// TestOverloadIsTypedAndRetryable saturates the server's admission gate and
+// checks ErrOverloaded survives the wire with its retryable classification.
+func TestOverloadIsTypedAndRetryable(t *testing.T) {
+	db, _, addr := startCatalog(t, 2000, server.Options{})
+	db.SetMaxInflight(1)
+	// Any queue wait at all times out: whenever two queries overlap, the
+	// loser is rejected.
+	db.SetAdmissionTimeout(time.Nanosecond)
+
+	// Retries disabled so the typed error reaches the caller raw.
+	cdb, err := client.OpenOptions(addr, client.Options{PoolSize: 8, MaxRetries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cdb.Close()
+
+	// In-process hammers keep the single admission slot occupied, so a wire
+	// query arriving at the gate must queue — and with a nanosecond budget,
+	// queueing means rejection. Network latency alone cannot line up two
+	// executions reliably; the hammers make the collision certain.
+	q := `document("db")/{red}descendant::item/{red}child::name`
+	stopHammer := make(chan struct{})
+	var hammers sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		hammers.Add(1)
+		go func() {
+			defer hammers.Done()
+			for {
+				select {
+				case <-stopHammer:
+					return
+				default:
+				}
+				db.Query(q) //nolint:errcheck // occupancy only; rejections among hammers are fine
+			}
+		}()
+	}
+	for db.AdmissionStats().Inflight == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	var overloadErr error
+	for attempt := 0; attempt < 100 && overloadErr == nil; attempt++ {
+		if _, err := cdb.Query(q); err != nil {
+			overloadErr = err
+		}
+	}
+	close(stopHammer)
+	hammers.Wait()
+	if overloadErr == nil {
+		t.Fatal("no query hit the admission gate: overload never crossed the wire")
+	}
+	if !errors.Is(overloadErr, colorful.ErrOverloaded) {
+		t.Fatalf("wire error = %v, want ErrOverloaded", overloadErr)
+	}
+	if !colorful.IsRetryable(overloadErr) {
+		t.Fatal("wire ErrOverloaded lost its retryable classification")
+	}
+
+	// Lifting the gate restores serial service.
+	db.SetMaxInflight(0)
+	if _, err := cdb.Query(q); err != nil {
+		t.Fatalf("query after lifting the gate: %v", err)
+	}
+}
+
+// TestDegradedReadOnlyOverWire degrades a durable store with an injected
+// disk outage and checks a wire Update is refused with ErrReadOnly — typed,
+// and NOT retryable.
+func TestDegradedReadOnlyOverWire(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	ffs := vfs.NewFaultFS(vfs.OS, 42)
+	db, err := colorful.OpenOptions(dir, colorful.Options{
+		FS: ffs,
+		Retry: &vfs.RetryPolicy{
+			MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond,
+			Budget: time.Second, Seed: 7, Sleep: func(time.Duration) {},
+		},
+		ProbeInterval: time.Hour, // probe effectively disabled
+	}, "red", "green")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if _, err := db.AddElement(db.Document(), "movie", "red"); err != nil {
+		t.Fatal(err)
+	}
+
+	_, addr := startServer(t, db, server.Options{})
+	cdb, err := client.Open(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cdb.Close()
+
+	// Healthy first: the same update applies over the wire.
+	if _, err := cdb.Update(`
+for $m in document("db")/{red}descendant::movie
+update $m { insert <ok>1</ok> }`); err != nil {
+		t.Fatalf("update on healthy store: %v", err)
+	}
+
+	// Disk outage: every durability operation fails hard.
+	ffs.SetStanding(vfs.Permanent(vfs.ErrIO))
+	_, err = cdb.Update(`
+for $m in document("db")/{red}descendant::movie
+update $m { insert <late>1</late> }`)
+	if err == nil {
+		t.Fatal("update acknowledged over the wire during a disk outage")
+	}
+	if !errors.Is(err, colorful.ErrReadOnly) {
+		t.Fatalf("wire error = %v, want ErrReadOnly", err)
+	}
+	if colorful.IsRetryable(err) {
+		t.Fatal("degraded-mode rejection must not be retryable over the wire")
+	}
+
+	// Reads keep serving, and Health reports the degraded state remotely.
+	if _, err := cdb.Query(`document("db")/{red}descendant::movie`); err != nil {
+		t.Fatalf("read during degraded mode: %v", err)
+	}
+	h, err := cdb.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.State != colorful.DegradedReadOnly {
+		t.Fatalf("remote health = %v, want DegradedReadOnly", h.State)
+	}
+}
+
+// TestDisconnectFreesHandles opens a statement and a half-drained cursor
+// over raw wire frames, kills the socket without closing anything, and
+// checks the server frees the session's handles and its registry slot.
+func TestDisconnectFreesHandles(t *testing.T) {
+	_, srv, addr := startCatalog(t, 300, server.Options{})
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(10 * time.Second))
+	w, r := wire.NewWriter(nc), wire.NewReader(nc)
+
+	// ask sends one request frame and returns the (decoded-by-caller)
+	// response, failing the test on any Error response.
+	ask := func(typ wire.Type, payload []byte, want wire.Type) []byte {
+		t.Helper()
+		if err := w.WriteFrame(typ, payload); err != nil {
+			t.Fatal(err)
+		}
+		rtyp, rp, err := r.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rtyp == wire.TypeError {
+			em, _ := wire.DecodeError(rp)
+			t.Fatalf("%v request failed: %v %s", typ, em.Code, em.Msg)
+		}
+		if rtyp != want {
+			t.Fatalf("%v response = %v, want %v", typ, rtyp, want)
+		}
+		return rp
+	}
+
+	ask(wire.TypeHello, wire.Hello{Proto: wire.ProtoVersion, Client: "abrupt"}.Encode(), wire.TypeWelcome)
+	q := `document("db")/{red}descendant::item/{red}child::name`
+	prepared, err := wire.DecodePrepared(ask(wire.TypePrepare, wire.Prepare{Src: q}.Encode(), wire.TypePrepared))
+	if err != nil {
+		t.Fatal(err)
+	}
+	executed, err := wire.DecodeExecuted(ask(wire.TypeExecute, wire.Execute{Stmt: prepared.Stmt}.Encode(), wire.TypeExecuted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed.Cursor == 0 || executed.Rows == 0 {
+		t.Fatalf("execute returned cursor=%d rows=%d, want live cursor", executed.Cursor, executed.Rows)
+	}
+	// Fetch one small chunk so the cursor is mid-drain, then vanish.
+	ask(wire.TypeFetch, wire.Fetch{Cursor: executed.Cursor, Max: 5}.Encode(), wire.TypeItems)
+
+	st := srv.Stats()
+	if st.StmtsOpen != 1 || st.CursorsOpen != 1 {
+		t.Fatalf("before disconnect: stmts=%d cursors=%d, want 1/1", st.StmtsOpen, st.CursorsOpen)
+	}
+	nc.Close() // raw socket close: no CloseStmt, no CloseCursor
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st = srv.Stats()
+		if st.Open == 0 && st.StmtsOpen == 0 && st.CursorsOpen == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never freed handles: open=%d stmts=%d cursors=%d", st.Open, st.StmtsOpen, st.CursorsOpen)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestGracefulDrainZeroDrop runs client load, shuts the server down in the
+// middle of it, and verifies the drain invariant: every request the server
+// read got its response (client- and server-side counts agree), and no
+// connection was closed hard.
+func TestGracefulDrainZeroDrop(t *testing.T) {
+	db, err := experiment.NewCatalogDB(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	srv := server.New(db, server.Options{DrainTimeout: 10 * time.Second})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	cdb, err := client.OpenOptions(ln.Addr().String(), client.Options{PoolSize: 4, MaxRetries: -1, IdlePingAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cdb.Close()
+
+	const clients = 4
+	q := `document("db")/{red}descendant::item/{red}child::name`
+	var (
+		succeeded atomic.Int64
+		drained   atomic.Int64
+		badErr    atomic.Value
+		wg        sync.WaitGroup
+	)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_, err := cdb.Query(q)
+				switch {
+				case err == nil:
+					succeeded.Add(1)
+				case errors.Is(err, client.ErrDraining):
+					drained.Add(1)
+					return
+				default:
+					// After the listener closes, fresh dials are refused;
+					// that is expected shutdown noise, not a drop.
+					var ne net.Error
+					if errors.As(err, &ne) || errors.Is(err, client.ErrClosed) {
+						drained.Add(1)
+						return
+					}
+					badErr.Store(err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Let the load get going, then drain mid-flight.
+	time.Sleep(20 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown forced connections closed: %v", err)
+	}
+	wg.Wait()
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if v := badErr.Load(); v != nil {
+		t.Fatalf("query dropped during drain: %v", v)
+	}
+	if succeeded.Load() == 0 {
+		t.Fatal("no query succeeded before the drain")
+	}
+
+	st := srv.Stats()
+	if st.Requests != st.Responses {
+		t.Fatalf("drain dropped requests: read %d, answered %d", st.Requests, st.Responses)
+	}
+	if st.Open != 0 {
+		t.Fatalf("connections still open after drain: %d", st.Open)
+	}
+}
+
+// TestHandshakeRejectsBadClients speaks raw wire frames to check protocol
+// policing: wrong first frame and wrong version both earn a typed Error.
+func TestHandshakeRejectsBadClients(t *testing.T) {
+	_, _, addr := startCatalog(t, 10, server.Options{})
+
+	check := func(name string, typ wire.Type, payload []byte) {
+		t.Helper()
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nc.Close()
+		nc.SetDeadline(time.Now().Add(5 * time.Second))
+		w, r := wire.NewWriter(nc), wire.NewReader(nc)
+		if err := w.WriteFrame(typ, payload); err != nil {
+			t.Fatal(err)
+		}
+		rtyp, rp, err := r.ReadFrame()
+		if err != nil {
+			t.Fatalf("%s: reading response: %v", name, err)
+		}
+		if rtyp != wire.TypeError {
+			t.Fatalf("%s: response type = %v, want Error", name, rtyp)
+		}
+		em, err := wire.DecodeError(rp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if em.Code != wire.CodeProtocol {
+			t.Fatalf("%s: code = %v, want CodeProtocol", name, em.Code)
+		}
+	}
+
+	check("ping before hello", wire.TypePing, nil)
+	check("future version", wire.TypeHello, wire.Hello{Proto: 99, Client: "time traveler"}.Encode())
+}

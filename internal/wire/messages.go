@@ -1,0 +1,488 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file encodes the message payloads carried inside frames. The format
+// is varint-framed in the same style as the WAL's change batches:
+//
+//	str    := len:uvarint bytes
+//	item   := node:uvarint color:str value:str
+//	items  := cursor:uvarint more:byte count:uvarint item*
+//
+// Decoding is strict: every length is bounds-checked against the remaining
+// buffer and trailing bytes are rejected, so arbitrary (fuzzed or
+// corrupted) payloads fail cleanly instead of over-allocating or panicking.
+
+// ErrBadMessage reports a payload that does not decode as its frame type
+// claims. It is a protocol error, distinct from frame-level corruption.
+var ErrBadMessage = fmt.Errorf("wire: malformed message")
+
+// ErrCode classifies an Error response so typed error semantics —
+// colorful.IsRetryable in particular — survive the network. The client maps
+// codes back onto the colorful sentinel errors.
+type ErrCode uint8
+
+const (
+	CodeInternal      ErrCode = 0  // unclassified server failure
+	CodeBadRequest    ErrCode = 1  // malformed or out-of-order request
+	CodeProtocol      ErrCode = 2  // handshake/version mismatch
+	CodeOverloaded    ErrCode = 3  // admission gate rejection (retryable)
+	CodeReadOnly      ErrCode = 4  // degraded read-only mode refused a write
+	CodeFailed        ErrCode = 5  // database is in the Failed state
+	CodeSessionClosed ErrCode = 6  // session or statement already closed
+	CodeUnknownHandle ErrCode = 7  // stmt/cursor handle not found
+	CodeShuttingDown  ErrCode = 8  // server is draining
+	CodeQuery         ErrCode = 9  // parse/execution error from the query itself
+	CodeCanceled      ErrCode = 10 // deadline exceeded or canceled server-side
+	CodeClosed        ErrCode = 11 // database closed underneath the server
+)
+
+func (c ErrCode) String() string {
+	switch c {
+	case CodeInternal:
+		return "internal"
+	case CodeBadRequest:
+		return "bad-request"
+	case CodeProtocol:
+		return "protocol"
+	case CodeOverloaded:
+		return "overloaded"
+	case CodeReadOnly:
+		return "read-only"
+	case CodeFailed:
+		return "failed"
+	case CodeSessionClosed:
+		return "session-closed"
+	case CodeUnknownHandle:
+		return "unknown-handle"
+	case CodeShuttingDown:
+		return "shutting-down"
+	case CodeQuery:
+		return "query"
+	case CodeCanceled:
+		return "canceled"
+	case CodeClosed:
+		return "closed"
+	}
+	return fmt.Sprintf("code-%d", uint8(c))
+}
+
+// Item is one query result on the wire: the node's stable ID (0 for atomic
+// values), the color it was selected under, and its text value.
+type Item struct {
+	Node  uint64
+	Color string
+	Value string
+}
+
+// Hello opens a connection; it must be the first frame a client sends.
+type Hello struct {
+	Proto  uint32
+	Client string // informational client name, surfaced in server logs
+}
+
+// Welcome acknowledges a Hello.
+type Welcome struct {
+	Proto  uint32
+	Server string
+}
+
+// ErrorMsg answers any request the server could not satisfy.
+type ErrorMsg struct {
+	Code ErrCode
+	Msg  string
+}
+
+// Query runs a one-shot query; the response is a stream of Items frames
+// (cursor 0) ending with one whose More flag is false.
+type Query struct {
+	Src            string
+	ChunkItems     uint32 // max items per Items frame; 0 = server default
+	DeadlineMillis uint64 // remaining budget when the request was sent; 0 = none
+}
+
+// Items carries one chunk of results, for both one-shot Query streams and
+// cursor Fetches.
+type Items struct {
+	Cursor uint64
+	More   bool
+	Items  []Item
+}
+
+// Prepare compiles a statement on the connection's session.
+type Prepare struct {
+	Src string
+}
+
+// Prepared returns the server-side statement handle.
+type Prepared struct {
+	Stmt uint64
+}
+
+// Execute runs a prepared statement and materializes a cursor; drain it
+// with Fetch.
+type Execute struct {
+	Stmt           uint64
+	DeadlineMillis uint64
+}
+
+// Executed reports the cursor handle and total row count of an Execute.
+type Executed struct {
+	Cursor uint64
+	Rows   uint64
+}
+
+// Fetch requests the next chunk from a cursor. The final chunk (More ==
+// false) closes the cursor server-side.
+type Fetch struct {
+	Cursor uint64
+	Max    uint32 // max items in this chunk; 0 = server default
+}
+
+// CloseCursor discards a cursor early; the server answers Ack.
+type CloseCursor struct {
+	Cursor uint64
+}
+
+// CloseStmt frees a prepared-statement handle; the server answers Ack.
+type CloseStmt struct {
+	Stmt uint64
+}
+
+// Update applies a mutation batch; the response is Updated.
+type Update struct {
+	Src            string
+	DeadlineMillis uint64
+}
+
+// Updated reports what an Update changed.
+type Updated struct {
+	Tuples       uint64
+	NodesTouched uint64
+}
+
+// HealthInfo mirrors colorful.HealthInfo over the wire.
+type HealthInfo struct {
+	State    uint8
+	Cause    string
+	Degrades uint64
+	Heals    uint64
+}
+
+// StatsInfo is a point-in-time server snapshot, answering a Stats request.
+type StatsInfo struct {
+	Connections uint64 // accepted since start
+	Open        uint64 // currently open
+	Requests    uint64 // fully read requests
+	Responses   uint64 // fully written responses
+	Errors      uint64 // Error responses among them
+	StmtsOpen   uint64
+	CursorsOpen uint64
+	Draining    bool
+}
+
+// Drain is the unsolicited notice a draining server sends before closing a
+// connection; the client must not send further requests on it.
+type Drain struct {
+	Reason string
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendBool(buf []byte, b bool) []byte {
+	if b {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+// decoder is a cursor with sticky error handling over a payload buffer,
+// mirroring the WAL's.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(msg string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s at offset %d", ErrBadMessage, msg, d.off)
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail("truncated byte")
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *decoder) bool() bool { return d.byte() != 0 }
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("truncated or overlong uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) uint32() uint32 {
+	v := d.uvarint()
+	if d.err == nil && v > 1<<32-1 {
+		d.fail("value exceeds uint32")
+		return 0
+	}
+	return uint32(v)
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		d.fail(fmt.Sprintf("string length %d exceeds payload", n))
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// finish rejects trailing bytes and returns the sticky error.
+func (d *decoder) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(d.buf)-d.off)
+	}
+	return nil
+}
+
+// Encode / Decode pairs. Every Decode is total over arbitrary input.
+
+func (m Hello) Encode() []byte {
+	buf := binary.AppendUvarint(nil, uint64(m.Proto))
+	return appendString(buf, m.Client)
+}
+
+func DecodeHello(p []byte) (Hello, error) {
+	d := decoder{buf: p}
+	m := Hello{Proto: d.uint32(), Client: d.string()}
+	return m, d.finish()
+}
+
+func (m Welcome) Encode() []byte {
+	buf := binary.AppendUvarint(nil, uint64(m.Proto))
+	return appendString(buf, m.Server)
+}
+
+func DecodeWelcome(p []byte) (Welcome, error) {
+	d := decoder{buf: p}
+	m := Welcome{Proto: d.uint32(), Server: d.string()}
+	return m, d.finish()
+}
+
+func (m ErrorMsg) Encode() []byte {
+	buf := []byte{byte(m.Code)}
+	return appendString(buf, m.Msg)
+}
+
+func DecodeError(p []byte) (ErrorMsg, error) {
+	d := decoder{buf: p}
+	m := ErrorMsg{Code: ErrCode(d.byte()), Msg: d.string()}
+	return m, d.finish()
+}
+
+func (m Query) Encode() []byte {
+	buf := appendString(nil, m.Src)
+	buf = binary.AppendUvarint(buf, uint64(m.ChunkItems))
+	return binary.AppendUvarint(buf, m.DeadlineMillis)
+}
+
+func DecodeQuery(p []byte) (Query, error) {
+	d := decoder{buf: p}
+	m := Query{Src: d.string(), ChunkItems: d.uint32(), DeadlineMillis: d.uvarint()}
+	return m, d.finish()
+}
+
+func (m Items) Encode() []byte {
+	buf := binary.AppendUvarint(nil, m.Cursor)
+	buf = appendBool(buf, m.More)
+	buf = binary.AppendUvarint(buf, uint64(len(m.Items)))
+	for _, it := range m.Items {
+		buf = binary.AppendUvarint(buf, it.Node)
+		buf = appendString(buf, it.Color)
+		buf = appendString(buf, it.Value)
+	}
+	return buf
+}
+
+func DecodeItems(p []byte) (Items, error) {
+	d := decoder{buf: p}
+	m := Items{Cursor: d.uvarint(), More: d.bool()}
+	n := d.uvarint()
+	// Each item occupies at least 3 bytes, so an impossible count is
+	// rejected before any allocation.
+	if d.err == nil && n > uint64(len(p)) {
+		return m, fmt.Errorf("%w: item count %d exceeds payload", ErrBadMessage, n)
+	}
+	m.Items = make([]Item, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		m.Items = append(m.Items, Item{Node: d.uvarint(), Color: d.string(), Value: d.string()})
+	}
+	return m, d.finish()
+}
+
+func (m Prepare) Encode() []byte { return appendString(nil, m.Src) }
+
+func DecodePrepare(p []byte) (Prepare, error) {
+	d := decoder{buf: p}
+	m := Prepare{Src: d.string()}
+	return m, d.finish()
+}
+
+func (m Prepared) Encode() []byte { return binary.AppendUvarint(nil, m.Stmt) }
+
+func DecodePrepared(p []byte) (Prepared, error) {
+	d := decoder{buf: p}
+	m := Prepared{Stmt: d.uvarint()}
+	return m, d.finish()
+}
+
+func (m Execute) Encode() []byte {
+	buf := binary.AppendUvarint(nil, m.Stmt)
+	return binary.AppendUvarint(buf, m.DeadlineMillis)
+}
+
+func DecodeExecute(p []byte) (Execute, error) {
+	d := decoder{buf: p}
+	m := Execute{Stmt: d.uvarint(), DeadlineMillis: d.uvarint()}
+	return m, d.finish()
+}
+
+func (m Executed) Encode() []byte {
+	buf := binary.AppendUvarint(nil, m.Cursor)
+	return binary.AppendUvarint(buf, m.Rows)
+}
+
+func DecodeExecuted(p []byte) (Executed, error) {
+	d := decoder{buf: p}
+	m := Executed{Cursor: d.uvarint(), Rows: d.uvarint()}
+	return m, d.finish()
+}
+
+func (m Fetch) Encode() []byte {
+	buf := binary.AppendUvarint(nil, m.Cursor)
+	return binary.AppendUvarint(buf, uint64(m.Max))
+}
+
+func DecodeFetch(p []byte) (Fetch, error) {
+	d := decoder{buf: p}
+	m := Fetch{Cursor: d.uvarint(), Max: d.uint32()}
+	return m, d.finish()
+}
+
+func (m CloseCursor) Encode() []byte { return binary.AppendUvarint(nil, m.Cursor) }
+
+func DecodeCloseCursor(p []byte) (CloseCursor, error) {
+	d := decoder{buf: p}
+	m := CloseCursor{Cursor: d.uvarint()}
+	return m, d.finish()
+}
+
+func (m CloseStmt) Encode() []byte { return binary.AppendUvarint(nil, m.Stmt) }
+
+func DecodeCloseStmt(p []byte) (CloseStmt, error) {
+	d := decoder{buf: p}
+	m := CloseStmt{Stmt: d.uvarint()}
+	return m, d.finish()
+}
+
+func (m Update) Encode() []byte {
+	buf := appendString(nil, m.Src)
+	return binary.AppendUvarint(buf, m.DeadlineMillis)
+}
+
+func DecodeUpdate(p []byte) (Update, error) {
+	d := decoder{buf: p}
+	m := Update{Src: d.string(), DeadlineMillis: d.uvarint()}
+	return m, d.finish()
+}
+
+func (m Updated) Encode() []byte {
+	buf := binary.AppendUvarint(nil, m.Tuples)
+	return binary.AppendUvarint(buf, m.NodesTouched)
+}
+
+func DecodeUpdated(p []byte) (Updated, error) {
+	d := decoder{buf: p}
+	m := Updated{Tuples: d.uvarint(), NodesTouched: d.uvarint()}
+	return m, d.finish()
+}
+
+func (m HealthInfo) Encode() []byte {
+	buf := []byte{m.State}
+	buf = appendString(buf, m.Cause)
+	buf = binary.AppendUvarint(buf, m.Degrades)
+	return binary.AppendUvarint(buf, m.Heals)
+}
+
+func DecodeHealthInfo(p []byte) (HealthInfo, error) {
+	d := decoder{buf: p}
+	m := HealthInfo{State: d.byte(), Cause: d.string(), Degrades: d.uvarint(), Heals: d.uvarint()}
+	return m, d.finish()
+}
+
+func (m StatsInfo) Encode() []byte {
+	buf := binary.AppendUvarint(nil, m.Connections)
+	buf = binary.AppendUvarint(buf, m.Open)
+	buf = binary.AppendUvarint(buf, m.Requests)
+	buf = binary.AppendUvarint(buf, m.Responses)
+	buf = binary.AppendUvarint(buf, m.Errors)
+	buf = binary.AppendUvarint(buf, m.StmtsOpen)
+	buf = binary.AppendUvarint(buf, m.CursorsOpen)
+	return appendBool(buf, m.Draining)
+}
+
+func DecodeStatsInfo(p []byte) (StatsInfo, error) {
+	d := decoder{buf: p}
+	m := StatsInfo{
+		Connections: d.uvarint(),
+		Open:        d.uvarint(),
+		Requests:    d.uvarint(),
+		Responses:   d.uvarint(),
+		Errors:      d.uvarint(),
+		StmtsOpen:   d.uvarint(),
+		CursorsOpen: d.uvarint(),
+		Draining:    d.bool(),
+	}
+	return m, d.finish()
+}
+
+func (m Drain) Encode() []byte { return appendString(nil, m.Reason) }
+
+func DecodeDrain(p []byte) (Drain, error) {
+	d := decoder{buf: p}
+	m := Drain{Reason: d.string()}
+	return m, d.finish()
+}

@@ -1,0 +1,14 @@
+package wire
+
+import "colorfulxml/internal/obs"
+
+// Frame-level instruments, shared by every connection in the process (both
+// the server's and the client pool's ends when they live in one process,
+// e.g. the loopback benchmark).
+var (
+	obsFramesRead    = obs.NewCounter("wire_frames_read_total")
+	obsFramesWritten = obs.NewCounter("wire_frames_written_total")
+	obsBytesRead     = obs.NewCounter("wire_bytes_read_total")
+	obsBytesWritten  = obs.NewCounter("wire_bytes_written_total")
+	obsDecodeErrors  = obs.NewCounter("wire_frame_decode_errors_total")
+)
